@@ -1,0 +1,69 @@
+"""Ablation: are the paper's state-number equations actually optimal?
+
+DESIGN.md's experiment index calls for ablations of the design choices.
+This bench sweeps the activation state count K around each equation's
+prescription and measures FEB inaccuracy — the paper's equations should
+sit at or near the sweep minimum, validating the "approximately optimal"
+claim of Section 4.4.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.feature_extraction import make_feb
+from repro.core.state_numbers import (
+    btanh_states_apc_max,
+    stanh_states_mux_max,
+)
+from repro.utils.seeding import spawn_rng
+
+from bench_utils import scaled
+
+N, LENGTH = 25, 1024
+
+
+def _inaccuracy(kind: str, n_states: int, trials: int) -> float:
+    rng = spawn_rng(17, "ablation", kind, n_states)
+    feb = make_feb(kind, N, LENGTH, seed=3, n_states=n_states)
+    x = rng.uniform(-1, 1, (trials, 4, N))
+    w = rng.uniform(-1, 1, (trials, 4, N)) * (3.6 / np.sqrt(N))
+    return float(np.abs(feb.forward(x, w) - feb.reference(x, w)).mean())
+
+
+def _sweep(kind: str, k_star: int, trials: int):
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+    ks = sorted({max(int(round(k_star * f / 2)) * 2, 2) for f in factors})
+    return ks, [_inaccuracy(kind, k, trials) for k in ks]
+
+
+def test_ablation_state_numbers(benchmark, record_table):
+    trials = scaled(40)
+
+    def _measure():
+        out = {}
+        for kind, k_star in (
+            ("mux-max", stanh_states_mux_max(LENGTH, N)),
+            ("apc-max", btanh_states_apc_max(N)),
+        ):
+            out[kind] = (k_star,) + _sweep(kind, k_star, trials)
+        return out
+
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    sections = []
+    for kind, (k_star, ks, errs) in results.items():
+        rows = [[f"K={k}" + (" *" if k == k_star else ""), f"{e:.3f}"]
+                for k, e in zip(ks, errs)]
+        sections.append(format_table(
+            ["State count (* = paper equation)", "Inaccuracy (MAE)"],
+            rows,
+            title=f"Ablation — {kind} at n={N}, L={LENGTH}",
+        ))
+    record_table("ablation_state_numbers", "\n\n".join(sections))
+
+    # The equation's K must be within 1.5x of the sweep's best error.
+    for kind, (k_star, ks, errs) in results.items():
+        star_err = errs[ks.index(k_star)]
+        assert star_err <= min(errs) * 1.5 + 0.05, (
+            f"{kind}: equation K={k_star} err={star_err:.3f} vs "
+            f"best {min(errs):.3f}"
+        )

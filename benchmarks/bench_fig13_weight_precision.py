@@ -1,0 +1,66 @@
+"""Figure 13 + Section 5.2/5.3: weight precision vs network error,
+and the SRAM savings of the storage schemes.
+
+Expected shape: error rates fall steeply until w ≈ 6-7 and flatten;
+truncating only Layer0 is the most benign; the 7-bit scheme saves ~10×
+SRAM area and the layer-wise 7-7-6 scheme slightly more.
+"""
+
+from repro.analysis.tables import PAPER, format_table
+from repro.data.synthetic_mnist import to_bipolar
+from repro.storage.layerwise import precision_sweep, storage_savings
+
+from bench_utils import scaled
+
+PRECISIONS = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def test_fig13_precision_sweep(benchmark, trained_max, record_table):
+    x = to_bipolar(trained_max.x_test)[: scaled(400)]
+    y = trained_max.y_test[: scaled(400)]
+
+    def _measure():
+        return precision_sweep(trained_max.model, x, y,
+                               precisions=PRECISIONS)
+
+    sweep = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    for key in ("Layer0", "Layer1", "Layer2", "All layers"):
+        rows.append([key] + [f"{e:.2f}%" for e in sweep[key]])
+    record_table("fig13", format_table(
+        ["Truncated"] + [f"w={w}" for w in PRECISIONS], rows,
+        title=(f"Figure 13 — network error vs weight precision "
+               f"(software baseline {trained_max.software_error_pct:.2f}%)"),
+    ))
+    # High precision is indistinguishable from full precision.  The
+    # paper's knee sits at w = 7 for its MNIST-trained model; our
+    # synthetic-data model's smaller conv2 weights move it to w = 8
+    # (see EXPERIMENTS.md), so the flatness check starts there.
+    for key in ("Layer0", "Layer1", "Layer2", "All layers"):
+        w8 = sweep[key][PRECISIONS.index(8)]
+        w10 = sweep[key][PRECISIONS.index(10)]
+        assert abs(w8 - w10) < 4.0
+    # 2-bit truncation of everything is catastrophic vs 7-bit.
+    assert sweep["All layers"][0] >= sweep["All layers"][5]
+
+
+def test_sec5_storage_savings(benchmark, record_table):
+    uniform, layered = benchmark.pedantic(
+        lambda: (storage_savings((7, 7, 7)), storage_savings((7, 7, 6))),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["Uniform 7-bit", f"{uniform['area_saving']:.1f}x",
+         f"{uniform['power_saving']:.1f}x",
+         f"paper {PAPER['weight_storage']['uniform7_area_saving']}x area"],
+        ["Layer-wise 7-7-6", f"{layered['area_saving']:.1f}x",
+         f"{layered['power_saving']:.1f}x",
+         f"paper {PAPER['weight_storage']['layerwise_area_saving']}x area, "
+         f"{PAPER['weight_storage']['layerwise_power_saving']}x power"],
+    ]
+    record_table("sec5_storage", format_table(
+        ["Scheme", "Area saving", "Power saving", "Paper"], rows,
+        title="Section 5 — SRAM savings vs 64-bit baseline",
+    ))
+    assert layered["area_saving"] > uniform["area_saving"]
+    assert uniform["area_saving"] > 6.0

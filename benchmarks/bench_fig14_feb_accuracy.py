@@ -1,0 +1,45 @@
+"""Figure 14: feature extraction block inaccuracy vs input size.
+
+Paper setup: input sizes 16..256 (log scale), three bit-stream lengths,
+all four FEB designs.  Expected shape: MUX-Avg worst and degrading with
+input size; MUX-Max better; APC blocks far better, with APC-Max the best
+at moderate sizes and APC blocks *improving* (riding tanh saturation) as
+n grows.
+"""
+
+from repro.analysis.block_error import feb_inaccuracy
+from repro.analysis.tables import format_table
+
+from bench_utils import scaled
+
+KINDS = ("mux-avg", "mux-max", "apc-avg", "apc-max")
+SIZES = (16, 32, 64, 128, 256)
+LENGTHS = (256, 512, 1024)
+
+
+def _measure():
+    return {
+        (kind, n, L): feb_inaccuracy(kind, n, L, trials=scaled(32), seed=6)
+        for kind in KINDS for n in SIZES for L in LENGTHS
+    }
+
+
+def test_fig14_feb_inaccuracy(benchmark, record_table):
+    grid = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    sections = []
+    for L in LENGTHS:
+        rows = [[kind] + [f"{grid[(kind, n, L)]:.3f}" for n in SIZES]
+                for kind in KINDS]
+        sections.append(format_table(
+            ["FEB design"] + [f"n={n}" for n in SIZES], rows,
+            title=f"Figure 14 — FEB absolute inaccuracy, L={L}",
+        ))
+    record_table("fig14", "\n\n".join(sections))
+
+    # Headline orderings at L=1024 (Section 6.1).
+    L = 1024
+    assert grid[("mux-avg", 256, L)] > grid[("mux-avg", 16, L)]
+    assert grid[("apc-max", 16, L)] < grid[("mux-avg", 16, L)]
+    assert grid[("apc-avg", 64, L)] < grid[("mux-avg", 64, L)]
+    # MUX-Max benefits from longer streams (Section 6.1).
+    assert (grid[("mux-max", 64, 1024)] < grid[("mux-max", 64, 256)])

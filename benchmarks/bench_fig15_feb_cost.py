@@ -1,0 +1,44 @@
+"""Figure 15: FEB area / path delay / power / energy vs input size.
+
+Paper setup: input sizes 16..256, L = 1024.  Expected shape: MUX-Avg
+cheapest with the shortest path; APC designs dominate area and path
+delay; APC-Max the most expensive; energy ordering follows area×delay.
+"""
+
+from repro.analysis.tables import format_table
+from repro.hw.blocks_cost import feb_metrics
+
+KINDS = ("mux-avg", "mux-max", "apc-avg", "apc-max")
+SIZES = (16, 32, 64, 128, 256)
+LENGTH = 1024
+METRICS = (("area_um2", "Area (µm²)", "{:.0f}"),
+           ("delay_ns", "Path delay (ns)", "{:.2f}"),
+           ("power_uw", "Power (µW)", "{:.1f}"),
+           ("energy_pj", "Energy (pJ)", "{:.0f}"))
+
+
+def _measure():
+    return {(kind, n): feb_metrics(kind, n, LENGTH)
+            for kind in KINDS for n in SIZES}
+
+
+def test_fig15_feb_costs(benchmark, record_table):
+    grid = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    sections = []
+    for key, label, fmt in METRICS:
+        rows = [[kind] + [fmt.format(grid[(kind, n)][key]) for n in SIZES]
+                for kind in KINDS]
+        sections.append(format_table(
+            ["FEB design"] + [f"n={n}" for n in SIZES], rows,
+            title=f"Figure 15 — {label}, L={LENGTH}",
+        ))
+    record_table("fig15", "\n\n".join(sections))
+
+    # Section 6.1's qualitative conclusions.
+    for n in SIZES:
+        assert (grid[("mux-avg", n)]["area_um2"]
+                <= min(grid[(k, n)]["area_um2"] for k in KINDS))
+        assert (grid[("apc-max", n)]["area_um2"]
+                >= max(grid[(k, n)]["area_um2"] for k in KINDS))
+        assert (grid[("apc-avg", n)]["delay_ns"]
+                > grid[("mux-avg", n)]["delay_ns"])

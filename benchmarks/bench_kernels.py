@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the simulation kernels themselves.
+
+Not a paper table — these time the packed-bit kernels that make the
+bit-level LeNet-5 simulation tractable, and guard against performance
+regressions: XNOR multiply, APC column counting, the vectorized Stanh
+FSM, a full feature-extraction-block forward and one exact conv-layer
+pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_extraction import make_feb
+from repro.sc import activation, adders, ops
+from repro.sc.rng import StreamFactory
+
+L = 1024
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return StreamFactory(seed=0)
+
+
+def test_kernel_xnor_multiply(benchmark, factory, rng):
+    """Bipolar multiply across 4096 streams of 1024 bits."""
+    a = factory.packed(rng.uniform(-1, 1, 4096), L)
+    b = factory.packed(rng.uniform(-1, 1, 4096), L)
+    out = benchmark(lambda: ops.xnor_(a, b, L))
+    assert out.shape == a.shape
+
+
+def test_kernel_apc_counts(benchmark, factory, rng):
+    """APC column counts for 128 windows of 25 inputs."""
+    streams = factory.packed(rng.uniform(-1, 1, (128, 25)), L)
+    counts = benchmark(lambda: adders.apc_count(streams, L))
+    assert counts.shape == (128, L)
+
+
+def test_kernel_stanh_fsm(benchmark, factory, rng):
+    """Vectorized Stanh over 2880 streams (one LeNet-5 layer)."""
+    streams = factory.packed(rng.uniform(-1, 1, 2880), L)
+    out = benchmark(lambda: activation.stanh_packed(streams, L, 10))
+    assert out.shape == streams.shape
+
+
+def test_kernel_btanh(benchmark, rng):
+    """Vectorized Btanh over 800 count streams."""
+    counts = rng.integers(0, 26, (800, L)).astype(np.int16)
+    out = benchmark(lambda: activation.btanh_counts(counts, 25, 50))
+    assert out.shape == counts.shape
+
+
+def test_kernel_feb_forward(benchmark, rng):
+    """One APC-Max-Btanh feature extraction (batch of 32)."""
+    feb = make_feb("apc-max", 25, L, seed=0)
+    x = rng.uniform(-1, 1, (32, 4, 25))
+    w = rng.uniform(-1, 1, (32, 4, 25))
+    out = benchmark.pedantic(lambda: feb.forward(x, w), rounds=3,
+                             iterations=1)
+    assert out.shape == (32,)
+
+
+def test_kernel_exact_conv_layer(benchmark, trained_max):
+    """One bit-exact image through conv1+pool+Btanh (Layer 0)."""
+    from repro.core.config import NetworkConfig, PoolKind
+    from repro.core.network import SCNetwork
+    cfg = NetworkConfig.from_kinds(PoolKind.MAX, 256, ("APC", "APC", "APC"))
+    sc = SCNetwork(trained_max.model, cfg, seed=0)
+    img = trained_max.bipolar_test_images()[0].reshape(-1)
+    x = sc.factory.packed(img, 256)
+
+    out = benchmark.pedantic(
+        lambda: sc._run_conv_layer(sc._plans[0], x, sc._weight_streams[0]),
+        rounds=3, iterations=1,
+    )
+    assert out.shape[0] == 2880

@@ -1,0 +1,43 @@
+"""Section 6.3: the holistic optimization procedure.
+
+Runs the paper's iterative design-space exploration (evaluate every
+layer-kind combination, keep configurations within the accuracy
+threshold, halve the stream length, repeat) and reports the surviving
+design points with their hardware costs.  Expected shape: APC-heavy
+configurations survive to shorter stream lengths; MUX-heavy ones drop
+out first; the energy-optimal survivors use the shortest passing L.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.optimizer import HolisticOptimizer
+
+from bench_utils import scaled
+
+
+def test_holistic_optimization(benchmark, trained_max, record_table):
+    opt = HolisticOptimizer(trained_max, threshold_pct=8.0,
+                            eval_images=scaled(300), seed=13)
+
+    points = benchmark.pedantic(
+        lambda: opt.run(max_length=1024, min_length=128),
+        rounds=1, iterations=1,
+    )
+    assert points, "at least one configuration must meet the threshold"
+
+    rows = [[p.config.describe(), f"{p.error_pct:.2f}%",
+             f"{p.degradation_pct:+.2f}%", f"{p.cost.area_mm2:.1f}",
+             f"{p.cost.energy_uj:.2f}"] for p in points]
+    front = opt.pareto_front(points)
+    record_table("sec63_optimizer", format_table(
+        ["Design point", "Error", "Degradation", "Area mm²", "Energy µJ"],
+        rows,
+        title=(f"Section 6.3 — surviving design points "
+               f"(threshold 8.0%, {len(front)} Pareto-optimal)"),
+    ))
+
+    # All-APC must survive at the longest length.
+    assert any(p.config.length == 1024
+               and all(l.ip_kind.value == "APC" for l in p.config.layers)
+               for p in points)
+    # Survivors meet the threshold by construction.
+    assert all(p.degradation_pct <= 8.0 for p in points)

@@ -1,0 +1,42 @@
+"""Table 1: absolute errors of the OR-gate inner product block.
+
+Paper setup: L = 1024, best pre-scaling, input sizes 16/32/64, unipolar
+and bipolar formats.  Expected shape: errors grow with input size and the
+bipolar format is far worse — the reason Section 4.1 rejects this block.
+"""
+
+from repro.analysis.block_error import or_inner_product_error
+from repro.analysis.tables import PAPER, format_table
+from repro.sc.encoding import Encoding
+
+from bench_utils import scaled
+
+SIZES = (16, 32, 64)
+LENGTH = 1024
+
+
+def _measure():
+    rows = []
+    for label, encoding in (("Unipolar", Encoding.UNIPOLAR),
+                            ("Bipolar", Encoding.BIPOLAR)):
+        measured = [or_inner_product_error(n, LENGTH, encoding,
+                                           trials=scaled(48), seed=1)
+                    for n in SIZES]
+        paper = [PAPER["table1"][(label.lower(), n)] for n in SIZES]
+        rows.append([label]
+                    + [f"{m:.2f} (paper {p})" for m, p in zip(measured,
+                                                              paper)])
+    return rows
+
+
+def test_table1_or_gate_inner_product(benchmark, record_table):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    record_table("table1", format_table(
+        ["Format"] + [f"n={n}" for n in SIZES], rows,
+        title="Table 1 — OR-gate inner product absolute error (L=1024)",
+    ))
+    # Shape assertions: bipolar worse, errors grow with n.
+    uni = [float(c.split()[0]) for c in rows[0][1:]]
+    bip = [float(c.split()[0]) for c in rows[1][1:]]
+    assert bip[0] > uni[0]
+    assert bip[-1] > bip[0] * 0.8

@@ -1,0 +1,39 @@
+"""Table 2: absolute errors of the MUX-based inner product block.
+
+Paper setup: input sizes 16/32/64 × stream lengths 512..4096.  Expected
+shape: error grows ~linearly with n, shrinks ~1/sqrt(L).
+"""
+
+from repro.analysis.block_error import mux_inner_product_error
+from repro.analysis.tables import PAPER, format_table
+
+from bench_utils import scaled
+
+SIZES = (16, 32, 64)
+LENGTHS = (512, 1024, 2048, 4096)
+
+
+def _measure():
+    grid = {}
+    for n in SIZES:
+        for length in LENGTHS:
+            grid[(n, length)] = mux_inner_product_error(
+                n, length, trials=scaled(48), seed=1
+            )
+    return grid
+
+
+def test_table2_mux_inner_product(benchmark, record_table):
+    grid = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    for n in SIZES:
+        rows.append([f"n={n}"] + [
+            f"{grid[(n, L)]:.2f} (paper {PAPER['table2'][(n, L)]})"
+            for L in LENGTHS
+        ])
+    record_table("table2", format_table(
+        ["Input size"] + [f"L={L}" for L in LENGTHS], rows,
+        title="Table 2 — MUX inner product absolute error",
+    ))
+    assert grid[(64, 512)] > grid[(16, 512)]       # grows with n
+    assert grid[(16, 4096)] < grid[(16, 512)]      # shrinks with L

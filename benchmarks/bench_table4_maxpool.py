@@ -1,0 +1,38 @@
+"""Table 4: hardware-oriented max pooling vs software max pooling.
+
+Paper setup: segment length c = 16, candidate counts 4/9/16, stream
+lengths 128..512.  Expected shape: deviation shrinks with L, grows mildly
+with the number of candidates.
+"""
+
+from repro.analysis.block_error import maxpool_deviation
+from repro.analysis.tables import PAPER, format_table
+
+from bench_utils import scaled
+
+CANDIDATES = (4, 9, 16)
+LENGTHS = (128, 256, 384, 512)
+
+
+def _measure():
+    return {
+        (k, L): maxpool_deviation(k, L, segment=16, trials=scaled(300),
+                                  seed=3)
+        for k in CANDIDATES for L in LENGTHS
+    }
+
+
+def test_table4_hardware_max_pooling(benchmark, record_table):
+    grid = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    for k in CANDIDATES:
+        rows.append([f"n={k}"] + [
+            f"{grid[(k, L)]:.3f} (paper {PAPER['table4'][(k, L)]})"
+            for L in LENGTHS
+        ])
+    record_table("table4", format_table(
+        ["Input size"] + [f"L={L}" for L in LENGTHS], rows,
+        title="Table 4 — hardware-oriented max pooling result deviation",
+    ))
+    assert grid[(4, 512)] < grid[(4, 128)]     # improves with L
+    assert grid[(16, 128)] > grid[(4, 128)]    # degrades with candidates

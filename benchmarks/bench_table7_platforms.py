@@ -1,0 +1,63 @@
+"""Table 7: platform comparison.
+
+The SC-DCNN rows (No.6 and No.11) are computed by the hardware model;
+the CPU/GPU/FPGA/ASIC rows are the published figures the paper also
+cites.  Expected shape: the SC-DCNN rows dominate every platform on
+throughput, area efficiency and energy efficiency.
+"""
+
+from repro.analysis.tables import PAPER, format_table
+from repro.core.config import TABLE6_CONFIGS
+from repro.hw.network_cost import lenet_network_cost
+from repro.hw.platforms import PLATFORMS
+
+
+def _fmt(value, pattern="{:.1f}"):
+    if value is None:
+        return "N/A"
+    return pattern.format(value)
+
+
+def _measure():
+    no6 = lenet_network_cost(TABLE6_CONFIGS[5][0])
+    no11 = lenet_network_cost(TABLE6_CONFIGS[10][0])
+    return no6, no11
+
+
+def test_table7_platform_comparison(benchmark, record_table):
+    no6, no11 = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    for name, cost in (("SC-DCNN (No.6)", no6), ("SC-DCNN (No.11)", no11)):
+        paper = PAPER["table7"]["No.6" if "No.6" in name else "No.11"]
+        rows.append([
+            name,
+            f"{cost.area_mm2:.1f} ({paper['area_mm2']})",
+            f"{cost.power_w:.2f} ({paper['power_w']})",
+            f"{cost.throughput_ips:.0f} ({paper['throughput_ips']})",
+            f"{cost.area_efficiency:.0f} ({paper['area_eff']})",
+            f"{cost.energy_efficiency:.0f} ({paper['energy_eff']})",
+        ])
+    for p in PLATFORMS:
+        rows.append([
+            p.name,
+            _fmt(p.area_mm2),
+            _fmt(p.power_w, "{:.2f}"),
+            _fmt(p.throughput_ips, "{:.0f}"),
+            _fmt(p.area_efficiency, "{:.1f}"),
+            _fmt(p.energy_efficiency, "{:.1f}"),
+        ])
+    record_table("table7", format_table(
+        ["Platform", "Area mm² (paper)", "Power W (paper)",
+         "Throughput img/s (paper)", "Area eff (paper)",
+         "Energy eff (paper)"],
+        rows, title="Table 7 — platform comparison",
+    ))
+
+    gpu = next(p for p in PLATFORMS if "Tesla" in p.name)
+    # Paper's headline ratios against the GPU (No.11).
+    assert no11.throughput_ips / gpu.throughput_ips > 100
+    assert gpu.area_mm2 / no11.area_mm2 > 20        # paper: 30.6×
+    assert no11.energy_efficiency / gpu.energy_efficiency > 1000
+    # And the strongest ASIC baseline on throughput.
+    dadiannao = next(p for p in PLATFORMS if p.name == "DaDianNao")
+    assert no11.throughput_ips > dadiannao.throughput_ips

@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark modules (trial-count scaling)."""
+
+import os
+
+__all__ = ["trial_scale", "scaled"]
+
+
+def trial_scale() -> float:
+    """Multiplier for Monte-Carlo trial counts (env REPRO_BENCH_TRIALS)."""
+    return float(os.environ.get("REPRO_BENCH_TRIALS", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale a default trial count, with a sane floor."""
+    return max(int(n * trial_scale()), 4)

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark regenerates one table or figure of the paper and writes a
+paper-vs-measured text table to ``benchmarks/results/``, in addition to
+timing a representative kernel through pytest-benchmark.  Trial counts
+are sized for ~minutes of total runtime; raise ``REPRO_BENCH_TRIALS``
+for tighter Monte-Carlo estimates.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+def trial_scale() -> float:
+    """Multiplier for Monte-Carlo trial counts (env REPRO_BENCH_TRIALS)."""
+    return float(os.environ.get("REPRO_BENCH_TRIALS", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(int(n * trial_scale()), 4)
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a result table to benchmarks/results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def trained_max():
+    from repro.data.cache import get_trained_lenet
+    return get_trained_lenet(pooling="max")
+
+
+@pytest.fixture(scope="session")
+def trained_avg():
+    from repro.data.cache import get_trained_lenet
+    return get_trained_lenet(pooling="avg")

@@ -1,0 +1,42 @@
+"""Stream correlation: the silent killer of SC accuracy.
+
+SC multipliers assume independent bit-streams.  Real hardware shares
+RNGs to save area (the paper's Section 5.1 shares aggressively), which
+correlates streams and corrupts products.  This example measures the
+hazard with the SCC metric and shows an isolator repairing it.
+
+Run:  python examples/correlation_hazards.py
+"""
+
+from repro.sc import ops
+from repro.sc.correlation import decorrelate, multiply_error_vs_scc, scc
+from repro.sc.rng import StreamFactory
+
+
+def main():
+    length = 8192
+    fab = StreamFactory(seed=0)
+
+    print("== XNOR multiplication vs correlation ==")
+    result = multiply_error_vs_scc(0.5, 0.5, length=length)
+    for label, (corr, err) in result.items():
+        print(f"{label:12s} SCC={corr:+.2f}  |error|={err:.3f}  "
+              f"(true product 0.25)")
+
+    print("\n== squaring a value with one stream ==")
+    x = 0.6
+    a = fab.packed(x, length)
+    naive = 2.0 * ops.popcount(ops.xnor_(a, a, length), length) / length - 1
+    iso = decorrelate(a, length, seed=7)
+    fixed = 2.0 * ops.popcount(ops.xnor_(a, iso, length), length) / length - 1
+    print(f"x XNOR x (same stream):      {naive:+.3f}  (SCC "
+          f"{float(scc(a, a, length)):+.2f})")
+    print(f"x XNOR isolate(x):           {fixed:+.3f}  (SCC "
+          f"{float(scc(a, iso, length)):+.2f})")
+    print(f"true x*x:                    {x * x:+.3f}")
+    print("\nAn isolator preserves the ones count exactly while breaking "
+          "temporal alignment — correlation gone, value intact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Weight storage optimization (Section 5).
+
+Quantizes the trained LeNet-5's weights layer by layer, reproduces the
+Figure 13 precision sweep, runs the greedy layer-wise precision search,
+and prices the resulting SRAM against the 64-bit baseline with the
+filter-aware sharing plan of Section 5.1.
+
+Run:  python examples/weight_storage_optimization.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.data.cache import get_trained_lenet
+from repro.data.synthetic_mnist import to_bipolar
+from repro.storage.layerwise import (
+    layerwise_precision_search,
+    precision_sweep,
+    storage_savings,
+)
+from repro.storage.sharing import lenet_sharing_plan
+
+
+def main():
+    trained = get_trained_lenet(pooling="max")
+    x = to_bipolar(trained.x_test)[:400]
+    y = trained.y_test[:400]
+
+    precisions = [3, 4, 5, 6, 7, 8]
+    sweep = precision_sweep(trained.model, x, y, precisions=precisions)
+    rows = [[key] + [f"{e:.2f}%" for e in sweep[key]]
+            for key in ("Layer0", "Layer1", "Layer2", "All layers")]
+    print(format_table(
+        ["Truncated"] + [f"w={w}" for w in precisions], rows,
+        title=f"Error rate vs weight precision "
+              f"(float baseline {trained.software_error_pct:.2f}%)",
+    ))
+
+    bits, err = layerwise_precision_search(
+        trained.model, x, y, budget_pct=1.5, min_bits=4, max_bits=8
+    )
+    print(f"\ngreedy layer-wise scheme: {bits[0]}-{bits[1]}-{bits[2]} "
+          f"at {err:.2f}% error (paper's example: 7-7-6 at 1.65%)")
+
+    savings = storage_savings(bits)
+    print(f"SRAM savings vs 64-bit baseline: "
+          f"{savings['area_saving']:.1f}x area, "
+          f"{savings['power_saving']:.1f}x power "
+          f"(paper: 12x / 11.9x for 7-7-6)")
+
+    print("\nFilter-aware SRAM sharing plan (Section 5.1):")
+    rows = []
+    for plan in lenet_sharing_plan(word_bits=max(bits)):
+        rows.append([
+            plan.layer.name,
+            str(plan.blocks),
+            str(plan.layer.words_per_block),
+            str(plan.readers_per_block),
+            f"{plan.routing_saving():.0f}x",
+        ])
+    print(format_table(
+        ["Stage", "SRAM blocks", "Words/block", "Readers/block",
+         "Routing saving"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

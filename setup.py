@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no ``wheel`` package and no network, so a
+PEP-517 editable install cannot build a wheel; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Regenerates individual paper experiments from the shell without writing
+any Python — handy for quick paper-vs-measured checks:
+
+    python -m repro table2          # MUX inner-product error grid
+    python -m repro table7          # platform comparison
+    python -m repro list            # everything available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _table1():
+    from repro.analysis.block_error import or_inner_product_error
+    from repro.analysis.tables import PAPER, format_table
+    from repro.sc.encoding import Encoding
+    rows = []
+    for label, enc in (("Unipolar", Encoding.UNIPOLAR),
+                       ("Bipolar", Encoding.BIPOLAR)):
+        rows.append([label] + [
+            f"{or_inner_product_error(n, 1024, enc, trials=48):.2f} "
+            f"(paper {PAPER['table1'][(label.lower(), n)]})"
+            for n in (16, 32, 64)
+        ])
+    print(format_table(["Format", "n=16", "n=32", "n=64"], rows,
+                       title="Table 1 — OR-gate inner product error"))
+
+
+def _table2():
+    from repro.analysis.block_error import mux_inner_product_error
+    from repro.analysis.tables import PAPER, format_table
+    lengths = (512, 1024, 2048, 4096)
+    rows = []
+    for n in (16, 32, 64):
+        rows.append([f"n={n}"] + [
+            f"{mux_inner_product_error(n, L, trials=48):.2f} "
+            f"(paper {PAPER['table2'][(n, L)]})"
+            for L in lengths
+        ])
+    print(format_table(["Input size"] + [f"L={L}" for L in lengths], rows,
+                       title="Table 2 — MUX inner product error"))
+
+
+def _table5():
+    from repro.analysis.block_error import stanh_inaccuracy
+    from repro.analysis.tables import PAPER, format_table
+    rows = [[f"K={k}", f"{100 * stanh_inaccuracy(k, trials=200):.2f}%",
+             f"{PAPER['table5'][k]}%"]
+            for k in (8, 10, 12, 14, 16, 18, 20)]
+    print(format_table(["States", "Measured", "Paper"], rows,
+                       title="Table 5 — Stanh relative inaccuracy"))
+
+
+def _fig14():
+    from repro.analysis.block_error import feb_inaccuracy
+    from repro.analysis.tables import format_table
+    sizes = (16, 64, 256)
+    rows = []
+    for kind in ("mux-avg", "mux-max", "apc-avg", "apc-max"):
+        rows.append([kind] + [f"{feb_inaccuracy(kind, n, 1024, trials=24):.3f}"
+                              for n in sizes])
+    print(format_table(["FEB"] + [f"n={n}" for n in sizes], rows,
+                       title="Figure 14 — FEB inaccuracy (L=1024)"))
+
+
+def _fig15():
+    from repro.analysis.tables import format_table
+    from repro.hw.blocks_cost import feb_metrics
+    sizes = (16, 64, 256)
+    rows = []
+    for kind in ("mux-avg", "mux-max", "apc-avg", "apc-max"):
+        m = [feb_metrics(kind, n, 1024) for n in sizes]
+        rows.append([kind] + [f"{x['area_um2']:.0f}µm²/{x['energy_pj']:.0f}pJ"
+                              for x in m])
+    print(format_table(["FEB"] + [f"n={n}" for n in sizes], rows,
+                       title="Figure 15 — FEB area/energy (L=1024)"))
+
+
+def _table6():
+    from repro.analysis.tables import format_table
+    from repro.core.config import TABLE6_CONFIGS
+    from repro.hw.network_cost import lenet_network_cost
+    rows = []
+    for config, paper in TABLE6_CONFIGS:
+        cost = lenet_network_cost(config)
+        rows.append([config.name, config.describe().split(" ", 1)[1],
+                     f"{cost.area_mm2:.1f} ({paper.area_mm2})",
+                     f"{cost.power_w:.2f} ({paper.power_w})",
+                     f"{cost.energy_uj:.2f} ({paper.energy_uj})"])
+    print(format_table(
+        ["No.", "Config", "Area mm²", "Power W", "Energy µJ"], rows,
+        title="Table 6 — hardware costs (accuracy: run the benchmark)",
+    ))
+
+
+def _table7():
+    from repro.analysis.tables import format_table
+    from repro.core.config import TABLE6_CONFIGS
+    from repro.hw.network_cost import lenet_network_cost
+    from repro.hw.platforms import PLATFORMS
+    rows = []
+    for name, idx in (("SC-DCNN (No.6)", 5), ("SC-DCNN (No.11)", 10)):
+        c = lenet_network_cost(TABLE6_CONFIGS[idx][0])
+        rows.append([name, f"{c.area_mm2:.1f}", f"{c.power_w:.2f}",
+                     f"{c.throughput_ips:.0f}", f"{c.area_efficiency:.0f}",
+                     f"{c.energy_efficiency:.0f}"])
+    for p in PLATFORMS:
+        rows.append([p.name,
+                     "N/A" if p.area_mm2 is None else f"{p.area_mm2:.0f}",
+                     "N/A" if p.power_w is None else f"{p.power_w:.2f}",
+                     f"{p.throughput_ips:.0f}",
+                     "N/A" if p.area_efficiency is None
+                     else f"{p.area_efficiency:.1f}",
+                     "N/A" if p.energy_efficiency is None
+                     else f"{p.energy_efficiency:.1f}"])
+    print(format_table(
+        ["Platform", "Area mm²", "Power W", "Images/s", "Img/s/mm²",
+         "Images/J"], rows, title="Table 7 — platform comparison",
+    ))
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "table2": _table2,
+    "table5": _table5,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "table6": _table6,
+    "table7": _table7,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate SC-DCNN paper experiments.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list"],
+                        help="experiment to run, or 'list'")
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("full suite: pytest benchmarks/ --benchmark-only")
+        return 0
+    EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

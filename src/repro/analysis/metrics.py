@@ -1,0 +1,37 @@
+"""Error metrics used by the measurement harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_absolute_error", "mean_relative_error", "error_rate_pct"]
+
+
+def mean_absolute_error(estimates, references) -> float:
+    """Mean |estimate - reference| — the paper's "absolute inaccuracy"."""
+    est = np.asarray(estimates, dtype=np.float64)
+    ref = np.asarray(references, dtype=np.float64)
+    return float(np.abs(est - ref).mean())
+
+
+def mean_relative_error(estimates, references, floor: float = 1e-3) -> float:
+    """Mean |estimate - reference| / |reference| — Tables 3-5's metric.
+
+    References with magnitude below ``floor`` are excluded (a relative
+    error against ~0 is meaningless and explodes the mean).
+    """
+    est = np.asarray(estimates, dtype=np.float64)
+    ref = np.asarray(references, dtype=np.float64)
+    mask = np.abs(ref) >= floor
+    if not mask.any():
+        raise ValueError("all reference magnitudes below the floor")
+    return float((np.abs(est - ref)[mask] / np.abs(ref)[mask]).mean())
+
+
+def error_rate_pct(predictions, labels) -> float:
+    """Classification error rate in percent."""
+    preds = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if preds.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {preds.shape} vs {labels.shape}")
+    return 100.0 * float((preds != labels).mean())

@@ -1,0 +1,83 @@
+"""Layer-wise inaccuracy sensitivity (Figure 16).
+
+The paper's layer-wise configuration strategy rests on the observation
+that "hardware inaccuracies in different layers in DCNN have different
+effects on the overall accuracy".  This harness makes that measurable:
+inject zero-mean noise of a chosen magnitude into the activations of one
+layer at a time and record the network error rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import Tanh
+from repro.nn.module import Sequential
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["layer_noise_sensitivity", "NoisyForward"]
+
+
+class NoisyForward:
+    """Forward evaluator that perturbs one activation stage.
+
+    ``stage`` indexes the tanh activations in network order (0 = after
+    Layer0's pooling, 1 = after Layer1's, 2 = after the FC layer); the
+    perturbation is additive Gaussian noise clipped back to [-1, 1],
+    modelling an SC block whose output stream deviates from its ideal
+    value.
+    """
+
+    def __init__(self, model: Sequential, stage: int, sigma: float,
+                 seed: int = 0):
+        tanh_positions = [i for i, layer in enumerate(model.layers)
+                          if isinstance(layer, Tanh)]
+        if not 0 <= stage < len(tanh_positions):
+            raise ValueError(
+                f"stage must be in [0, {len(tanh_positions)}), got {stage}"
+            )
+        self.model = model
+        self.position = tanh_positions[stage]
+        self.sigma = float(sigma)
+        self._rng = spawn_rng(seed, "noisy-forward", stage)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for i, layer in enumerate(self.model.layers):
+            x = layer.forward(x, training=False)
+            if i == self.position and self.sigma > 0:
+                x = np.clip(
+                    x + self._rng.normal(0.0, self.sigma, x.shape),
+                    -1.0, 1.0,
+                )
+        return x
+
+    def error_rate(self, images: np.ndarray, labels: np.ndarray,
+                   batch_size: int = 256) -> float:
+        wrong = 0
+        for start in range(0, len(images), batch_size):
+            logits = self.forward(images[start:start + batch_size])
+            preds = np.argmax(logits, axis=1)
+            wrong += int((preds != labels[start:start + batch_size]).sum())
+        return 100.0 * wrong / len(images)
+
+
+def layer_noise_sensitivity(model: Sequential, images: np.ndarray,
+                            labels: np.ndarray,
+                            sigmas=(0.0, 0.05, 0.1, 0.2, 0.3, 0.4),
+                            seed: int = 0) -> dict:
+    """Figure 16 data: error rate vs injected noise, one layer at a time.
+
+    Returns ``{"Layer0": [...], "Layer1": [...], "Layer2": [...],
+    "sigmas": [...]}`` with error rates in percent.  The expected shape:
+    Layer2 (closest to the output, most weights) is the most sensitive.
+    """
+    sigmas = list(sigmas)
+    results = {}
+    for stage in range(3):
+        errors = []
+        for sigma in sigmas:
+            noisy = NoisyForward(model, stage, sigma, seed=seed)
+            errors.append(noisy.error_rate(images, labels))
+        results[f"Layer{stage}"] = errors
+    results["sigmas"] = sigmas
+    return results

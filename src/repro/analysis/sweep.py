@@ -1,0 +1,68 @@
+"""Generic parameter-sweep utilities used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+__all__ = ["Sweep", "SweepResult"]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """The outcome of one sweep: axis names, points and values.
+
+    ``values`` maps each parameter combination (a tuple following
+    ``axes`` order) to the measured value.
+    """
+
+    axes: tuple
+    points: dict
+    values: dict
+
+    def grid(self):
+        """Yield ``(combo_dict, value)`` in axis order."""
+        axis_values = [self.points[a] for a in self.axes]
+        for combo in itertools.product(*axis_values):
+            yield dict(zip(self.axes, combo)), self.values[combo]
+
+    def row(self, **fixed):
+        """Values along the one remaining free axis, others fixed."""
+        free = [a for a in self.axes if a not in fixed]
+        if len(free) != 1:
+            raise ValueError(
+                f"fix all axes but one; free axes: {free}"
+            )
+        axis = free[0]
+        out = []
+        for v in self.points[axis]:
+            key = tuple(fixed.get(a, v) if a != axis else v
+                        for a in self.axes)
+            out.append(self.values[key])
+        return out
+
+
+class Sweep:
+    """Declarative cartesian sweep over named axes.
+
+    >>> sweep = Sweep(n=[16, 32], length=[128, 256])
+    >>> result = sweep.run(lambda n, length: n * length)
+    >>> result.values[(16, 256)]
+    4096
+    """
+
+    def __init__(self, **axes):
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        self.axes = tuple(axes)
+        self.points = {name: list(values) for name, values in axes.items()}
+
+    def run(self, fn, progress=None) -> SweepResult:
+        """Evaluate ``fn(**combo)`` over the full grid."""
+        values = {}
+        axis_values = [self.points[a] for a in self.axes]
+        for combo in itertools.product(*axis_values):
+            values[combo] = fn(**dict(zip(self.axes, combo)))
+            if progress is not None:  # pragma: no cover - console output
+                progress(dict(zip(self.axes, combo)), values[combo])
+        return SweepResult(axes=self.axes, points=self.points, values=values)

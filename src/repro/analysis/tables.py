@@ -1,0 +1,95 @@
+"""Plain-text table formatting and the paper's reference values.
+
+``PAPER`` collects every number the paper's evaluation tables report, so
+benchmark harnesses can print paper-vs-measured rows side by side (the
+same role EXPERIMENTS.md plays in prose).
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "PAPER"]
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    ``rows`` is an iterable of sequences; cells are stringified with
+    ``str`` (pre-format floats yourself).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(str_headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: Every evaluation number the paper reports, keyed by experiment.
+PAPER = {
+    # Table 1: absolute error of OR-gate inner product, L = 1024.
+    "table1": {
+        ("unipolar", 16): 0.47, ("unipolar", 32): 0.66,
+        ("unipolar", 64): 1.29,
+        ("bipolar", 16): 1.54, ("bipolar", 32): 1.70,
+        ("bipolar", 64): 2.3,
+    },
+    # Table 2: absolute error of MUX inner product, (n, L) → error.
+    "table2": {
+        (16, 512): 0.54, (16, 1024): 0.39, (16, 2048): 0.28, (16, 4096): 0.21,
+        (32, 512): 1.18, (32, 1024): 0.77, (32, 2048): 0.56, (32, 4096): 0.38,
+        (64, 512): 2.35, (64, 1024): 1.58, (64, 2048): 1.19, (64, 4096): 0.79,
+    },
+    # Table 3: relative error of APC vs conventional counter, (n, L) → %.
+    "table3": {
+        (16, 128): 1.01, (16, 256): 0.87, (16, 384): 0.88, (16, 512): 0.84,
+        (32, 128): 0.70, (32, 256): 0.61, (32, 384): 0.58, (32, 512): 0.57,
+        (64, 128): 0.49, (64, 256): 0.44, (64, 384): 0.44, (64, 512): 0.42,
+    },
+    # Table 4: relative deviation of hardware max pooling, (n, L) → dev.
+    "table4": {
+        (4, 128): 0.127, (4, 256): 0.081, (4, 384): 0.066, (4, 512): 0.059,
+        (9, 128): 0.147, (9, 256): 0.099, (9, 384): 0.086, (9, 512): 0.074,
+        (16, 128): 0.166, (16, 256): 0.108, (16, 384): 0.097, (16, 512): 0.086,
+    },
+    # Table 5: Stanh relative inaccuracy (%) vs state count, L = 8192.
+    "table5": {
+        8: 10.06, 10: 8.27, 12: 7.43, 14: 7.36, 16: 7.51, 18: 8.07, 20: 8.55,
+    },
+    # Section 5.2 / 5.3 weight-storage claims.
+    "weight_storage": {
+        "uniform7_area_saving": 10.3,
+        "layerwise_scheme": (7, 7, 6),
+        "layerwise_area_saving": 12.0,
+        "layerwise_power_saving": 11.9,
+        "layerwise_error_pct": 1.65,
+        "software_error_pct": 1.53,
+    },
+    # Software LeNet-5 baselines (Section 6.3).
+    "baselines": {
+        "max_pooling_error_pct": 1.53,
+        "avg_pooling_error_pct": 2.24,
+        "accuracy_threshold_pct": 1.5,
+    },
+    # Table 7 SC-DCNN rows.
+    "table7": {
+        "No.6": {"area_mm2": 36.4, "power_w": 3.53, "accuracy_pct": 98.26,
+                 "throughput_ips": 781250, "area_eff": 21439,
+                 "energy_eff": 221287},
+        "No.11": {"area_mm2": 17.0, "power_w": 1.53, "accuracy_pct": 96.64,
+                  "throughput_ips": 781250, "area_eff": 45946,
+                  "energy_eff": 510734},
+    },
+}

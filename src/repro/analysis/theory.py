@@ -1,0 +1,125 @@
+"""Analytic error models for the SC building blocks.
+
+Closed-form first/second-moment predictions for the estimators the
+simulator implements, used three ways:
+
+* cross-validation — tests check the bit-level simulator against these
+  formulas, catching bugs in either;
+* fast budgeting — the fast evaluators use them to sanity-check their
+  measured noise;
+* design intuition — they encode *why* the paper's trends hold
+  (MUX error ∝ n/√L, APC inner-product noise ∝ √(n/L), …).
+
+All formulas assume ideal (independent Bernoulli) streams of length
+``L``; bipolar encoding unless stated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_array, check_positive_int
+
+__all__ = [
+    "sng_decode_std",
+    "xnor_product_std",
+    "mux_inner_product_std",
+    "apc_inner_product_std",
+    "or_add_expectation",
+    "stanh_stationary",
+    "btanh_gain",
+]
+
+
+def sng_decode_std(value, length: int) -> np.ndarray:
+    """Std of a single decoded bipolar stream: ``2·sqrt(p(1-p)/L)``."""
+    check_positive_int(length, "length")
+    v = as_float_array(value, "value")
+    p = (v + 1.0) / 2.0
+    return 2.0 * np.sqrt(p * (1.0 - p) / length)
+
+
+def xnor_product_std(a, b, length: int) -> np.ndarray:
+    """Std of a decoded XNOR product of independent streams.
+
+    The product stream's value is ``a·b`` with ones-probability
+    ``(ab+1)/2``, so the decode noise is that of a single stream at the
+    product value.
+    """
+    prod = as_float_array(a) * as_float_array(b)
+    return sng_decode_std(prod, length)
+
+
+def mux_inner_product_std(n: int, length: int,
+                          mean_square: float = 1.0 / 9.0) -> float:
+    """Std of the scaled-back MUX inner-product estimate.
+
+    Each cycle keeps one of ``n`` product bits; the decoded mean is the
+    average product value and the estimate is scaled back by ``n``.  For
+    products with second moment ``E[v²] = mean_square`` (1/9 for
+    uniform[-1,1] inputs and weights), the per-cycle variance is
+    ``1 - E[v̄]² ≈ 1``, giving ``std ≈ n/√L`` — Table 2's law.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(length, "length")
+    per_cycle_var = 1.0 - mean_square / n  # ≈ 1 for small mean products
+    return n * np.sqrt(per_cycle_var / length)
+
+
+def apc_inner_product_std(n: int, length: int,
+                          mean_square: float = 1.0 / 9.0) -> float:
+    """Std of the APC inner-product estimate, ``≈ sqrt(n/L)``.
+
+    Every product stream contributes decode variance ``(1-v²)/L``
+    independently; the sum's variance is ``n·(1-E[v²])/L`` — the √n
+    growth that makes wide fully-connected layers the noise bottleneck
+    (EXPERIMENTS.md, deviation #1).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(length, "length")
+    return float(np.sqrt(n * (1.0 - mean_square) / length))
+
+
+def or_add_expectation(probs) -> float:
+    """Exact OR-adder output probability: ``1 - Π(1 - p_i)``.
+
+    The gap to ``Σ p_i`` is the "logic 1 OR logic 1" loss of Table 1.
+    """
+    p = as_float_array(probs, "probs")
+    return float(1.0 - np.prod(1.0 - p))
+
+
+def stanh_stationary(n_states: int, x: float, threshold: int = None) -> float:
+    """Exact stationary output of the Stanh FSM for drift ``x``.
+
+    The FSM is a birth-death chain with up-probability ``p = (x+1)/2``;
+    its stationary distribution is geometric with ratio ``r = p/(1-p)``
+    and the output is the stationary mass at/above the threshold, mapped
+    to bipolar.  Converges to ``tanh(K/2·x)`` for moderate K — the
+    Brown & Card result the paper builds on.
+    """
+    check_positive_int(n_states, "n_states")
+    if not -1.0 < x < 1.0:
+        return float(np.sign(x))
+    if threshold is None:
+        threshold = n_states // 2
+    p = (x + 1.0) / 2.0
+    r = p / (1.0 - p)
+    weights = r ** np.arange(n_states)
+    weights /= weights.sum()
+    return float(2.0 * weights[threshold:].sum() - 1.0)
+
+
+def btanh_gain(n_inputs: int, n_states: int, pooled: bool = False) -> float:
+    """Small-signal gain of the Btanh counter, ``K/(2σ²)``.
+
+    The counter's increment variance is ``≈ N`` for a directly-connected
+    APC and ``≈ N/4`` behind the averaging divider; unit gain therefore
+    needs ``K = 2N`` and ``K = N/2`` respectively — the diffusion
+    argument behind equation (3) and the "original" Btanh sizing
+    (DESIGN.md §6).
+    """
+    check_positive_int(n_inputs, "n_inputs")
+    check_positive_int(n_states, "n_states")
+    sigma_sq = n_inputs / 4.0 if pooled else float(n_inputs)
+    return n_states / (2.0 * sigma_sq)

@@ -1,0 +1,44 @@
+"""DCNN function blocks (Section 4): inner product, pooling, activation.
+
+A *function block* is the SC implementation of one basic DCNN operation.
+This subpackage provides:
+
+* four inner-product/convolution block designs — OR-gate, MUX, APC and
+  two-line representation based (:mod:`repro.blocks.inner_product`);
+* pooling blocks — MUX average pooling, the paper's hardware-oriented max
+  pooling (Figure 8), the APC-domain variants of Section 4.4, and the
+  software max-pooling reference (:mod:`repro.blocks.pooling`);
+* activation blocks wrapping Stanh/Btanh with state-number selection
+  (:mod:`repro.blocks.activation`).
+"""
+
+from repro.blocks.inner_product import (
+    InnerProductBlock,
+    OrInnerProduct,
+    MuxInnerProduct,
+    ApcInnerProduct,
+    TwoLineInnerProduct,
+)
+from repro.blocks.pooling import (
+    average_pool,
+    hardware_max_pool,
+    software_max_pool,
+    apc_average_pool,
+    apc_max_pool,
+)
+from repro.blocks.activation import StanhBlock, BtanhBlock
+
+__all__ = [
+    "InnerProductBlock",
+    "OrInnerProduct",
+    "MuxInnerProduct",
+    "ApcInnerProduct",
+    "TwoLineInnerProduct",
+    "average_pool",
+    "hardware_max_pool",
+    "software_max_pool",
+    "apc_average_pool",
+    "apc_max_pool",
+    "StanhBlock",
+    "BtanhBlock",
+]

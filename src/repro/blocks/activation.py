@@ -1,0 +1,88 @@
+"""Activation function blocks (Section 4.3).
+
+Thin, stateful wrappers around the FSM/counter cores in
+:mod:`repro.sc.activation`, carrying the chosen state number so feature
+extraction blocks can be composed declaratively.  State numbers should be
+picked with the equations in :mod:`repro.core.state_numbers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import activation
+from repro.sc.bitstream import Bitstream
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StanhBlock", "BtanhBlock"]
+
+
+class StanhBlock:
+    """K-state FSM hyperbolic tangent (Figure 6 / Figure 11).
+
+    Parameters
+    ----------
+    n_states:
+        FSM state count ``K``.
+    threshold:
+        Output threshold state.  ``None`` = canonical ``K/2``;
+        the MUX-Max re-design (Figure 11) uses ``round(K/5)``.
+    """
+
+    def __init__(self, n_states: int, threshold: int = None):
+        self.n_states = check_positive_int(n_states, "n_states")
+        if threshold is not None:
+            threshold = check_positive_int(threshold, "threshold")
+            if threshold >= self.n_states:
+                raise ValueError(
+                    f"threshold {threshold} must be < n_states {n_states}"
+                )
+        self.threshold = threshold
+
+    @classmethod
+    def mux_max_variant(cls, n_states: int) -> "StanhBlock":
+        """The re-designed Stanh of Figure 11 (threshold at K/5)."""
+        return cls(n_states, threshold=max(int(round(n_states / 5.0)), 1))
+
+    def __call__(self, stream: Bitstream) -> Bitstream:
+        return activation.stanh(stream, self.n_states, self.threshold)
+
+    def apply_packed(self, data: np.ndarray, length: int) -> np.ndarray:
+        """Packed-array fast path used by the network simulator."""
+        return activation.stanh_packed(data, length, self.n_states,
+                                       self.threshold)
+
+    def expected(self, x) -> np.ndarray:
+        """Analytic transfer curve ``tanh(K/2 · x)``."""
+        return activation.stanh_expected(x, self.n_states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StanhBlock(K={self.n_states}, threshold={self.threshold})"
+
+
+class BtanhBlock:
+    """Saturated up/down counter tanh for APC count streams.
+
+    Parameters
+    ----------
+    n_inputs:
+        APC input count ``n`` (the counter steps by ``2·count - n``).
+    n_states:
+        Counter state count ``K``; equation (3) gives ``N/2`` behind an
+        average pooling block, the original design of ref (21) gives
+        ``2N`` for a directly-connected APC.
+    """
+
+    def __init__(self, n_inputs: int, n_states: int):
+        self.n_inputs = check_positive_int(n_inputs, "n_inputs")
+        self.n_states = check_positive_int(n_states, "n_states")
+
+    def __call__(self, counts: np.ndarray) -> Bitstream:
+        return activation.btanh_stream(counts, self.n_inputs, self.n_states)
+
+    def apply_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Fast path: counts in, boolean output bits out."""
+        return activation.btanh_counts(counts, self.n_inputs, self.n_states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BtanhBlock(n={self.n_inputs}, K={self.n_states})"

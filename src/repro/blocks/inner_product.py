@@ -1,0 +1,219 @@
+"""Inner-product / convolution function blocks (Section 4.1).
+
+Each block multiplies ``n`` inputs with ``n`` weights in the SC domain
+(XNOR gates for the bipolar format, AND for unipolar) and reduces the
+products with one of the four adder designs.  All blocks expose:
+
+``compute(x, w)``
+    Run the bit-level hardware and return the decoded estimate of the
+    inner product ``Σ x_i w_i`` (scaled back by any inherent factor, so
+    results are directly comparable with :meth:`ideal`).
+
+``ideal(x, w)``
+    The exact software inner product.
+
+The measurement harnesses behind Tables 1-3 live in
+:mod:`repro.analysis.block_error`; the blocks themselves are stateless
+apart from their stream factory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import adders, ops
+from repro.sc.encoding import Encoding
+from repro.sc.rng import StreamFactory
+from repro.sc.twoline import TwoLineStream, two_line_multiply, two_line_sum
+from repro.utils.seeding import spawn_rng
+from repro.utils.validation import check_positive_int, check_stream_length
+
+__all__ = [
+    "InnerProductBlock",
+    "OrInnerProduct",
+    "MuxInnerProduct",
+    "ApcInnerProduct",
+    "TwoLineInnerProduct",
+]
+
+
+class InnerProductBlock:
+    """Common machinery for the four inner-product block designs.
+
+    Parameters
+    ----------
+    n:
+        Input size (receptive-field size × channels).
+    length:
+        Bit-stream length.
+    encoding:
+        Stream encoding; DCNN inputs/weights live in [-1, 1] so bipolar is
+        the default (Section 4.1).
+    seed:
+        Seed of the block's private stream factory.
+    """
+
+    def __init__(self, n: int, length: int,
+                 encoding: Encoding = Encoding.BIPOLAR, seed: int = 0):
+        self.n = check_positive_int(n, "n")
+        self.length = check_stream_length(length)
+        self.encoding = encoding
+        self.factory = StreamFactory(seed=seed, encoding=encoding)
+
+    def ideal(self, x, w) -> np.ndarray:
+        """Exact inner product ``Σ x_i w_i`` (summed over the last axis)."""
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        return (x * w).sum(axis=-1)
+
+    def _check_inputs(self, x, w):
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        if x.shape[-1] != self.n or w.shape[-1] != self.n:
+            raise ValueError(
+                f"expected {self.n} inputs/weights on the last axis, got "
+                f"x{x.shape}, w{w.shape}"
+            )
+        return x, np.broadcast_to(w, x.shape)
+
+    def _product_streams(self, x, w) -> np.ndarray:
+        """Packed product streams, shape ``x.shape + (nbytes,)``."""
+        xs = self.factory.packed(x, self.length)
+        ws = self.factory.packed(w, self.length)
+        if self.encoding is Encoding.UNIPOLAR:
+            return ops.and_(xs, ws)
+        return ops.xnor_(xs, ws, self.length)
+
+    def compute(self, x, w) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class OrInnerProduct(InnerProductBlock):
+    """OR-gate based inner product (Figure 5a; Table 1).
+
+    The OR adder saturates whenever several products are one in the same
+    cycle, so inputs are pre-scaled by ``1/scale`` before encoding and the
+    decoded output is scaled back.  For the bipolar format pre-scaling is
+    ineffective (streams near value 0 are half ones), reproducing the
+    paper's conclusion that this block is unusable for DCNNs.
+    """
+
+    def __init__(self, n: int, length: int,
+                 encoding: Encoding = Encoding.UNIPOLAR, seed: int = 0,
+                 scale: float = None):
+        super().__init__(n, length, encoding, seed)
+        # Default pre-scaling: spread the expected sum across [0, 1].
+        self.scale = float(scale) if scale is not None else float(n)
+        if self.scale < 1.0:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+
+    def compute(self, x, w) -> np.ndarray:
+        x, w = self._check_inputs(x, w)
+        products = self._product_streams(x / self.scale, w)
+        summed = adders.or_add(products)
+        p = ops.popcount(summed, self.length) / self.length
+        if self.encoding is Encoding.UNIPOLAR:
+            return p * self.scale
+        # Bipolar decode of the OR output, scaled back.  There is no
+        # consistent bipolar OR-adder scale; this mirrors the unipolar
+        # rule and exhibits the large errors of Table 1.
+        return (2.0 * p - 1.0) * self.scale
+
+
+class MuxInnerProduct(InnerProductBlock):
+    """MUX-based inner product (Figure 5b; Table 2).
+
+    An n-to-1 MUX selects one product bit per cycle, producing the sum
+    scaled by ``1/n``; :meth:`compute` scales the decoded value back by
+    ``n``.  Accuracy improves with stream length and degrades with input
+    size — more bits are dropped (Section 4.1).
+    """
+
+    def compute(self, x, w) -> np.ndarray:
+        x, w = self._check_inputs(x, w)
+        products = self._product_streams(x, w)
+        select = self.factory.select_signal(self.n, self.length)
+        summed = adders.mux_add(products, select, self.length)
+        p = ops.popcount(summed, self.length) / self.length
+        if self.encoding is Encoding.UNIPOLAR:
+            return p * self.n
+        return (2.0 * p - 1.0) * self.n
+
+    def output_stream(self, x, w) -> np.ndarray:
+        """The raw (packed) scaled output stream, for cascading into FEBs."""
+        x, w = self._check_inputs(x, w)
+        products = self._product_streams(x, w)
+        select = self.factory.select_signal(self.n, self.length)
+        return adders.mux_add(products, select, self.length)
+
+
+class ApcInnerProduct(InnerProductBlock):
+    """APC-based inner product (Figure 5c / Figure 7; Table 3).
+
+    XNOR products feed a parallel counter that emits a *binary* count per
+    cycle.  ``approximate=True`` (default) applies the APC LSB
+    approximation of ref (20); ``False`` gives the conventional
+    accumulative parallel counter used as Table 3's baseline.
+    """
+
+    def __init__(self, n: int, length: int,
+                 encoding: Encoding = Encoding.BIPOLAR, seed: int = 0,
+                 approximate: bool = True):
+        super().__init__(n, length, encoding, seed)
+        self.approximate = bool(approximate)
+
+    def count_stream(self, x, w) -> np.ndarray:
+        """Per-cycle counts (int16, shape ``batch + (length,)``)."""
+        x, w = self._check_inputs(x, w)
+        products = self._product_streams(x, w)
+        if self.approximate:
+            return adders.apc_count(products, self.length)
+        return adders.parallel_counter(products, self.length)
+
+    def compute(self, x, w) -> np.ndarray:
+        counts = self.count_stream(x, w)
+        total = counts.sum(axis=-1, dtype=np.int64)
+        if self.encoding is Encoding.UNIPOLAR:
+            return total / self.length
+        # Bipolar: each cycle's signed sum is (2·count - n).
+        return (2.0 * total - self.n * self.length) / self.length
+
+
+class TwoLineInnerProduct(InnerProductBlock):
+    """Two-line representation based inner product (Figure 5d).
+
+    Non-scaled addition: products are ternary digit streams summed through
+    a cascade of two-line adders with three-state carry counters.  With
+    more than a couple of inputs the bounded digit range overflows, which
+    is why Section 4.1 rejects the design; :meth:`compute_with_overflow`
+    exposes the overflow count so that conclusion is measurable.
+    """
+
+    def __init__(self, n: int, length: int,
+                 encoding: Encoding = Encoding.BIPOLAR, seed: int = 0):
+        if encoding is not Encoding.BIPOLAR:
+            raise ValueError("the two-line block is defined for bipolar values")
+        super().__init__(n, length, encoding, seed)
+        self._rng = spawn_rng(seed, "two-line")
+
+    def compute_with_overflow(self, x, w):
+        """Return ``(estimate, overflow_count)`` for a single (x, w) pair."""
+        x, w = self._check_inputs(x, w)
+        if x.ndim != 1:
+            raise ValueError("the two-line block computes one window at a "
+                             "time (x must be 1-D)")
+        xs = TwoLineStream.encode(x, self.length, self._rng)
+        ws = TwoLineStream.encode(w, self.length, self._rng)
+        products = [
+            two_line_multiply(
+                TwoLineStream(xs.magnitude[i], xs.sign[i], self.length),
+                TwoLineStream(ws.magnitude[i], ws.sign[i], self.length),
+            )
+            for i in range(self.n)
+        ]
+        total, overflow = two_line_sum(products)
+        return float(total.value()) , int(overflow)
+
+    def compute(self, x, w) -> float:
+        estimate, _ = self.compute_with_overflow(x, w)
+        return estimate

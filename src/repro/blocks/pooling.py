@@ -1,0 +1,181 @@
+"""Pooling function blocks (Section 4.2).
+
+Average pooling reuses the MUX's inherent down-scaling (Figure 5b applied
+to the four window streams).  Max pooling in the SC domain is the paper's
+novel contribution (Figure 8): the four candidate streams are sliced into
+``c``-bit segments; counters tally the ones in each segment, and the
+winner of segment ``k`` drives the MUX selection for segment ``k+1`` —
+zero extra latency, at the cost of a (small, measurable) deviation from
+the true maximum (Table 4).
+
+For APC-based feature extraction blocks the same scheme operates on
+*binary count streams*: counters become accumulators (Section 4.4,
+APC-Max-Btanh), and average pooling becomes a binary adder + divider whose
+dropped fractional bits are the information loss the paper attributes to
+APC-Avg-Btanh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.utils.validation import check_positive_int, check_stream_length
+
+__all__ = [
+    "average_pool",
+    "hardware_max_pool",
+    "software_max_pool",
+    "apc_average_pool",
+    "apc_max_pool",
+    "segment_selection",
+]
+
+DEFAULT_SEGMENT = 16
+"""Paper's segment length ``c`` ("The length of a bit-stream segment is 16")."""
+
+
+def average_pool(streams: np.ndarray, select: np.ndarray,
+                 length: int) -> np.ndarray:
+    """MUX-based average pooling over the second-to-last axis.
+
+    ``streams`` is a packed array ``(..., k, nbytes)``; ``select`` is a
+    ``(length,)`` signal with values in ``[0, k)``.  The output's value is
+    the mean of the inputs' values (sum scaled by ``1/k``).
+    """
+    return ops.mux_select(streams, select, length)
+
+
+def segment_selection(segment_scores: np.ndarray) -> np.ndarray:
+    """Turn per-segment scores into the Figure-8 MUX selection sequence.
+
+    ``segment_scores`` has shape ``(..., k, nseg)``.  Selection for
+    segment ``j`` is the argmax of segment ``j-1``'s scores; segment 0
+    uses row 0 ("the c-bit segment from the first small matrix is randomly
+    chosen" — we fix row 0 for determinism, which is one valid random
+    draw and keeps the zero-latency property).
+    """
+    winners = np.argmax(segment_scores, axis=-2)  # (..., nseg)
+    sel = np.roll(winners, 1, axis=-1)
+    sel[..., 0] = 0
+    return sel
+
+
+def hardware_max_pool(streams: np.ndarray, length: int,
+                      segment: int = DEFAULT_SEGMENT) -> np.ndarray:
+    """Hardware-oriented max pooling on packed bit-streams (Figure 8).
+
+    Parameters
+    ----------
+    streams:
+        Packed array ``(..., k, nbytes)`` of candidate streams (``k=4``
+        for 2×2 pooling).
+    length:
+        Stream length; must be a multiple of ``segment``.
+    segment:
+        Segment length ``c`` in bits; must be a multiple of 8 (byte
+        aligned) — the paper uses 16.
+
+    Returns
+    -------
+    Packed array ``(..., nbytes)`` approximating the largest input stream.
+    """
+    length = check_stream_length(length)
+    segment = check_positive_int(segment, "segment")
+    if segment % 8:
+        raise ValueError(f"segment length {segment} must be a multiple of 8")
+    if length % segment:
+        raise ValueError(
+            f"stream length {length} must be a multiple of segment {segment}"
+        )
+    streams = np.asarray(streams, dtype=np.uint8)
+    counts = ops.segment_popcount(streams, length, segment)  # (..., k, nseg)
+    sel = segment_selection(counts)  # (..., nseg)
+
+    nseg = length // segment
+    bps = segment // 8
+    segs = streams.reshape(streams.shape[:-1] + (nseg, bps))  # (..., k, nseg, bps)
+    idx = sel[..., None, :, None]
+    idx = np.broadcast_to(idx, sel.shape[:-1] + (1, nseg, bps))
+    picked = np.take_along_axis(segs, idx, axis=-3)[..., 0, :, :]
+    return picked.reshape(picked.shape[:-2] + (nseg * bps,))
+
+
+def software_max_pool(streams: np.ndarray, length: int) -> np.ndarray:
+    """Reference max pooling: return the stream with the most ones.
+
+    This is the "software-based max pooling" baseline of Table 4 — it
+    needs the whole stream before it can decide, which is exactly the
+    latency the hardware-oriented design avoids.
+    """
+    length = check_stream_length(length)
+    streams = np.asarray(streams, dtype=np.uint8)
+    totals = ops.popcount(streams, length)  # (..., k)
+    winner = np.argmax(totals, axis=-1)  # (...,)
+    idx = winner[..., None, None]
+    idx = np.broadcast_to(idx, winner.shape + (1, streams.shape[-1]))
+    return np.take_along_axis(streams, idx, axis=-2)[..., 0, :]
+
+
+def apc_average_pool(counts: np.ndarray, rounding: str = "nearest"
+                     ) -> np.ndarray:
+    """Average pooling in the APC (binary) domain (Section 4.4).
+
+    ``counts`` has shape ``(..., k, L)``; the output is the per-cycle
+    average count.  The hardware divider is an arithmetic shift, so the
+    fractional part is lost — "the mean of (2, 3, 4, 5) is 3.5, but it
+    will be represented as 3" (Section 6.1).
+
+    ``rounding`` selects the divider flavour:
+
+    * ``"floor"`` — truncating shift, exactly the paper's example.  Note a
+      truncating divider biases every cycle downward by 3/8 LSB, which
+      dominates the block's inaccuracy;
+    * ``"nearest"`` (default) — add-half-then-shift, the standard
+      bias-bounded hardware divider.  The residual quantization loss is
+      what makes APC-Avg-Btanh less accurate than APC-Max-Btanh, as the
+      paper reports.
+    """
+    counts = np.asarray(counts)
+    if not np.issubdtype(counts.dtype, np.integer):
+        raise ValueError(f"counts must be integers, got {counts.dtype}")
+    k = counts.shape[-2]
+    total = counts.sum(axis=-2, dtype=np.int64)
+    if rounding == "floor":
+        return total // k
+    if rounding == "nearest":
+        return (total + k // 2) // k
+    raise ValueError(f"unknown rounding {rounding!r}; use 'floor' or 'nearest'")
+
+
+def apc_max_pool(counts: np.ndarray, segment: int = DEFAULT_SEGMENT
+                 ) -> np.ndarray:
+    """Hardware-oriented max pooling in the APC (binary) domain.
+
+    Identical control scheme to :func:`hardware_max_pool`, but the
+    per-segment counters are replaced by *accumulators* summing the binary
+    counts since the start of the stream (Section 4.4, APC-Max-Btanh).
+    The running totals integrate away the per-segment stochastic noise,
+    so the selection converges onto the true maximum inner product — the
+    "high accuracy provided by accumulators" the paper credits for this
+    block's best-in-class accuracy.
+
+    ``counts`` has shape ``(..., k, L)``; returns ``(..., L)``.
+    """
+    counts = np.asarray(counts)
+    if not np.issubdtype(counts.dtype, np.integer):
+        raise ValueError(f"counts must be integers, got {counts.dtype}")
+    L = counts.shape[-1]
+    segment = check_positive_int(segment, "segment")
+    if L % segment:
+        raise ValueError(f"stream length {L} must be a multiple of "
+                         f"segment {segment}")
+    nseg = L // segment
+    segs = counts.reshape(counts.shape[:-1] + (nseg, segment))
+    # Accumulators: cumulative totals through the end of each segment.
+    scores = np.cumsum(segs.sum(axis=-1, dtype=np.int64), axis=-1)
+    sel = segment_selection(scores)  # (..., nseg)
+    idx = sel[..., None, :, None]
+    idx = np.broadcast_to(idx, sel.shape[:-1] + (1, nseg, segment))
+    picked = np.take_along_axis(segs, idx, axis=-3)[..., 0, :, :]
+    return picked.reshape(picked.shape[:-2] + (L,))

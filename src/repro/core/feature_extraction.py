@@ -1,0 +1,293 @@
+"""Feature extraction blocks (Section 4.4) — the paper's core designs.
+
+A feature extraction block (FEB) cascades four inner-product blocks, one
+pooling block and one activation block (Figure 10), extracting one pooled,
+activated feature from four receptive fields.  The four jointly-optimized
+designs are:
+
+========================  =========================================
+``MuxAvgStanh``           MUX inner products → MUX average pooling →
+                          Stanh(K) with K from equation (1)
+``MuxMaxStanh``           MUX inner products → hardware-oriented max
+                          pooling → re-designed Stanh (threshold K/5)
+                          with K from equation (2)
+``ApcAvgBtanh``           APC inner products → binary average pooling →
+                          Btanh with K = N/2 (equation (3))
+``ApcMaxBtanh``           APC inner products → accumulator-based max
+                          pooling → original Btanh (K = 2N)
+========================  =========================================
+
+Every block exposes ``forward`` (decoded hardware output), ``reference``
+(the software value ``tanh(pool(Σ x·w))``) and ``forward_stream`` (the raw
+output bit-stream, for cascading into the next layer).  The hardware
+inaccuracy measured by Figure 14 is ``|forward - reference|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.activation import BtanhBlock, StanhBlock
+from repro.blocks.pooling import (
+    DEFAULT_SEGMENT,
+    apc_average_pool,
+    apc_max_pool,
+    average_pool,
+    hardware_max_pool,
+)
+from repro.core.state_numbers import (
+    btanh_states_apc_avg,
+    btanh_states_apc_max,
+    stanh_states_mux_avg,
+    stanh_states_mux_max,
+)
+from repro.sc import adders, ops
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import Encoding
+from repro.sc.rng import StreamFactory
+from repro.utils.validation import check_positive_int, check_stream_length
+
+__all__ = [
+    "FeatureExtractionBlock",
+    "MuxAvgStanh",
+    "MuxMaxStanh",
+    "ApcAvgBtanh",
+    "ApcMaxBtanh",
+    "make_feb",
+    "FEB_CLASSES",
+]
+
+POOL_WINDOWS = 4
+"""Pooling window size (2×2) throughout the paper."""
+
+
+class FeatureExtractionBlock:
+    """Base class: four ``n``-input inner products → pool → activation.
+
+    Parameters
+    ----------
+    n:
+        Inner-product input size (receptive field × channels).
+    length:
+        Bit-stream length ``L``.
+    seed:
+        Seed for the block's private stream factory.
+    n_states:
+        Activation state count ``K``; ``None`` selects it with the
+        block's paper equation.
+    segment:
+        Max-pooling segment length ``c`` (ignored by Avg blocks).
+    """
+
+    #: subclasses set these
+    name = "base"
+    pooling = None  # "avg" | "max"
+
+    def __init__(self, n: int, length: int, seed: int = 0,
+                 n_states: int = None, segment: int = DEFAULT_SEGMENT):
+        self.n = check_positive_int(n, "n")
+        self.length = check_stream_length(length)
+        self.segment = check_positive_int(segment, "segment")
+        self.factory = StreamFactory(seed=seed, encoding=Encoding.BIPOLAR)
+        self.n_states = (check_positive_int(n_states, "n_states")
+                         if n_states is not None
+                         else self._default_states())
+
+    # -- software reference -------------------------------------------------
+    def reference(self, x, w) -> np.ndarray:
+        """Software FEB output: ``tanh(pool_j(Σ_i x_ij · w_ij))``.
+
+        ``x`` and ``w`` have shape ``(..., 4, n)``; the pool reduces the
+        four windows.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        ips = (x * w).sum(axis=-1)  # (..., 4)
+        if self.pooling == "avg":
+            pooled = ips.mean(axis=-1)
+        else:
+            pooled = ips.max(axis=-1)
+        return np.tanh(pooled)
+
+    # -- hardware ------------------------------------------------------------
+    def _check_window_inputs(self, x, w):
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        if x.shape[-2:] != (POOL_WINDOWS, self.n):
+            raise ValueError(
+                f"x must end with shape ({POOL_WINDOWS}, {self.n}), got "
+                f"{x.shape}"
+            )
+        return x, np.broadcast_to(w, x.shape)
+
+    def _product_streams(self, x, w) -> np.ndarray:
+        """XNOR product streams, packed, shape ``x.shape + (nbytes,)``."""
+        xs = self.factory.packed(x, self.length)
+        ws = self.factory.packed(w, self.length)
+        return ops.xnor_(xs, ws, self.length)
+
+    def forward_stream(self, x, w) -> Bitstream:  # pragma: no cover
+        raise NotImplementedError
+
+    def forward(self, x, w) -> np.ndarray:
+        """Decoded hardware output in [-1, 1]."""
+        return self.forward_stream(x, w).value()
+
+    def _default_states(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(n={self.n}, length={self.length}, "
+                f"K={self.n_states})")
+
+
+class MuxAvgStanh(FeatureExtractionBlock):
+    """MUX-Avg-Stanh: cheapest design, suited to small receptive fields.
+
+    The MUX inner product scales by ``1/n`` and the MUX average pooling by
+    a further ``1/4``; the information dropped by those scalings is why
+    this block has the worst accuracy of the four (Section 6.1) — it is,
+    however, the most area/energy-efficient (Figure 15).
+    """
+
+    name = "MUX-Avg-Stanh"
+    pooling = "avg"
+
+    def _default_states(self) -> int:
+        return stanh_states_mux_avg(self.length, self.n)
+
+    def forward_stream(self, x, w) -> Bitstream:
+        x, w = self._check_window_inputs(x, w)
+        products = self._product_streams(x, w)  # (..., 4, n, nbytes)
+        ip_sel = self.factory.select_signal(self.n, self.length)
+        ips = adders.mux_add(products, ip_sel, self.length)  # (..., 4, nbytes)
+        pool_sel = self.factory.select_signal(POOL_WINDOWS, self.length)
+        pooled = average_pool(ips, pool_sel, self.length)  # (..., nbytes)
+        act = StanhBlock(self.n_states)
+        return Bitstream(act.apply_packed(pooled, self.length), self.length,
+                         Encoding.BIPOLAR)
+
+
+class MuxMaxStanh(FeatureExtractionBlock):
+    """MUX-Max-Stanh: MUX inner products + hardware-oriented max pooling.
+
+    Uses the re-designed Stanh of Figure 11 (output threshold at K/5) to
+    counteract the pooling block's systematic under-counting after the
+    ``1/n`` down-scaling (Section 4.4).
+    """
+
+    name = "MUX-Max-Stanh"
+    pooling = "max"
+
+    def _default_states(self) -> int:
+        return stanh_states_mux_max(self.length, self.n)
+
+    def forward_stream(self, x, w) -> Bitstream:
+        x, w = self._check_window_inputs(x, w)
+        products = self._product_streams(x, w)
+        ip_sel = self.factory.select_signal(self.n, self.length)
+        ips = adders.mux_add(products, ip_sel, self.length)  # (..., 4, nbytes)
+        pooled = hardware_max_pool(ips, self.length, self.segment)
+        act = StanhBlock.mux_max_variant(self.n_states)
+        return Bitstream(act.apply_packed(pooled, self.length), self.length,
+                         Encoding.BIPOLAR)
+
+
+class ApcAvgBtanh(FeatureExtractionBlock):
+    """APC-Avg-Btanh: high accuracy, higher hardware cost (Section 6.1).
+
+    The APC keeps (nearly) all inner-product information as binary counts;
+    the average pooling is a binary adder + divider whose dropped
+    fractional bits are this block's main loss.
+    """
+
+    name = "APC-Avg-Btanh"
+    pooling = "avg"
+
+    def __init__(self, *args, approximate: bool = True, **kwargs):
+        self.approximate = bool(approximate)
+        super().__init__(*args, **kwargs)
+
+    def _default_states(self) -> int:
+        return btanh_states_apc_avg(self.n)
+
+    def count_streams(self, x, w) -> np.ndarray:
+        """Per-window APC count streams ``(..., 4, L)``."""
+        x, w = self._check_window_inputs(x, w)
+        products = self._product_streams(x, w)
+        if self.approximate:
+            return adders.apc_count(products, self.length)
+        return adders.parallel_counter(products, self.length)
+
+    def forward_stream(self, x, w) -> Bitstream:
+        counts = self.count_streams(x, w)
+        pooled = apc_average_pool(counts)
+        act = BtanhBlock(self.n, self.n_states)
+        return Bitstream.from_bits(act.apply_counts(pooled), Encoding.BIPOLAR)
+
+
+class ApcMaxBtanh(FeatureExtractionBlock):
+    """APC-Max-Btanh: the most accurate design (Section 6.1).
+
+    Max pooling runs in the binary domain with accumulators instead of
+    counters (the stream of counts is still stochastic, so a plain binary
+    comparator would over-estimate — Section 4.4), and the original Btanh
+    is used unchanged.
+    """
+
+    name = "APC-Max-Btanh"
+    pooling = "max"
+
+    def __init__(self, *args, approximate: bool = True, **kwargs):
+        self.approximate = bool(approximate)
+        super().__init__(*args, **kwargs)
+
+    def _default_states(self) -> int:
+        return btanh_states_apc_max(self.n)
+
+    def count_streams(self, x, w) -> np.ndarray:
+        """Per-window APC count streams ``(..., 4, L)``."""
+        x, w = self._check_window_inputs(x, w)
+        products = self._product_streams(x, w)
+        if self.approximate:
+            return adders.apc_count(products, self.length)
+        return adders.parallel_counter(products, self.length)
+
+    def forward_stream(self, x, w) -> Bitstream:
+        counts = self.count_streams(x, w)
+        pooled = apc_max_pool(counts, self.segment)
+        act = BtanhBlock(self.n, self.n_states)
+        return Bitstream.from_bits(act.apply_counts(pooled), Encoding.BIPOLAR)
+
+
+FEB_CLASSES = {
+    "mux-avg": MuxAvgStanh,
+    "mux-max": MuxMaxStanh,
+    "apc-avg": ApcAvgBtanh,
+    "apc-max": ApcMaxBtanh,
+}
+
+
+def make_feb(kind: str, n: int, length: int, seed: int = 0,
+             **kwargs) -> FeatureExtractionBlock:
+    """Build a feature extraction block by name.
+
+    ``kind`` is one of ``"mux-avg"``, ``"mux-max"``, ``"apc-avg"``,
+    ``"apc-max"`` (case-insensitive; the full paper names such as
+    ``"MUX-Avg-Stanh"`` are also accepted).
+    """
+    key = kind.lower()
+    aliases = {
+        "mux-avg-stanh": "mux-avg",
+        "mux-max-stanh": "mux-max",
+        "apc-avg-btanh": "apc-avg",
+        "apc-max-btanh": "apc-max",
+    }
+    key = aliases.get(key, key)
+    try:
+        cls = FEB_CLASSES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown FEB kind {kind!r}; choose from {sorted(FEB_CLASSES)}"
+        ) from None
+    return cls(n, length, seed=seed, **kwargs)

@@ -1,0 +1,32 @@
+"""Synthetic MNIST-like dataset substrate.
+
+The evaluation environment has no network access, so the MNIST images the
+paper evaluates on are substituted with a procedurally generated
+handwritten-digit lookalike: hand-designed stroke glyphs per digit class,
+randomly perturbed with affine warps, elastic distortion, stroke-width
+changes, blur and sensor noise (see DESIGN.md for the substitution
+rationale).  Shapes and label semantics match MNIST exactly
+(28×28 grayscale, 10 classes), so the entire SC pipeline downstream is
+identical to the paper's.
+"""
+
+from repro.data.glyphs import DIGIT_GLYPHS, render_glyph
+from repro.data.synthetic_mnist import SyntheticMNIST, generate_dataset, to_bipolar
+from repro.data.cache import (
+    cache_dir,
+    get_dataset,
+    get_trained_lenet,
+    TrainedModel,
+)
+
+__all__ = [
+    "DIGIT_GLYPHS",
+    "render_glyph",
+    "SyntheticMNIST",
+    "generate_dataset",
+    "to_bipolar",
+    "cache_dir",
+    "get_dataset",
+    "get_trained_lenet",
+    "TrainedModel",
+]

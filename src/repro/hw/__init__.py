@@ -1,0 +1,68 @@
+"""Hardware cost models (45 nm) standing in for synthesis + CACTI.
+
+The paper evaluates area/power/delay/energy by synthesizing with the
+Nangate 45 nm Open Cell Library and estimating SRAM with CACTI 5.3.  This
+subpackage substitutes a structural cost model (see DESIGN.md):
+
+* :mod:`repro.hw.gates` — per-gate area / switching-energy / leakage /
+  delay constants for the 45 nm node;
+* :mod:`repro.hw.components` — gate inventories of every SC component
+  (XNOR arrays, MUX trees, APCs, counters, comparators, FSMs, SNGs);
+* :mod:`repro.hw.blocks_cost` — feature-extraction-block roll-up
+  (regenerates Figure 15);
+* :mod:`repro.hw.sram` — analytic SRAM area/power model (CACTI stand-in);
+* :mod:`repro.hw.network_cost` — LeNet-5 network roll-up (Tables 6, 7);
+* :mod:`repro.hw.platforms` — published reference-platform rows of
+  Table 7.
+"""
+
+from repro.hw.gates import GateSpec, LIBRARY, CostBreakdown, CLOCK_NS
+from repro.hw.components import (
+    xnor_array,
+    mux_tree,
+    or_tree,
+    apc,
+    counter,
+    accumulator,
+    comparator,
+    stanh_fsm,
+    btanh_counter,
+    lfsr_cost,
+    sng,
+)
+from repro.hw.blocks_cost import feb_cost, inner_product_cost, pooling_cost
+from repro.hw.sram import sram_cost, SramBlockSpec
+from repro.hw.network_cost import (
+    NetworkCost,
+    lenet_network_cost,
+    LENET_GEOMETRY,
+)
+from repro.hw.platforms import PLATFORMS, PlatformRow
+
+__all__ = [
+    "GateSpec",
+    "LIBRARY",
+    "CostBreakdown",
+    "CLOCK_NS",
+    "xnor_array",
+    "mux_tree",
+    "or_tree",
+    "apc",
+    "counter",
+    "accumulator",
+    "comparator",
+    "stanh_fsm",
+    "btanh_counter",
+    "lfsr_cost",
+    "sng",
+    "feb_cost",
+    "inner_product_cost",
+    "pooling_cost",
+    "sram_cost",
+    "SramBlockSpec",
+    "NetworkCost",
+    "lenet_network_cost",
+    "LENET_GEOMETRY",
+    "PLATFORMS",
+    "PlatformRow",
+]

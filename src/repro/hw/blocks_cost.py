@@ -1,0 +1,134 @@
+"""Feature-extraction-block cost roll-up (regenerates Figure 15).
+
+A feature extraction block comprises four inner-product blocks, one
+pooling block and one activation block (Figure 10).  The functions here
+compose the component inventories of :mod:`repro.hw.components` for each
+of the four designs and report area, critical-path delay, power and total
+energy for one feature-extraction operation (``L`` cycles).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.blocks.pooling import DEFAULT_SEGMENT
+from repro.core.state_numbers import (
+    btanh_states_apc_avg,
+    btanh_states_apc_max,
+    stanh_states_mux_avg,
+    stanh_states_mux_max,
+)
+from repro.hw import components as comp
+from repro.hw.gates import CLOCK_NS, CostBreakdown
+from repro.utils.validation import check_positive_int, check_stream_length
+
+__all__ = ["inner_product_cost", "pooling_cost", "activation_cost",
+           "feb_cost", "feb_metrics"]
+
+POOL_WINDOWS = 4
+
+
+def _bits(n: int) -> int:
+    return max(int(math.ceil(math.log2(n + 1))), 1)
+
+
+def inner_product_cost(kind: str, n: int) -> CostBreakdown:
+    """Cost of one ``n``-input inner-product block (``"mux"``/``"apc"``)."""
+    check_positive_int(n, "n")
+    products = comp.xnor_array(n)
+    if kind == "mux":
+        return products.chain(comp.mux_tree(n))
+    if kind == "apc":
+        return products.chain(comp.apc(n, approximate=True))
+    if kind == "or":
+        return products.chain(comp.or_tree(n))
+    raise ValueError(f"unknown inner-product kind {kind!r}")
+
+
+def pooling_cost(kind: str, ip_kind: str, n: int,
+                 segment: int = DEFAULT_SEGMENT) -> CostBreakdown:
+    """Cost of the pooling block joining four inner products.
+
+    * MUX blocks pool bit-streams: average = a 4-to-1 MUX; max = the
+      Figure 8 block (4 segment counters + comparator + 4-to-1 MUX).
+    * APC blocks pool count streams: average = adder tree + shift divider
+      (free); max = the Figure 8 block with *accumulators* (Section 4.4).
+    """
+    count_bits = _bits(n)
+    if kind == "avg":
+        if ip_kind == "mux":
+            return comp.mux_tree(POOL_WINDOWS)
+        # Binary adder tree over the four counts + arithmetic shift.
+        return comp.adder(count_bits).scale(POOL_WINDOWS - 1)
+    if kind == "max":
+        seg_bits = _bits(segment if ip_kind == "mux" else segment * n)
+        tally = (comp.counter(seg_bits) if ip_kind == "mux"
+                 else comp.accumulator(seg_bits))
+        block = tally.scale(POOL_WINDOWS)
+        block = block + comp.comparator(seg_bits, inputs=POOL_WINDOWS)
+        if ip_kind == "mux":
+            select = CostBreakdown.from_gates({"MUX2": POOL_WINDOWS - 1},
+                                              depth={"MUX2": 2})
+        else:
+            select = CostBreakdown.from_gates(
+                {"MUX2": (POOL_WINDOWS - 1) * count_bits},
+                depth={"MUX2": 2},
+            )
+        return block.chain(select)
+    raise ValueError(f"unknown pooling kind {kind!r}")
+
+
+def activation_cost(ip_kind: str, n: int, length: int,
+                    pooling: str) -> CostBreakdown:
+    """Cost of the activation block with its paper-equation state count."""
+    if ip_kind == "mux":
+        k = (stanh_states_mux_avg(length, n) if pooling == "avg"
+             else stanh_states_mux_max(length, n))
+        return comp.stanh_fsm(k)
+    k = (btanh_states_apc_avg(n) if pooling == "avg"
+         else btanh_states_apc_max(n))
+    return comp.btanh_counter(k, n)
+
+
+def feb_cost(kind: str, n: int, length: int,
+             segment: int = DEFAULT_SEGMENT) -> CostBreakdown:
+    """Total cost of one feature extraction block.
+
+    ``kind`` is a FEB key: ``"mux-avg"``, ``"mux-max"``, ``"apc-avg"`` or
+    ``"apc-max"`` (the full paper names are accepted too).
+    """
+    aliases = {
+        "mux-avg-stanh": "mux-avg", "mux-max-stanh": "mux-max",
+        "apc-avg-btanh": "apc-avg", "apc-max-btanh": "apc-max",
+    }
+    key = aliases.get(kind.lower(), kind.lower())
+    try:
+        ip_kind, pool_kind = key.split("-")
+    except ValueError:
+        raise ValueError(f"unknown FEB kind {kind!r}") from None
+    if ip_kind not in ("mux", "apc") or pool_kind not in ("avg", "max"):
+        raise ValueError(f"unknown FEB kind {kind!r}")
+    check_stream_length(length)
+    ip = inner_product_cost(ip_kind, n).scale(POOL_WINDOWS)
+    pool = pooling_cost(pool_kind, ip_kind, n, segment)
+    act = activation_cost(ip_kind, n, length, pool_kind)
+    # Stages are cascaded: the critical path runs through all three.
+    return ip.chain(pool).chain(act)
+
+
+def feb_metrics(kind: str, n: int, length: int,
+                segment: int = DEFAULT_SEGMENT) -> dict:
+    """Figure 15 metrics for one FEB: area, path delay, power, energy.
+
+    Returns a dict with ``area_um2``, ``delay_ns`` (critical path),
+    ``power_uw`` and ``energy_pj`` (for one full ``L``-cycle operation).
+    """
+    cost = feb_cost(kind, n, length, segment)
+    power_uw = cost.power_uw()
+    energy_pj = power_uw * length * CLOCK_NS * 1e-3  # µW·ns = 1e-3 pJ
+    return {
+        "area_um2": cost.area_um2,
+        "delay_ns": cost.delay_ns,
+        "power_uw": power_uw,
+        "energy_pj": energy_pj,
+    }

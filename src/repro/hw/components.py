@@ -1,0 +1,145 @@
+"""Gate inventories of SC components.
+
+Each function returns a :class:`repro.hw.gates.CostBreakdown` for one
+instance of the component; block- and network-level roll-ups live in
+:mod:`repro.hw.blocks_cost` and :mod:`repro.hw.network_cost`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.gates import CostBreakdown
+from repro.sc.adders import apc_gate_equivalents
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "xnor_array",
+    "and_array",
+    "or_tree",
+    "mux_tree",
+    "apc",
+    "counter",
+    "accumulator",
+    "comparator",
+    "adder",
+    "stanh_fsm",
+    "btanh_counter",
+    "lfsr_cost",
+    "sng",
+]
+
+
+def _bits(n: int) -> int:
+    """Bits needed to represent values 0..n."""
+    return max(int(math.ceil(math.log2(n + 1))), 1)
+
+
+def xnor_array(n: int) -> CostBreakdown:
+    """``n`` parallel XNOR multipliers (bipolar products)."""
+    check_positive_int(n, "n")
+    return CostBreakdown.from_gates({"XNOR2": n}, depth={"XNOR2": 1})
+
+
+def and_array(n: int) -> CostBreakdown:
+    """``n`` parallel AND multipliers (unipolar products)."""
+    check_positive_int(n, "n")
+    return CostBreakdown.from_gates({"AND2": n}, depth={"AND2": 1})
+
+
+def or_tree(n: int) -> CostBreakdown:
+    """OR-gate adder: an (n-1)-gate reduction tree."""
+    check_positive_int(n, "n")
+    depth = max(int(math.ceil(math.log2(max(n, 2)))), 1)
+    return CostBreakdown.from_gates({"OR2": max(n - 1, 1)},
+                                    depth={"OR2": depth})
+
+
+def mux_tree(n: int) -> CostBreakdown:
+    """n-to-1 multiplexer tree plus its select-signal LFSR."""
+    check_positive_int(n, "n")
+    depth = max(int(math.ceil(math.log2(max(n, 2)))), 1)
+    tree = CostBreakdown.from_gates({"MUX2": max(n - 1, 1)},
+                                    depth={"MUX2": depth})
+    return tree + lfsr_cost(max(depth, 3))
+
+
+def apc(n: int, approximate: bool = True) -> CostBreakdown:
+    """Parallel counter over ``n`` product bits.
+
+    ``approximate=True`` is the APC of ref (20) (~40% fewer gates than
+    the conventional accumulative parallel counter, Section 4.1);
+    ``False`` is the conventional counter used as Table 3's baseline.
+    """
+    check_positive_int(n, "n")
+    gates = apc_gate_equivalents(max(n, 2))
+    fa = (gates["approx_full_adders"] if approximate
+          else gates["exact_full_adders"])
+    depth = max(int(math.ceil(math.log2(max(n, 2)))), 1)
+    return CostBreakdown.from_gates({"FA": fa}, depth={"FA": depth})
+
+
+def counter(bits: int) -> CostBreakdown:
+    """Synchronous up-counter (max-pooling segment counters)."""
+    check_positive_int(bits, "bits")
+    return CostBreakdown.from_gates({"DFF": bits, "HA": bits},
+                                    depth={"HA": bits})
+
+
+def accumulator(bits: int) -> CostBreakdown:
+    """Accumulating adder register (APC-Max pooling, Section 4.4)."""
+    check_positive_int(bits, "bits")
+    return CostBreakdown.from_gates({"DFF": bits, "FA": bits},
+                                    depth={"FA": bits})
+
+
+def comparator(bits: int, inputs: int = 2) -> CostBreakdown:
+    """Magnitude comparator across ``inputs`` operands of ``bits`` bits."""
+    check_positive_int(bits, "bits")
+    check_positive_int(inputs, "inputs")
+    pairs = max(inputs - 1, 1)
+    return CostBreakdown.from_gates(
+        {"XNOR2": bits * pairs, "AND2": bits * pairs, "OR2": bits * pairs},
+        depth={"XNOR2": 1, "AND2": bits},
+    )
+
+
+def adder(bits: int) -> CostBreakdown:
+    """Ripple-carry binary adder (APC-Avg pooling divider front-end)."""
+    check_positive_int(bits, "bits")
+    return CostBreakdown.from_gates({"FA": bits}, depth={"FA": bits})
+
+
+def stanh_fsm(n_states: int) -> CostBreakdown:
+    """K-state Stanh FSM: a saturating up/down counter + output decode."""
+    check_positive_int(n_states, "n_states")
+    bits = _bits(max(n_states - 1, 1))
+    return CostBreakdown.from_gates(
+        {"DFF": bits, "HA": bits, "AND2": 2 * bits, "OR2": bits, "INV": bits},
+        depth={"HA": bits, "AND2": 1},
+    )
+
+
+def btanh_counter(n_states: int, n_inputs: int) -> CostBreakdown:
+    """Btanh saturated up/down counter fed by an APC's binary output."""
+    check_positive_int(n_states, "n_states")
+    check_positive_int(n_inputs, "n_inputs")
+    state_bits = _bits(max(n_states - 1, 1))
+    in_bits = _bits(n_inputs)
+    width = max(state_bits, in_bits)
+    return CostBreakdown.from_gates(
+        {"DFF": state_bits, "FA": width, "AND2": 2 * width, "INV": width},
+        depth={"FA": width, "AND2": 1},
+    )
+
+
+def lfsr_cost(width: int) -> CostBreakdown:
+    """Maximal-length LFSR: ``width`` flops + feedback XORs."""
+    check_positive_int(width, "width")
+    return CostBreakdown.from_gates({"DFF": width, "XOR2": 3},
+                                    depth={"XOR2": 2})
+
+
+def sng(width: int = 8) -> CostBreakdown:
+    """Stochastic number generator: LFSR + comparator (ref (22))."""
+    return lfsr_cost(width) + comparator(width)

@@ -1,0 +1,125 @@
+"""45 nm standard-cell constants and the :class:`CostBreakdown` algebra.
+
+Per-gate areas follow the Nangate 45 nm Open Cell Library X1 drive cells;
+switching energies and leakage are representative 45 nm values.  Absolute
+numbers carry model error, but every paper conclusion rests on *ratios*
+between designs evaluated under the same constants (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GateSpec", "LIBRARY", "CostBreakdown", "CLOCK_NS",
+           "ACTIVITY_FACTOR"]
+
+CLOCK_NS = 5.0
+"""Clock period (ns).  Table 6's delay column is ``L × 5 ns`` exactly
+(1024 → 5120 ns, 512 → 2560 ns, 256 → 1280 ns), fixing the SC clock at
+200 MHz."""
+
+ACTIVITY_FACTOR = 0.5
+"""Average switching activity — stochastic streams toggle ~every other
+cycle by construction, the defining power characteristic of SC logic."""
+
+
+@dataclasses.dataclass(frozen=True)
+class GateSpec:
+    """One standard cell: area, per-toggle energy, leakage, delay."""
+
+    area_um2: float
+    energy_fj: float  # dynamic energy per output toggle
+    leakage_nw: float
+    delay_ns: float
+
+
+LIBRARY = {
+    "INV": GateSpec(0.532, 0.35, 8.0, 0.012),
+    "NAND2": GateSpec(0.798, 0.45, 10.0, 0.015),
+    "AND2": GateSpec(1.064, 0.55, 12.0, 0.020),
+    "OR2": GateSpec(1.064, 0.55, 12.0, 0.020),
+    "XOR2": GateSpec(1.596, 0.90, 18.0, 0.030),
+    "XNOR2": GateSpec(1.596, 0.90, 18.0, 0.030),
+    "MUX2": GateSpec(1.862, 0.80, 16.0, 0.025),
+    "DFF": GateSpec(4.522, 1.80, 40.0, 0.070),
+    "HA": GateSpec(2.660, 1.10, 25.0, 0.045),
+    "FA": GateSpec(4.788, 2.00, 45.0, 0.080),
+}
+
+
+@dataclasses.dataclass
+class CostBreakdown:
+    """Aggregate hardware cost of a component or subsystem.
+
+    Attributes
+    ----------
+    area_um2:
+        Cell area in µm².
+    dyn_energy_fj_per_cycle:
+        Dynamic switching energy per clock cycle (fJ), already including
+        the activity factor.
+    leakage_nw:
+        Leakage power (nW).
+    delay_ns:
+        Critical-path delay (ns) — combined with ``max`` under addition,
+        since parallel components share the clock.
+    """
+
+    area_um2: float = 0.0
+    dyn_energy_fj_per_cycle: float = 0.0
+    leakage_nw: float = 0.0
+    delay_ns: float = 0.0
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.area_um2 + other.area_um2,
+            self.dyn_energy_fj_per_cycle + other.dyn_energy_fj_per_cycle,
+            self.leakage_nw + other.leakage_nw,
+            max(self.delay_ns, other.delay_ns),
+        )
+
+    def __radd__(self, other):
+        if other == 0:  # support sum()
+            return self
+        return NotImplemented  # pragma: no cover
+
+    def chain(self, other: "CostBreakdown") -> "CostBreakdown":
+        """Series composition: delays add (one feeds the other)."""
+        out = self + other
+        out.delay_ns = self.delay_ns + other.delay_ns
+        return out
+
+    def scale(self, k: float) -> "CostBreakdown":
+        """Replicate ``k`` instances in parallel (delay unchanged)."""
+        return CostBreakdown(
+            self.area_um2 * k,
+            self.dyn_energy_fj_per_cycle * k,
+            self.leakage_nw * k,
+            self.delay_ns,
+        )
+
+    def power_uw(self, clock_ns: float = CLOCK_NS) -> float:
+        """Total power in µW at the given clock period."""
+        dyn_uw = self.dyn_energy_fj_per_cycle / clock_ns * 1e-3
+        return dyn_uw + self.leakage_nw * 1e-3
+
+    @staticmethod
+    def from_gates(counts: dict, depth: dict = None) -> "CostBreakdown":
+        """Build a breakdown from ``{cell: count}`` and optional depths.
+
+        ``depth`` maps cell names to the number of that cell on the
+        critical path (default: one of the slowest cell type used).
+        """
+        area = energy = leak = 0.0
+        for cell, count in counts.items():
+            spec = LIBRARY[cell]
+            area += spec.area_um2 * count
+            energy += spec.energy_fj * count * ACTIVITY_FACTOR
+            leak += spec.leakage_nw * count
+        delay = 0.0
+        depth = depth or {}
+        for cell, levels in depth.items():
+            delay += LIBRARY[cell].delay_ns * levels
+        if not depth and counts:
+            delay = max(LIBRARY[c].delay_ns for c in counts)
+        return CostBreakdown(area, energy, leak, delay)

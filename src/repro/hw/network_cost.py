@@ -1,0 +1,185 @@
+"""Network-level hardware roll-up for the LeNet-5 SC-DCNN (Tables 6, 7).
+
+The geometry follows the paper's 784-11520-2880-3200-800-500-10 LeNet-5:
+
+========  =====================================  ======  ==============
+Stage     Feature extraction units               n       Weight storage
+========  =====================================  ======  ==============
+Layer 0   2880 FEBs (11520 inner products / 4)   25      20 filter blocks × 25 words
+Layer 1   800 FEBs (3200 inner products / 4)     500     50 filter blocks × 500 words
+Layer 2   500 neuron units (IP + activation)     800     500 blocks × 800 words
+Output    10 neuron units (IP, APC-based)        500     10 blocks × 500 words
+========  =====================================  ======  ==============
+
+Stochastic number generators: one SNG per input pixel, plus per-layer
+weight SNGs shared across *equal-valued* weights — with ``w``-bit storage
+there are at most ``2**w`` distinct weight values per layer, which is the
+"efficient utilization of SNGs" the paper calls for (Section 3.2).
+Intermediate activations remain bit-streams, so hidden layers need no
+input SNGs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import FEBKind, NetworkConfig, PoolKind
+from repro.hw import components as comp
+from repro.hw.blocks_cost import activation_cost, feb_cost, inner_product_cost
+from repro.hw.gates import CLOCK_NS, CostBreakdown
+from repro.hw.sram import SramBlockSpec, sram_cost
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LayerGeometry", "LENET_GEOMETRY", "NetworkCost",
+           "lenet_network_cost"]
+
+#: Calibration multipliers absorbing interconnect/placement overhead and
+#: clock-tree/IO power that a pure standard-cell inventory cannot see.
+#: Held at the values that pin configuration No.11 at the paper's
+#: 17.0 mm² / 1.53 W; all Table 6/7 comparisons are ratios under the same
+#: constants (see DESIGN.md).
+AREA_CALIBRATION = 1.324
+POWER_CALIBRATION = 14.04
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerGeometry:
+    """Static geometry of one LeNet-5 stage."""
+
+    name: str
+    kind: str          # "conv" | "fc"
+    n: int             # inner-product input size
+    units: int         # FEBs (conv) or neurons (fc)
+    sram_blocks: int   # filter-aware SRAM sharing: one block per filter
+    words_per_block: int
+    has_pool: bool
+
+    @property
+    def weight_count(self) -> int:
+        return self.sram_blocks * self.words_per_block
+
+
+LENET_GEOMETRY = (
+    LayerGeometry("Layer0", "conv", 25, 2880, 20, 25, True),
+    LayerGeometry("Layer1", "conv", 500, 800, 50, 500, True),
+    LayerGeometry("Layer2", "fc", 800, 500, 500, 800, False),
+    LayerGeometry("Output", "fc", 500, 10, 10, 500, False),
+)
+
+INPUT_PIXELS = 784
+SNG_WIDTH = 8
+
+
+@dataclasses.dataclass
+class NetworkCost:
+    """Table 6 / Table 7 metrics of one SC-DCNN configuration.
+
+    ``breakdown`` maps stage names (plus ``"SRAM"`` and ``"SNG"``) to
+    their :class:`CostBreakdown`.
+    """
+
+    area_mm2: float
+    power_w: float
+    delay_ns: float
+    energy_uj: float
+    throughput_ips: float
+    area_efficiency: float   # images / s / mm²
+    energy_efficiency: float  # images / J
+    breakdown: dict
+
+    def row(self) -> tuple:
+        """(area mm², power W, delay ns, energy µJ) — Table 6's columns."""
+        return (self.area_mm2, self.power_w, self.delay_ns, self.energy_uj)
+
+
+def _layer_cost(geometry: LayerGeometry, ip_kind: FEBKind,
+                pooling: PoolKind, length: int) -> CostBreakdown:
+    ip = "mux" if ip_kind is FEBKind.MUX else "apc"
+    if geometry.has_pool:
+        pool = "avg" if pooling is PoolKind.AVG else "max"
+        unit = feb_cost(f"{ip}-{pool}", geometry.n, length)
+    elif geometry.name == "Output":
+        # The output stage decodes APC counts with accumulators; no
+        # activation FSM.
+        unit = inner_product_cost(ip, geometry.n).chain(comp.accumulator(16))
+    else:
+        unit = inner_product_cost(ip, geometry.n).chain(
+            activation_cost(ip, geometry.n, length, "avg")
+        )
+    return unit.scale(geometry.units)
+
+
+def _sram_total(weight_bits) -> CostBreakdown:
+    total = CostBreakdown()
+    for geometry, bits in zip(LENET_GEOMETRY, weight_bits):
+        spec = SramBlockSpec(words=geometry.words_per_block, word_bits=bits,
+                             readers=geometry.units)
+        total = total + sram_cost(spec).scale(geometry.sram_blocks)
+    return total
+
+
+def _sng_total(weight_bits) -> CostBreakdown:
+    one = comp.sng(SNG_WIDTH)
+    count = INPUT_PIXELS
+    for geometry, bits in zip(LENET_GEOMETRY, weight_bits):
+        count += min(geometry.weight_count, 2 ** bits)
+    return one.scale(count)
+
+
+def _normalize_weight_bits(weight_bits):
+    if isinstance(weight_bits, int):
+        weight_bits = (weight_bits,) * len(LENET_GEOMETRY)
+    weight_bits = tuple(int(b) for b in weight_bits)
+    if len(weight_bits) == 3:
+        # Section 5.3 quotes three weight layers; the output layer
+        # inherits Layer2's precision.
+        weight_bits = weight_bits + (weight_bits[-1],)
+    if len(weight_bits) != len(LENET_GEOMETRY):
+        raise ValueError(
+            f"weight_bits must have 1, 3 or {len(LENET_GEOMETRY)} entries"
+        )
+    for b in weight_bits:
+        check_positive_int(b, "weight_bits")
+    return weight_bits
+
+
+def lenet_network_cost(config: NetworkConfig,
+                       weight_bits=7) -> NetworkCost:
+    """Roll up the full LeNet-5 hardware cost for one configuration.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.core.config.NetworkConfig` (layer FEB kinds,
+        pooling, stream length).
+    weight_bits:
+        Weight storage precision — an int for all layers, or a 3-tuple
+        (Layer0, Layer1, Layer2) per the Section 5.3 layer-wise scheme.
+    """
+    weight_bits = _normalize_weight_bits(weight_bits)
+    breakdown = {}
+    # Layer kinds: config covers Layer0..Layer2; the output stage is
+    # always APC-based (Section 6.3 configurations).
+    kinds = [layer.ip_kind for layer in config.layers] + [FEBKind.APC]
+    for geometry, kind in zip(LENET_GEOMETRY, kinds):
+        breakdown[geometry.name] = _layer_cost(geometry, kind,
+                                               config.pooling, config.length)
+    breakdown["SRAM"] = _sram_total(weight_bits)
+    breakdown["SNG"] = _sng_total(weight_bits)
+
+    total = sum(breakdown.values(), CostBreakdown())
+    area_mm2 = total.area_um2 * 1e-6 * AREA_CALIBRATION
+    power_w = total.power_uw() * 1e-6 * POWER_CALIBRATION
+    delay_ns = config.length * CLOCK_NS
+    energy_uj = power_w * delay_ns * 1e-3  # W · ns = 1e-9 J = 1e-3 µJ
+    throughput = 1e9 / delay_ns
+    return NetworkCost(
+        area_mm2=area_mm2,
+        power_w=power_w,
+        delay_ns=delay_ns,
+        energy_uj=energy_uj,
+        throughput_ips=throughput,
+        area_efficiency=throughput / area_mm2,
+        energy_efficiency=1.0 / (energy_uj * 1e-6),
+        breakdown=breakdown,
+    )

@@ -1,0 +1,61 @@
+"""Published reference-platform rows of Table 7.
+
+These numbers are citations in the paper as well (CPU/GPU measurements
+and the Minitaur/SpiNNaker/TrueNorth/DaDianNao/EIE publications); only
+the two SC-DCNN rows are computed by this library
+(:func:`repro.hw.network_cost.lenet_network_cost`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["PlatformRow", "PLATFORMS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformRow:
+    """One Table 7 row.  ``None`` marks the paper's N/A entries."""
+
+    name: str
+    dataset: str
+    network_type: str
+    year: int
+    platform_type: str
+    area_mm2: float
+    power_w: float
+    accuracy_pct: float
+    throughput_ips: float
+
+    @property
+    def area_efficiency(self) -> float:
+        """Images/s/mm² (None when area is unpublished)."""
+        if self.area_mm2 is None:
+            return None
+        return self.throughput_ips / self.area_mm2
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Images/J (None when power is unpublished)."""
+        if self.power_w is None:
+            return None
+        return self.throughput_ips / self.power_w
+
+
+PLATFORMS = (
+    PlatformRow("2x Intel Xeon W5580", "MNIST", "CNN", 2009, "CPU",
+                263.0, 156.0, 98.46, 656.0),
+    PlatformRow("Nvidia Tesla C2075", "MNIST", "CNN", 2011, "GPU",
+                520.0, 202.5, 98.46, 2333.0),
+    PlatformRow("Minitaur", "MNIST", "ANN", 2014, "FPGA",
+                None, 1.5, 92.00, 4880.0),
+    PlatformRow("SpiNNaker", "MNIST", "DBN", 2015, "ARM",
+                None, 0.3, 95.00, 50.0),
+    PlatformRow("TrueNorth", "MNIST", "SNN", 2015, "ASIC",
+                430.0, 0.18, 99.42, 1000.0),
+    PlatformRow("DaDianNao", "ImageNet", "CNN", 2014, "ASIC",
+                67.7, 15.97, math.nan, 147938.0),
+    PlatformRow("EIE-64PE", "CNN layer", "CNN", 2016, "ASIC",
+                40.8, 0.59, math.nan, 81967.0),
+)

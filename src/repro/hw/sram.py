@@ -1,0 +1,69 @@
+"""Analytic SRAM model (CACTI 5.3 stand-in).
+
+The paper uses CACTI to size the weight SRAMs; here an analytic model
+captures the structure CACTI exposes at 45 nm: per-bit cell area plus
+per-block peripheral overhead (decoders, sense amplifiers, drivers) that
+amortizes with block size, leakage proportional to bit count, and access
+energy growing with word width.  The paper's Section 5 conclusions are
+ratios under weight-precision changes, which this model preserves
+(precision scales the bit count linearly while the block count is fixed
+by the filter-aware sharing scheme).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.gates import CLOCK_NS, CostBreakdown
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SramBlockSpec", "sram_cost"]
+
+# 45 nm 6T SRAM characteristics (CACTI-class numbers).
+CELL_AREA_UM2 = 0.55          # µm² per bit including array overhead
+PERIPHERY_AREA_UM2 = 300.0    # per block: decoder + control
+COLUMN_AREA_PER_BIT = 60.0    # sense amp + write driver per word bit
+LEAKAGE_NW_PER_BIT = 0.012
+READ_ENERGY_FJ_PER_BIT = 2.2  # per bit read per access
+
+
+@dataclasses.dataclass(frozen=True)
+class SramBlockSpec:
+    """One SRAM block of the filter-aware sharing scheme (Section 5.1).
+
+    Attributes
+    ----------
+    words:
+        Number of weight words stored (one filter's weights).
+    word_bits:
+        Bits per word (the weight precision ``w`` of Section 5.2).
+    readers:
+        Inner-product blocks sharing this block (one feature-map group).
+    """
+
+    words: int
+    word_bits: int
+    readers: int = 1
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.word_bits
+
+
+def sram_cost(spec: SramBlockSpec, reads_per_cycle: float = 1.0
+              ) -> CostBreakdown:
+    """Cost of one SRAM block.
+
+    ``reads_per_cycle`` scales dynamic energy: stochastic weights are read
+    every cycle to drive the weight SNGs.
+    """
+    check_positive_int(spec.words, "words")
+    check_positive_int(spec.word_bits, "word_bits")
+    area = (spec.bits * CELL_AREA_UM2
+            + spec.word_bits * COLUMN_AREA_PER_BIT
+            + PERIPHERY_AREA_UM2)
+    leak = spec.bits * LEAKAGE_NW_PER_BIT
+    dyn = READ_ENERGY_FJ_PER_BIT * spec.word_bits * reads_per_cycle
+    # Access time of small blocks is well under the 5 ns SC clock.
+    return CostBreakdown(area_um2=area, dyn_energy_fj_per_cycle=dyn,
+                         leakage_nw=leak, delay_ns=min(CLOCK_NS * 0.4, 2.0))

@@ -1,0 +1,47 @@
+"""A from-scratch numpy deep-learning substrate.
+
+The paper trains LeNet-5 in software, then maps its weights onto SC
+hardware.  This subpackage provides that software side: layers with
+forward/backward passes, losses, optimizers and a training loop — enough
+to train the paper's LeNet-5 variant (784-11520-2880-3200-800-500-10) to
+high accuracy on the synthetic MNIST substitute.
+
+The LeNet-5 builder (:func:`repro.nn.lenet.build_lenet5`) follows the
+paper's feature-extraction-block topology: convolution → pooling →
+activation, with pooling applied to the *pre-activation* inner products,
+exactly as the hardware FEBs compute it, and ``tanh`` activations
+(Section 3.2 explains tanh replaces ReLU/sigmoid without accuracy loss
+and is the SC-friendly choice).
+"""
+
+from repro.nn.module import Layer, Sequential, Parameter, Flatten
+from repro.nn.conv import Conv2D
+from repro.nn.pool import AvgPool2D, MaxPool2D
+from repro.nn.dense import Dense
+from repro.nn.activations import Tanh, ReLU, Sigmoid
+from repro.nn.loss import SoftmaxCrossEntropy, MSELoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.trainer import Trainer, evaluate_accuracy
+from repro.nn.lenet import build_lenet5, LENET5_LAYER_SIZES
+
+__all__ = [
+    "Layer",
+    "Sequential",
+    "Parameter",
+    "Flatten",
+    "Conv2D",
+    "AvgPool2D",
+    "MaxPool2D",
+    "Dense",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "evaluate_accuracy",
+    "build_lenet5",
+    "LENET5_LAYER_SIZES",
+]

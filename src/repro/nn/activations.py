@@ -1,0 +1,66 @@
+"""Activation layers.
+
+``tanh`` is the activation the paper standardizes on (Section 3.2: it is
+FSM-friendly in the SC domain and replacing ReLU/sigmoid with tanh costs
+no DCNN accuracy).  ReLU and sigmoid are provided for the software-side
+comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+
+__all__ = ["Tanh", "ReLU", "Sigmoid"]
+
+
+class Tanh(Layer):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self):
+        super().__init__()
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._out ** 2)
+
+
+class ReLU(Layer):
+    """Elementwise rectifier ``max(0, x)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic function."""
+
+    def __init__(self):
+        super().__init__()
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._out * (1.0 - self._out)

@@ -1,0 +1,43 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Layer, Parameter
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W^T + b`` with Glorot initialization."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = spawn_rng(seed, "dense", in_features, out_features)
+        self.weight = Parameter(
+            glorot_uniform((out_features, in_features), in_features,
+                           out_features, rng),
+            name="dense_w",
+        )
+        self.bias = Parameter(zeros(out_features), name="dense_b")
+        self.params = [self.weight, self.bias]
+        self._x = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} features, got {x.shape[-1]}"
+            )
+        if training:
+            self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.weight.grad += grad.T @ self._x
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value

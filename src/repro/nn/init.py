@@ -1,0 +1,24 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]
+
+
+def glorot_uniform(shape, fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — the right choice for tanh networks."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization (for ReLU variants)."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros (biases)."""
+    return np.zeros(shape, dtype=np.float64)

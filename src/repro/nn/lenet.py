@@ -1,0 +1,68 @@
+"""The paper's LeNet-5 variant.
+
+Section 6.3 uses LeNet-5 "with a configuration of
+784-11520-2880-3200-800-500-10", i.e. the Caffe LeNet:
+
+====== =============================== ===========================
+Stage  Operation                        Neurons
+====== =============================== ===========================
+input  28×28 grayscale image            784
+conv1  20 filters of 5×5 (valid)        24×24×20 = 11520
+pool1  2×2 (max or average) + tanh      12×12×20 = 2880
+conv2  50 filters of 5×5×20 (valid)     8×8×50  = 3200
+pool2  2×2 + tanh                       4×4×50  = 800
+fc1    dense 800 → 500 + tanh           500
+fc2    dense 500 → 10 (logits)          10
+====== =============================== ===========================
+
+Pooling is applied to the convolution *pre-activations* and tanh after
+pooling — exactly the inner-product → pooling → activation cascade of the
+hardware feature extraction blocks (Figure 10), so the trained weights
+map one-to-one onto the SC engine.
+"""
+
+from __future__ import annotations
+
+from repro.nn.activations import Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.module import Flatten, Sequential
+from repro.nn.pool import AvgPool2D, MaxPool2D
+
+__all__ = ["build_lenet5", "LENET5_LAYER_SIZES"]
+
+#: The paper's neuron counts per stage (input .. output).
+LENET5_LAYER_SIZES = (784, 11520, 2880, 3200, 800, 500, 10)
+
+
+def build_lenet5(pooling: str = "max", seed: int = 0) -> Sequential:
+    """Build the paper's LeNet-5 variant.
+
+    Parameters
+    ----------
+    pooling:
+        ``"max"`` or ``"avg"`` — Table 6 evaluates both variants
+        network-wide.
+    seed:
+        Weight initialization seed.
+
+    Returns
+    -------
+    A :class:`repro.nn.module.Sequential` mapping ``(N, 1, 28, 28)``
+    inputs in [-1, 1] to ``(N, 10)`` logits.
+    """
+    if pooling not in ("max", "avg"):
+        raise ValueError(f"pooling must be 'max' or 'avg', got {pooling!r}")
+    pool_cls = MaxPool2D if pooling == "max" else AvgPool2D
+    return Sequential([
+        Conv2D(1, 20, 5, seed=seed),
+        pool_cls(2),
+        Tanh(),
+        Conv2D(20, 50, 5, seed=seed + 1),
+        pool_cls(2),
+        Tanh(),
+        Flatten(),
+        Dense(800, 500, seed=seed + 2),
+        Tanh(),
+        Dense(500, 10, seed=seed + 3),
+    ])

@@ -1,0 +1,44 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "MSELoss"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy (the paper's "softmax loss")."""
+
+    def __init__(self):
+        self._probs = None
+        self._labels = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = labels
+        n = logits.shape[0]
+        return float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+
+    def backward(self) -> np.ndarray:
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+
+class MSELoss:
+    """Mean squared error (for regression-style tests)."""
+
+    def __init__(self):
+        self._diff = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._diff = pred - target
+        return float((self._diff ** 2).mean())
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size

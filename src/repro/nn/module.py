@@ -1,0 +1,120 @@
+"""Layer/parameter abstractions and the ``Sequential`` container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "Sequential", "Flatten"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base layer: ``forward`` caches what ``backward`` needs.
+
+    Subclasses implement ``forward(x, training)`` and ``backward(grad)``
+    (returning the gradient w.r.t. the input) and list their
+    :class:`Parameter` objects in ``params``.
+    """
+
+    def __init__(self):
+        self.params = []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Sequential(Layer):
+    """A linear stack of layers."""
+
+    def __init__(self, layers):
+        super().__init__()
+        self.layers = list(layers)
+        for layer in self.layers:
+            self.params.extend(layer.params)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions for a batch of inputs (argmax of logits)."""
+        outputs = []
+        for start in range(0, len(x), batch_size):
+            logits = self.forward(x[start:start + batch_size], training=False)
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=int)
+
+    def state_dict(self) -> dict:
+        """Flat name → array mapping of all parameters (for caching)."""
+        state = {}
+        for i, p in enumerate(self.params):
+            state[f"param_{i}_{p.name}"] = p.value
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameters saved by :meth:`state_dict` (order-based)."""
+        keys = sorted(state.keys(), key=lambda k: int(k.split("_")[1]))
+        if len(keys) != len(self.params):
+            raise ValueError(
+                f"state has {len(keys)} parameters, model has "
+                f"{len(self.params)}"
+            )
+        for key, p in zip(keys, self.params):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {value.shape} vs "
+                    f"{p.value.shape}"
+                )
+            p.value = value.copy()
+
+
+class Flatten(Layer):
+    """Flatten all non-batch axes."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)

@@ -1,0 +1,63 @@
+"""Optimizers: SGD with momentum, and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params, lr: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            v *= self.momentum
+            v -= self.lr * grad
+            p.value += v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(self, params, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= b1
+            m += (1.0 - b1) * p.grad
+            v *= b2
+            v += (1.0 - b2) * p.grad ** 2
+            p.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,66 @@
+"""2×2 pooling layers (average and max), NCHW."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+
+__all__ = ["AvgPool2D", "MaxPool2D"]
+
+
+def _window_view(x: np.ndarray, size: int) -> np.ndarray:
+    """Reshape (N, C, H, W) → (N, C, H/size, size, W/size, size)."""
+    n, c, h, w = x.shape
+    if h % size or w % size:
+        raise ValueError(
+            f"spatial dims ({h}, {w}) must be multiples of pool size {size}"
+        )
+    return x.reshape(n, c, h // size, size, w // size, size)
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, size: int = 2):
+        super().__init__()
+        self.size = size
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._in_shape = x.shape
+        return _window_view(x, self.size).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        s = self.size
+        g = grad[:, :, :, None, :, None] / (s * s)
+        g = np.broadcast_to(g, g.shape[:3] + (s,) + g.shape[4:5] + (s,))
+        return g.reshape(self._in_shape)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, size: int = 2):
+        super().__init__()
+        self.size = size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        view = _window_view(x, self.size)
+        n, c, oh, s, ow, _ = view.shape
+        flat = view.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, s * s)
+        idx = np.argmax(flat, axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        if training:
+            self._cache = (x.shape, idx)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, idx = self._cache
+        s = self.size
+        n, c, oh, ow = grad.shape
+        flat = np.zeros((n, c, oh, ow, s * s), dtype=grad.dtype)
+        np.put_along_axis(flat, idx[..., None], grad[..., None], axis=-1)
+        view = flat.reshape(n, c, oh, ow, s, s).transpose(0, 1, 2, 4, 3, 5)
+        return view.reshape(x_shape)

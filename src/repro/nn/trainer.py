@@ -1,0 +1,82 @@
+"""Minibatch training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.optim import SGD
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["Trainer", "evaluate_accuracy", "evaluate_error_rate"]
+
+
+def evaluate_accuracy(model, x: np.ndarray, labels: np.ndarray,
+                      batch_size: int = 256) -> float:
+    """Fraction of correct argmax predictions."""
+    preds = model.predict(x, batch_size=batch_size)
+    return float((preds == labels).mean())
+
+
+def evaluate_error_rate(model, x: np.ndarray, labels: np.ndarray,
+                        batch_size: int = 256) -> float:
+    """Error rate in percent — the unit Table 6 and Figure 13 report."""
+    return 100.0 * (1.0 - evaluate_accuracy(model, x, labels, batch_size))
+
+
+class Trainer:
+    """Minibatch trainer with per-epoch LR decay.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.nn.module.Sequential`.
+    lr, momentum, lr_decay:
+        SGD hyper-parameters; the learning rate is multiplied by
+        ``lr_decay`` after every epoch.
+    batch_size:
+        Minibatch size.
+    seed:
+        Shuffle seed.
+    """
+
+    def __init__(self, model, lr: float = 0.05, momentum: float = 0.9,
+                 lr_decay: float = 0.85, batch_size: int = 64, seed: int = 0):
+        self.model = model
+        self.optimizer = SGD(model.params, lr=lr, momentum=momentum)
+        self.loss = SoftmaxCrossEntropy()
+        self.lr_decay = lr_decay
+        self.batch_size = batch_size
+        self._rng = spawn_rng(seed, "trainer")
+        self.history = []
+
+    def train_epoch(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One shuffled pass over the data; returns the mean loss."""
+        order = self._rng.permutation(len(x))
+        total, batches = 0.0, 0
+        for start in range(0, len(x), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            xb, yb = x[idx], labels[idx]
+            logits = self.model.forward(xb, training=True)
+            loss = self.loss.forward(logits, yb)
+            self.model.zero_grad()
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+            total += loss
+            batches += 1
+        return total / max(batches, 1)
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int,
+            x_val: np.ndarray = None, y_val: np.ndarray = None,
+            verbose: bool = False) -> list:
+        """Train for ``epochs`` epochs; records (loss, val_accuracy) pairs."""
+        for epoch in range(epochs):
+            loss = self.train_epoch(x, labels)
+            val_acc = (evaluate_accuracy(self.model, x_val, y_val)
+                       if x_val is not None else float("nan"))
+            self.history.append((loss, val_acc))
+            if verbose:  # pragma: no cover - console output
+                print(f"epoch {epoch + 1}/{epochs}: loss={loss:.4f} "
+                      f"val_acc={val_acc:.4f}")
+            self.optimizer.lr *= self.lr_decay
+        return self.history

@@ -1,0 +1,43 @@
+"""Stochastic-computing substrate.
+
+This subpackage implements everything Section 3.2 of the paper describes:
+
+* unipolar / bipolar encodings and pre-scaling (``encoding``),
+* stochastic number generators — maximal-length LFSRs and an ideal PRNG
+  comparator SNG (``lfsr``, ``rng``),
+* a packed, batch-aware bit-stream container (``bitstream``) with
+  vectorized logic operations (``ops``),
+* the four stochastic addition designs of Figure 5 — OR gate, multiplexer,
+  approximate parallel counter and two-line representation (``adders``,
+  ``twoline``),
+* FSM / saturating-counter activation functions — Stanh, the re-designed
+  Stanh of Figure 11 and Btanh (``fsm``, ``activation``).
+"""
+
+from repro.sc.encoding import Encoding, to_probability, from_probability, prescale
+from repro.sc.bitstream import Bitstream
+from repro.sc.lfsr import LFSR, maximal_taps
+from repro.sc.rng import IdealSNG, LfsrSNG, StreamFactory
+from repro.sc.correlation import scc, pearson, decorrelate
+from repro.sc import ops, adders, activation, twoline, correlation
+
+__all__ = [
+    "Encoding",
+    "to_probability",
+    "from_probability",
+    "prescale",
+    "Bitstream",
+    "LFSR",
+    "maximal_taps",
+    "IdealSNG",
+    "LfsrSNG",
+    "StreamFactory",
+    "scc",
+    "pearson",
+    "decorrelate",
+    "ops",
+    "adders",
+    "activation",
+    "twoline",
+    "correlation",
+]

@@ -1,0 +1,126 @@
+"""The four stochastic addition designs of Figure 5.
+
+All functions take a packed batch of input streams with the *summand* axis
+second-to-last: shape ``(..., n, nbytes)`` for ``n`` inputs, and reduce it.
+
+1. :func:`or_add` — OR gate (Figure 5a).  Cheapest, badly lossy unless the
+   inputs are pre-scaled to contain very few ones.
+2. :func:`mux_add` — n-to-1 multiplexer (Figure 5b).  Outputs the sum
+   scaled by ``1/n`` — one input bit survives per cycle.
+3. :func:`parallel_counter` / :func:`apc_count` — parallel counters
+   (Figure 5c).  Output a *binary* count per cycle.  The exact
+   accumulative parallel counter (Parhami & Yeh, ref (33)) is the
+   baseline; the approximate parallel counter (Kim et al., ref (20))
+   drops the least-significant-bit adder chain, which we model
+   structurally (see Notes).
+4. Two-line representation (Figure 5d) lives in :mod:`repro.sc.twoline`.
+
+Notes
+-----
+The APC of ref (20) replaces part of the LSB full-adder chain with
+pass-through logic (the bottom input pair of Figure 7 skips the adder
+tree), so the 16-input counter emits 4 output bits whose least significant
+weight is 2¹ instead of 2⁰ (Section 4.1 of the paper).  We reproduce the
+*behaviour*: the last input's contribution is dropped from the count's
+LSB parity.  The resulting per-column error is ±1 with zero mean on
+random SC streams, and its magnitude matches Table 3 (<1% relative error,
+shrinking with input size and stream length) — which is the only
+characterization the paper gives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.utils.validation import check_stream_length
+
+__all__ = [
+    "or_add",
+    "mux_add",
+    "parallel_counter",
+    "apc_count",
+    "apc_gate_equivalents",
+]
+
+
+def or_add(streams: np.ndarray) -> np.ndarray:
+    """OR-gate addition: reduce the summand axis with bitwise OR.
+
+    The result's ones-probability is ``P(any input is 1)``, which
+    approximates the sum only when ones are sparse — hence the pre-scaling
+    discussion around Table 1.
+    """
+    streams = np.asarray(streams, dtype=np.uint8)
+    if streams.ndim < 2:
+        raise ValueError("expected shape (..., n, nbytes)")
+    return np.bitwise_or.reduce(streams, axis=-2)
+
+
+def mux_add(streams: np.ndarray, select: np.ndarray,
+            length: int) -> np.ndarray:
+    """MUX addition: pick one input bit per cycle (scaled adder).
+
+    The output stream's value is ``(1/n) Σ inputs``; the scaling factor is
+    ``1/n`` in both unipolar and bipolar formats (Section 3.2).
+
+    Parameters
+    ----------
+    streams:
+        Packed array ``(..., n, nbytes)``.
+    select:
+        Select signal of shape ``(length,)`` with values in ``[0, n)``
+        (use :meth:`repro.sc.rng.StreamFactory.select_signal`).
+    length:
+        Stream length in bits.
+    """
+    return ops.mux_select(streams, select, length)
+
+
+def parallel_counter(streams: np.ndarray, length: int) -> np.ndarray:
+    """Exact accumulative parallel counter: per-cycle ones counts.
+
+    Returns an int16 array ``(..., length)`` where entry ``t`` is the
+    number of input streams whose bit ``t`` is one.  This is the
+    conventional (non-approximate) counter used as Table 3's baseline.
+    """
+    length = check_stream_length(length)
+    bits = ops.unpack_bits(streams, length)  # (..., n, L) uint8
+    return bits.sum(axis=-2, dtype=np.int16)
+
+
+def apc_count(streams: np.ndarray, length: int) -> np.ndarray:
+    """Approximate parallel counter: per-cycle counts with LSB approximation.
+
+    Behavioural model of the APC of ref (20) (see module Notes): the
+    count's least-significant bit is computed without the last input's
+    contribution (that pair bypasses the dropped adder chain), so each
+    column deviates by ±1 from the exact count with zero mean on random
+    streams.  Note the output range is consequently ``[0, n+1]``: an
+    even exact count with a set approximate LSB overshoots by one, which
+    the APC's binary output width accommodates.
+
+    Returns an int16 array ``(..., length)``.
+    """
+    length = check_stream_length(length)
+    bits = ops.unpack_bits(streams, length)
+    exact = bits.sum(axis=-2, dtype=np.int16)
+    approx_lsb = (exact - bits[..., -1, :]) & np.int16(1)
+    return (exact & ~np.int16(1)) | approx_lsb
+
+
+def apc_gate_equivalents(n_inputs: int) -> dict:
+    """Gate inventories of the approximate vs conventional parallel counter.
+
+    Ref (20) reports the APC saves about 40% of the gates of an exact
+    accumulative parallel counter; the cost model
+    (:mod:`repro.hw.components`) consumes these counts.
+    """
+    if n_inputs < 2:
+        raise ValueError("a parallel counter needs at least 2 inputs")
+    # An exact n-input counter is a tree of full adders: n - ceil(log2 n) - 1
+    # FAs plus the output register; we charge n FAs as the conventional
+    # inventory (upper bound used consistently on both sides).
+    exact_fa = max(n_inputs - 1, 1)
+    approx_fa = max(int(round(exact_fa * 0.6)), 1)  # ~40% reduction
+    return {"exact_full_adders": exact_fa, "approx_full_adders": approx_fa}

@@ -1,0 +1,195 @@
+"""The :class:`Bitstream` container.
+
+A ``Bitstream`` wraps a packed uint8 array holding one stream — or a whole
+batch of streams (leading axes are batch axes, the stream axis is last) —
+together with its length and encoding.  Logic operators are overloaded with
+their stochastic-computing meanings where unambiguous:
+
+* ``a & b`` — AND (unipolar multiply),
+* ``a ^ b`` — XOR,
+* ``~a``   — NOT (value ``1 - x`` unipolar, ``-x`` bipolar),
+* ``a.xnor(b)`` — XNOR (bipolar multiply),
+* ``a | b`` — OR (the approximate adder of Figure 5a).
+
+Value decoding (:meth:`value`) inverts the encoding of
+:mod:`repro.sc.encoding`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.sc.encoding import Encoding, from_probability
+from repro.utils.validation import check_stream_length
+
+__all__ = ["Bitstream"]
+
+
+class Bitstream:
+    """A (batch of) packed stochastic bit-stream(s).
+
+    Parameters
+    ----------
+    data:
+        Packed uint8 array of shape ``(..., ceil(length / 8))``.
+    length:
+        Number of valid bits per stream.
+    encoding:
+        :class:`~repro.sc.encoding.Encoding` used by :meth:`value`.
+
+    Most users construct streams through an SNG
+    (:class:`repro.sc.rng.IdealSNG` / :class:`repro.sc.rng.LfsrSNG`) or via
+    :meth:`from_bits`.
+    """
+
+    __slots__ = ("data", "length", "encoding")
+
+    def __init__(self, data: np.ndarray, length: int, encoding: Encoding):
+        length = check_stream_length(length)
+        data = np.asarray(data, dtype=np.uint8)
+        nbytes = ops.packed_nbytes(length)
+        if data.shape[-1] != nbytes:
+            raise ValueError(
+                f"packed data last axis is {data.shape[-1]} bytes but "
+                f"length {length} requires {nbytes}"
+            )
+        if not isinstance(encoding, Encoding):
+            raise ValueError(f"encoding must be an Encoding, got {encoding!r}")
+        self.data = data
+        self.length = length
+        self.encoding = encoding
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits, encoding: Encoding = Encoding.BIPOLAR) -> "Bitstream":
+        """Build a stream from an explicit bit array (stream axis last)."""
+        bits = np.asarray(bits)
+        length = bits.shape[-1]
+        return cls(ops.pack_bits(bits), length, encoding)
+
+    @classmethod
+    def zeros(cls, shape, length: int,
+              encoding: Encoding = Encoding.BIPOLAR) -> "Bitstream":
+        """All-zeros stream(s): value 0 (unipolar) or -1 (bipolar)."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        nbytes = ops.packed_nbytes(length)
+        return cls(np.zeros(tuple(shape) + (nbytes,), dtype=np.uint8),
+                   length, encoding)
+
+    @classmethod
+    def ones(cls, shape, length: int,
+             encoding: Encoding = Encoding.BIPOLAR) -> "Bitstream":
+        """All-ones stream(s): value 1 in either encoding."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        nbytes = ops.packed_nbytes(length)
+        data = np.broadcast_to(
+            ops.pad_mask(length), tuple(shape) + (nbytes,)
+        ).copy()
+        return cls(data, length, encoding)
+
+    # ------------------------------------------------------------------
+    # introspection / decoding
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """Batch shape (excludes the packed byte axis)."""
+        return self.data.shape[:-1]
+
+    def popcount(self) -> np.ndarray:
+        """Number of ones per stream."""
+        return ops.popcount(self.data, self.length)
+
+    def probability(self) -> np.ndarray:
+        """Fraction of ones per stream, ``P(X = 1)``."""
+        return self.popcount() / float(self.length)
+
+    def value(self) -> np.ndarray:
+        """Decode the stream(s) to real value(s) under ``self.encoding``."""
+        return from_probability(self.probability(), self.encoding)
+
+    def to_bits(self) -> np.ndarray:
+        """Unpack to a uint8 bit array of shape ``shape + (length,)``."""
+        return ops.unpack_bits(self.data, self.length)
+
+    def segment_counts(self, segment: int) -> np.ndarray:
+        """Per-segment ones counts (hardware max-pooling counters)."""
+        return ops.segment_popcount(self.data, self.length, segment)
+
+    # ------------------------------------------------------------------
+    # logic operators (stochastic arithmetic)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Bitstream") -> None:
+        if not isinstance(other, Bitstream):
+            raise TypeError(f"expected Bitstream, got {type(other).__name__}")
+        if other.length != self.length:
+            raise ValueError(
+                f"stream length mismatch: {self.length} vs {other.length}"
+            )
+        if other.encoding is not self.encoding:
+            raise ValueError(
+                f"encoding mismatch: {self.encoding} vs {other.encoding}"
+            )
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        self._check_compatible(other)
+        return Bitstream(ops.and_(self.data, other.data), self.length,
+                         self.encoding)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        self._check_compatible(other)
+        return Bitstream(ops.or_(self.data, other.data), self.length,
+                         self.encoding)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        self._check_compatible(other)
+        return Bitstream(ops.xor_(self.data, other.data), self.length,
+                         self.encoding)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream(ops.not_(self.data, self.length), self.length,
+                         self.encoding)
+
+    def xnor(self, other: "Bitstream") -> "Bitstream":
+        """XNOR — the bipolar stochastic multiplier (Figure 4b)."""
+        self._check_compatible(other)
+        return Bitstream(ops.xnor_(self.data, other.data, self.length),
+                         self.length, self.encoding)
+
+    def multiply(self, other: "Bitstream") -> "Bitstream":
+        """Encoding-aware stochastic multiply: AND (unipolar), XNOR (bipolar)."""
+        if self.encoding is Encoding.UNIPOLAR:
+            return self & other
+        return self.xnor(other)
+
+    # ------------------------------------------------------------------
+    # batching helpers
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx) -> "Bitstream":
+        """Index the batch axes (the packed byte axis is preserved)."""
+        data = self.data[idx]
+        if data.ndim == 0 or data.shape[-1] != self.data.shape[-1]:
+            raise IndexError("cannot index into the packed byte axis")
+        return Bitstream(data, self.length, self.encoding)
+
+    @classmethod
+    def stack(cls, streams, axis: int = 0) -> "Bitstream":
+        """Stack compatible streams along a new batch axis."""
+        streams = list(streams)
+        if not streams:
+            raise ValueError("cannot stack zero streams")
+        first = streams[0]
+        for s in streams[1:]:
+            first._check_compatible(s)
+        if axis < 0:
+            raise ValueError("axis must be non-negative (byte axis is last)")
+        data = np.stack([s.data for s in streams], axis=axis)
+        return cls(data, first.length, first.encoding)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Bitstream(shape={self.shape}, length={self.length}, "
+                f"encoding={self.encoding})")

@@ -1,0 +1,114 @@
+"""Stream correlation analysis and decorrelation.
+
+SC arithmetic is exact only for *independent* streams: an XNOR multiplier
+fed two identical streams computes 1, not x².  The paper flags this —
+"the randomness and length of the bit-streams can significantly affect
+the calculation accuracy" — and shares RNGs aggressively for cost, so a
+production SC library needs tools to measure and repair correlation:
+
+* :func:`scc` — the standard *stochastic computing correlation* metric
+  (Alaghi & Hayes): +1 for maximally overlapping streams, -1 for
+  maximally anti-overlapping, 0 for independent.
+* :func:`pearson` — plain bit-wise Pearson correlation.
+* :func:`decorrelate` — an isolator: re-randomizes a stream's bit order
+  with a private permutation, preserving its value exactly while
+  destroying temporal alignment with other streams (the zero-cost model
+  of a D-flip-flop isolator chain).
+* :func:`multiply_error_vs_scc` — measurement harness showing how XNOR
+  multiplication error grows with input correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.utils.seeding import spawn_rng
+from repro.utils.validation import check_stream_length
+
+__all__ = ["scc", "pearson", "decorrelate", "multiply_error_vs_scc"]
+
+
+def _joint_counts(a: np.ndarray, b: np.ndarray, length: int):
+    """Counts of (1,1), ones(a), ones(b) for packed streams."""
+    both = ops.popcount(ops.and_(a, b), length)
+    na = ops.popcount(a, length)
+    nb = ops.popcount(b, length)
+    return both.astype(np.float64), na.astype(np.float64), nb.astype(np.float64)
+
+
+def scc(a: np.ndarray, b: np.ndarray, length: int) -> np.ndarray:
+    """Stochastic computing correlation of two packed streams.
+
+    ``SCC = (p11 - pa·pb) / (min(pa, pb) - pa·pb)`` when the overlap
+    exceeds independence, else normalized by the maximum possible
+    negative deviation.  Returns 0 where either stream is constant.
+    """
+    length = check_stream_length(length)
+    both, na, nb = _joint_counts(np.asarray(a), np.asarray(b), length)
+    pa, pb, p11 = na / length, nb / length, both / length
+    delta = p11 - pa * pb
+    pos_den = np.minimum(pa, pb) - pa * pb
+    neg_den = pa * pb - np.maximum(pa + pb - 1.0, 0.0)
+    den = np.where(delta >= 0, pos_den, neg_den)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(den > 1e-12, delta / np.where(den > 1e-12, den, 1.0),
+                       0.0)
+    return out
+
+
+def pearson(a: np.ndarray, b: np.ndarray, length: int) -> np.ndarray:
+    """Bit-wise Pearson correlation coefficient of two packed streams."""
+    length = check_stream_length(length)
+    both, na, nb = _joint_counts(np.asarray(a), np.asarray(b), length)
+    pa, pb, p11 = na / length, nb / length, both / length
+    var_a = pa * (1.0 - pa)
+    var_b = pb * (1.0 - pb)
+    den = np.sqrt(var_a * var_b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(den > 1e-12,
+                        (p11 - pa * pb) / np.where(den > 1e-12, den, 1.0),
+                        0.0)
+
+
+def decorrelate(stream: np.ndarray, length: int, seed: int = 0) -> np.ndarray:
+    """Re-randomize a stream's bit order (an ideal isolator).
+
+    The returned stream has exactly the same ones count (same value) but
+    a private pseudo-random bit order, so its SCC against any other
+    stream collapses toward 0.  Models a depermutation/isolator stage;
+    real hardware approximates this with D-flip-flop delays or separate
+    SNG re-generation.
+    """
+    length = check_stream_length(length)
+    rng = spawn_rng(seed, "decorrelate")
+    bits = ops.unpack_bits(np.asarray(stream), length)
+    perm = rng.permutation(length)
+    return ops.pack_bits(bits[..., perm])
+
+
+def multiply_error_vs_scc(value_a: float = 0.5, value_b: float = 0.5,
+                          length: int = 2048, seed: int = 0) -> dict:
+    """Measure XNOR multiply error for independent vs shared-RNG streams.
+
+    Returns ``{"independent": (scc, error), "shared": (scc, error)}``
+    where error is the absolute deviation from the true product.  With a
+    shared RNG the streams for equal values are bit-identical (SCC = 1)
+    and the XNOR computes 1 instead of a·b — the classic SC hazard.
+    """
+    rng = spawn_rng(seed, "mul-vs-scc")
+    pa = (value_a + 1.0) / 2.0
+    pb = (value_b + 1.0) / 2.0
+    u1 = rng.random(length)
+    u2 = rng.random(length)
+    results = {}
+    for label, (ua, ub) in (("independent", (u1, u2)), ("shared", (u1, u1))):
+        a = ops.pack_bits(ua < pa)
+        b = ops.pack_bits(ub < pb)
+        prod = ops.xnor_(a, b, length)
+        decoded = 2.0 * ops.popcount(prod, length) / length - 1.0
+        results[label] = (
+            float(scc(a, b, length)),
+            float(abs(decoded - value_a * value_b)),
+        )
+    return results

@@ -1,0 +1,96 @@
+"""Stochastic number encodings (Section 3.2).
+
+A stochastic bit-stream of length ``L`` containing ``k`` ones carries the
+probability ``p = k / L``.  Two encodings map a real value ``x`` onto that
+probability:
+
+* **unipolar**: ``x in [0, 1]`` with ``p = x``;
+* **bipolar**:  ``x in [-1, 1]`` with ``p = (x + 1) / 2``.
+
+Values outside those ranges must be *pre-scaled* first (the paper cites
+Yuan et al. (45) for this); :func:`prescale` implements the standard
+divide-by-constant scheme and returns the scaling factor so callers can
+scale results back.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.utils.validation import (
+    as_float_array,
+    check_bipolar,
+    check_probability,
+)
+
+__all__ = [
+    "Encoding",
+    "to_probability",
+    "from_probability",
+    "prescale",
+    "encoding_range",
+]
+
+
+class Encoding(enum.Enum):
+    """Bit-stream value encoding: unipolar [0, 1] or bipolar [-1, 1]."""
+
+    UNIPOLAR = "unipolar"
+    BIPOLAR = "bipolar"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def encoding_range(encoding: Encoding) -> tuple:
+    """Return the representable (low, high) value range of ``encoding``."""
+    if encoding is Encoding.UNIPOLAR:
+        return (0.0, 1.0)
+    if encoding is Encoding.BIPOLAR:
+        return (-1.0, 1.0)
+    raise ValueError(f"unknown encoding: {encoding!r}")
+
+
+def to_probability(values, encoding: Encoding) -> np.ndarray:
+    """Map real values to the ones-probability of their bit-streams.
+
+    Raises ``ValueError`` if any value falls outside the representable
+    range of ``encoding``.
+    """
+    if encoding is Encoding.UNIPOLAR:
+        return check_probability(values)
+    if encoding is Encoding.BIPOLAR:
+        return (check_bipolar(values) + 1.0) / 2.0
+    raise ValueError(f"unknown encoding: {encoding!r}")
+
+
+def from_probability(probs, encoding: Encoding) -> np.ndarray:
+    """Inverse of :func:`to_probability`: decode probabilities to values."""
+    probs = as_float_array(probs, "probs")
+    if encoding is Encoding.UNIPOLAR:
+        return probs
+    if encoding is Encoding.BIPOLAR:
+        return probs * 2.0 - 1.0
+    raise ValueError(f"unknown encoding: {encoding!r}")
+
+
+def prescale(values, encoding: Encoding = Encoding.BIPOLAR):
+    """Scale ``values`` into the representable range of ``encoding``.
+
+    Returns ``(scaled_values, factor)`` where ``values = scaled * factor``
+    and ``factor >= 1``.  The factor is chosen as the smallest power of two
+    that brings every value into range, mirroring the hardware-friendly
+    shift-based pre-scaling of (45).  If everything is already in range the
+    factor is 1 and the input is returned unchanged (as a float array).
+    """
+    arr = as_float_array(values, "values")
+    low, high = encoding_range(encoding)
+    peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if encoding is Encoding.UNIPOLAR and arr.size and float(arr.min()) < low:
+        raise ValueError("unipolar pre-scaling cannot fix negative values")
+    if peak <= high:
+        return arr, 1.0
+    factor = float(2 ** int(np.ceil(np.log2(peak / high))))
+    return arr / factor, factor

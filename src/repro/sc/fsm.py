@@ -1,0 +1,72 @@
+"""Saturating-counter finite-state-machine engine.
+
+Both SC activation functions in the paper are saturating counters:
+
+* **Stanh** (Figure 6) — a K-state FSM stepping ±1 per input bit;
+* **Btanh** — a saturated up/down counter stepping by the (signed) binary
+  output of the APC each cycle.
+
+This module provides one vectorized engine for both.  The per-cycle loop
+is unavoidable (each state depends on the previous one), but it is
+vectorized across the batch: simulating every neuron of a LeNet-5 layer
+costs ``length`` iterations of O(neurons) numpy work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["saturating_counter"]
+
+
+def saturating_counter(
+    increments: np.ndarray,
+    n_states: int,
+    init: int = None,
+    threshold: int = None,
+) -> np.ndarray:
+    """Run a saturating up/down counter over per-cycle increments.
+
+    Parameters
+    ----------
+    increments:
+        Integer array of shape ``(..., T)``; the counter adds
+        ``increments[..., t]`` at cycle ``t`` and saturates into
+        ``[0, n_states - 1]``.
+    n_states:
+        Number of counter states (the paper's ``K``).
+    init:
+        Initial state; defaults to ``n_states // 2`` (the FSM's centre,
+        so a zero-mean input yields a zero-mean bipolar output).
+    threshold:
+        Output is 1 whenever the *updated* state is ``>= threshold``.
+        Defaults to ``n_states // 2`` — the right half of the Figure 6
+        diagram.  The re-designed Stanh of Figure 11 passes
+        ``round(n_states / 5)`` instead.
+
+    Returns
+    -------
+    Boolean array of shape ``(..., T)`` — the output bit-stream(s).
+    """
+    n_states = check_positive_int(n_states, "n_states")
+    inc = np.asarray(increments)
+    if not np.issubdtype(inc.dtype, np.integer):
+        raise ValueError(f"increments must be integers, got dtype {inc.dtype}")
+    if init is None:
+        init = n_states // 2
+    if threshold is None:
+        threshold = n_states // 2
+    if not 0 <= init <= n_states - 1:
+        raise ValueError(f"init state {init} outside [0, {n_states - 1}]")
+
+    T = inc.shape[-1]
+    state = np.full(inc.shape[:-1], init, dtype=np.int64)
+    out = np.empty(inc.shape, dtype=bool)
+    hi = n_states - 1
+    for t in range(T):
+        state += inc[..., t]
+        np.clip(state, 0, hi, out=state)
+        out[..., t] = state >= threshold
+    return out

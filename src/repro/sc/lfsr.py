@@ -1,0 +1,141 @@
+"""Maximal-length linear-feedback shift registers.
+
+The paper's peripheral circuitry generates stochastic bit-streams with
+LFSR-based random number generators (Kim et al., ASP-DAC'16, ref (22)).
+This module implements Fibonacci LFSRs with known maximal-length tap sets
+for widths 3..24, giving a period of ``2**width - 1``.
+
+The LFSR state sequence is used two ways:
+
+* as the random source of a comparator-based SNG (:class:`~repro.sc.rng.LfsrSNG`),
+* as the select-signal generator of MUX-based adders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["maximal_taps", "LFSR"]
+
+# Taps (1-indexed from the output bit, XOR feedback) producing maximal-length
+# sequences.  Source: standard m-sequence tap tables (Xilinx XAPP052).
+_MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+}
+
+
+def maximal_taps(width: int) -> tuple:
+    """Return a maximal-length tap tuple for ``width``-bit LFSRs."""
+    width = check_positive_int(width, "width")
+    try:
+        return _MAXIMAL_TAPS[width]
+    except KeyError:
+        raise ValueError(
+            f"no maximal-length taps recorded for width {width}; "
+            f"supported widths: {sorted(_MAXIMAL_TAPS)}"
+        ) from None
+
+
+class LFSR:
+    """A Fibonacci LFSR producing a maximal-length pseudo-random sequence.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits; the period is ``2**width - 1``.
+    seed:
+        Initial state; any value whose low ``width`` bits are non-zero.
+    taps:
+        Optional explicit tap positions (1-indexed); defaults to a known
+        maximal-length set.
+
+    Examples
+    --------
+    >>> lfsr = LFSR(8, seed=1)
+    >>> states = lfsr.sequence(10)
+    >>> len(states), states.dtype
+    (10, dtype('uint32'))
+    """
+
+    def __init__(self, width: int, seed: int = 1, taps=None):
+        self.width = check_positive_int(width, "width")
+        self.taps = tuple(taps) if taps is not None else maximal_taps(width)
+        if any(t < 1 or t > width for t in self.taps):
+            raise ValueError(f"taps {self.taps} out of range for width {width}")
+        mask = (1 << width) - 1
+        state = seed & mask
+        if state == 0:
+            # The all-zeros state is the LFSR's single fixed point; bump it.
+            state = 1
+        self._mask = mask
+        self._state = state
+        self._tap_mask = 0
+        for t in self.taps:
+            self._tap_mask |= 1 << (t - 1)
+
+    @property
+    def period(self) -> int:
+        """The sequence period, ``2**width - 1`` for maximal taps."""
+        return (1 << self.width) - 1
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one cycle and return the new state."""
+        feedback = bin(self._state & self._tap_mask).count("1") & 1
+        self._state = ((self._state << 1) | feedback) & self._mask
+        return self._state
+
+    def sequence(self, n: int) -> np.ndarray:
+        """Return the next ``n`` states as a uint32 array.
+
+        The Python loop is acceptable here: SNGs sample the LFSR once and
+        reuse the sequence across all values (hardware shares RNGs the same
+        way, see Section 5.1 of the paper).
+        """
+        n = check_positive_int(n, "n")
+        out = np.empty(n, dtype=np.uint32)
+        state = self._state
+        mask = self._mask
+        tap_mask = self._tap_mask
+        width = self.width
+        for i in range(n):
+            feedback = bin(state & tap_mask).count("1") & 1
+            state = ((state << 1) | feedback) & mask
+            out[i] = state
+        self._state = state
+        return out
+
+    def bits(self, n: int) -> np.ndarray:
+        """Return ``n`` single-bit outputs (the register MSB) as bools."""
+        states = self.sequence(n)
+        return ((states >> (self.width - 1)) & 1).astype(bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LFSR(width={self.width}, taps={self.taps}, state={self._state})"

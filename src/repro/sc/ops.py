@@ -1,0 +1,175 @@
+"""Vectorized logic operations on packed bit-streams.
+
+Bit-streams are stored packed, eight bits per byte (``numpy.uint8``), with
+the stream axis last:  a batch of shape ``(..., L)`` bits is stored as
+``(..., ceil(L/8))`` bytes.  Bit order within a byte is big-endian (numpy's
+``packbits`` default), so bit ``t`` of a stream lives at
+``byte[t // 8] >> (7 - t % 8)``.
+
+All functions here operate on raw packed arrays; :class:`repro.sc.bitstream.
+Bitstream` provides the user-facing wrapper.  Packing gives an 8x memory
+reduction and lets AND/OR/XNOR run as single vectorized byte-wise ops,
+which is what makes full bit-level simulation of LeNet-5 tractable (see
+DESIGN.md, "bit-packing").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_stream_length
+
+__all__ = [
+    "packed_nbytes",
+    "pad_mask",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "and_",
+    "or_",
+    "xor_",
+    "xnor_",
+    "not_",
+    "mux_select",
+    "segment_popcount",
+]
+
+# Number of set bits for every byte value; used for fast popcounts.
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint16
+)
+
+
+def packed_nbytes(length: int) -> int:
+    """Bytes needed to store ``length`` bits."""
+    length = check_stream_length(length)
+    return (length + 7) // 8
+
+
+def pad_mask(length: int) -> np.ndarray:
+    """Per-byte mask that zeroes the padding bits of the final byte.
+
+    Streams whose length is not a byte multiple carry unused trailing bits
+    in their last byte; every operation that can set bits (NOT, XNOR)
+    must re-apply this mask so popcounts stay correct.
+    """
+    nbytes = packed_nbytes(length)
+    mask = np.full(nbytes, 0xFF, dtype=np.uint8)
+    rem = length % 8
+    if rem:
+        mask[-1] = (0xFF << (8 - rem)) & 0xFF
+    return mask
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean/int array of bits (stream axis last) into bytes."""
+    bits = np.asarray(bits)
+    if bits.dtype != np.uint8:
+        bits = bits.astype(np.uint8)
+    return np.packbits(bits, axis=-1)
+
+
+def unpack_bits(data: np.ndarray, length: int) -> np.ndarray:
+    """Unpack bytes back into a uint8 bit array of exactly ``length`` bits."""
+    length = check_stream_length(length)
+    bits = np.unpackbits(np.ascontiguousarray(data), axis=-1)
+    return bits[..., :length]
+
+
+def popcount(data: np.ndarray, length: int = None) -> np.ndarray:
+    """Count set bits along the stream axis.
+
+    ``length`` is accepted for interface symmetry; padding bits are assumed
+    to be zero (all constructors and ops in this module maintain that
+    invariant).
+    """
+    return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
+
+
+def and_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise AND — the unipolar stochastic multiplier (Figure 4a)."""
+    return np.bitwise_and(a, b)
+
+
+def or_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise OR — the cheapest (and least accurate) adder (Figure 5a)."""
+    return np.bitwise_or(a, b)
+
+
+def xor_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise XOR."""
+    return np.bitwise_xor(a, b)
+
+
+def xnor_(a: np.ndarray, b: np.ndarray, length: int) -> np.ndarray:
+    """Bitwise XNOR — the bipolar stochastic multiplier (Figure 4b).
+
+    Padding bits are re-zeroed so downstream popcounts remain exact.
+    """
+    out = np.bitwise_not(np.bitwise_xor(a, b))
+    return np.bitwise_and(out, pad_mask(length))
+
+
+def not_(a: np.ndarray, length: int) -> np.ndarray:
+    """Bitwise NOT with padding-bit correction."""
+    return np.bitwise_and(np.bitwise_not(a), pad_mask(length))
+
+
+def mux_select(streams: np.ndarray, select: np.ndarray, length: int) -> np.ndarray:
+    """n-to-1 multiplexer: pick ``streams[..., select[t], t]`` at each cycle.
+
+    Parameters
+    ----------
+    streams:
+        Packed array of shape ``(..., n, nbytes)``.
+    select:
+        Integer array of shape ``(length,)`` with values in ``[0, n)`` —
+        the MUX select signal (one input chosen per clock cycle).
+    length:
+        Bit-stream length.
+
+    Returns
+    -------
+    Packed array of shape ``(..., nbytes)``.
+
+    Notes
+    -----
+    This is the scaled adder of Figure 5(b): the output probability is the
+    mean of the input probabilities, i.e. the sum scaled by ``1/n``.
+    """
+    length = check_stream_length(length)
+    select = np.asarray(select)
+    if select.shape != (length,):
+        raise ValueError(
+            f"select must have shape ({length},), got {select.shape}"
+        )
+    bits = unpack_bits(streams, length)  # (..., n, L)
+    n = bits.shape[-2]
+    if select.size and (select.min() < 0 or select.max() >= n):
+        raise ValueError(f"select values must lie in [0, {n}), got "
+                         f"[{select.min()}, {select.max()}]")
+    taken = np.take_along_axis(
+        bits, select.reshape((1,) * (bits.ndim - 2) + (1, length)), axis=-2
+    )[..., 0, :]
+    return pack_bits(taken)
+
+
+def segment_popcount(data: np.ndarray, length: int, segment: int) -> np.ndarray:
+    """Count set bits within consecutive ``segment``-bit slices.
+
+    Used by the hardware-oriented max pooling block (Figure 8), whose
+    counters tally ones per ``c``-bit segment.  ``segment`` must divide
+    ``length``.
+
+    Returns an int64 array of shape ``(..., length // segment)``.
+    """
+    length = check_stream_length(length)
+    if segment <= 0 or length % segment:
+        raise ValueError(
+            f"segment length {segment} must divide stream length {length}"
+        )
+    bits = unpack_bits(data, length)
+    nseg = length // segment
+    return bits.reshape(bits.shape[:-1] + (nseg, segment)).sum(
+        axis=-1, dtype=np.int64
+    )

@@ -1,0 +1,169 @@
+"""Stochastic number generators (SNGs).
+
+An SNG converts a real value into a stochastic bit-stream by comparing a
+(pseudo-)random sequence against the value's ones-probability each clock
+cycle.  Two generators are provided:
+
+:class:`IdealSNG`
+    Uses numpy's PCG64 — the "sufficiently random" assumption the paper's
+    accuracy analysis relies on.  This is the default everywhere.
+
+:class:`LfsrSNG`
+    Uses maximal-length LFSRs like the actual peripheral circuitry (ref
+    (22)).  Streams produced from the *same* LFSR are strongly correlated
+    (a known SC hazard); the generator therefore rotates over a pool of
+    differently-seeded LFSRs, mirroring the paper's RNG-sharing design.
+
+:class:`StreamFactory` bundles an SNG with seed management and exposes the
+high-level ``streams(values, length)`` API used by all function blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import Encoding, to_probability
+from repro.sc.lfsr import LFSR
+from repro.utils.seeding import derive_seed, spawn_rng
+from repro.utils.validation import check_positive_int, check_stream_length
+
+__all__ = ["IdealSNG", "LfsrSNG", "StreamFactory"]
+
+
+class IdealSNG:
+    """Comparator SNG driven by an ideal PRNG (numpy PCG64).
+
+    Each call to :meth:`generate` draws fresh, independent uniforms, so any
+    two generated streams are statistically independent — the ideal case
+    for AND/XNOR multipliers.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = spawn_rng(seed, "ideal-sng")
+
+    def generate(self, probs: np.ndarray, length: int) -> np.ndarray:
+        """Generate packed streams with ones-probability ``probs``.
+
+        Parameters
+        ----------
+        probs:
+            Array of probabilities in [0, 1]; output batch shape matches.
+        length:
+            Stream length in bits.
+
+        Returns
+        -------
+        Packed uint8 array of shape ``probs.shape + (ceil(length/8),)``.
+        """
+        length = check_stream_length(length)
+        probs = np.asarray(probs, dtype=np.float64)
+        uniforms = self._rng.random(probs.shape + (length,))
+        return ops.pack_bits(uniforms < probs[..., None])
+
+    def reseed(self, seed: int) -> None:
+        """Reset the generator to a deterministic state."""
+        self._seed = seed
+        self._rng = spawn_rng(seed, "ideal-sng")
+
+
+class LfsrSNG:
+    """Comparator SNG driven by a pool of maximal-length LFSRs.
+
+    Parameters
+    ----------
+    width:
+        LFSR width; the comparison threshold is ``round(p * (2**width - 1))``.
+    seed:
+        Root seed; per-stream LFSR initial states are derived from it.
+    pool:
+        Number of distinct LFSRs rotated across streams.  Streams assigned
+        the same pool entry share a random sequence and are *correlated*,
+        reproducing the hardware's RNG-sharing trade-off.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0, pool: int = 64):
+        self.width = check_positive_int(width, "width")
+        self.pool = check_positive_int(pool, "pool")
+        self._seed = seed
+        self._counter = 0
+
+    def generate(self, probs: np.ndarray, length: int) -> np.ndarray:
+        """Generate packed streams; see :meth:`IdealSNG.generate`."""
+        length = check_stream_length(length)
+        probs = np.asarray(probs, dtype=np.float64)
+        flat = probs.reshape(-1)
+        max_val = (1 << self.width) - 1
+        thresholds = np.round(flat * max_val).astype(np.int64)
+
+        # One LFSR sequence per pool slot, offset so repeated calls do not
+        # replay the identical window.
+        n_slots = min(self.pool, max(flat.size, 1))
+        sequences = np.empty((n_slots, length), dtype=np.int64)
+        for slot in range(n_slots):
+            lfsr = LFSR(
+                self.width,
+                seed=derive_seed(self._seed, "lfsr-sng", slot, self._counter)
+                % max_val
+                + 1,
+            )
+            sequences[slot] = lfsr.sequence(length)
+        self._counter += 1
+
+        slots = np.arange(flat.size) % n_slots
+        bits = sequences[slots] <= thresholds[:, None]
+        packed = ops.pack_bits(bits)
+        return packed.reshape(probs.shape + (packed.shape[-1],))
+
+    def reseed(self, seed: int) -> None:
+        """Reset the generator to a deterministic state."""
+        self._seed = seed
+        self._counter = 0
+
+
+class StreamFactory:
+    """High-level bit-stream factory used by all function blocks.
+
+    Bundles an SNG with an encoding and provides value-level APIs:
+
+    >>> fab = StreamFactory(seed=7)
+    >>> s = fab.streams([0.5, -0.25], length=1024)
+    >>> abs(s.value()[0] - 0.5) < 0.1
+    True
+
+    The ``select_signal`` method produces the uniformly-random MUX select
+    sequences needed by MUX-based adders and average pooling.
+    """
+
+    def __init__(self, seed: int = 0, encoding: Encoding = Encoding.BIPOLAR,
+                 sng: str = "ideal", lfsr_width: int = 16):
+        if sng == "ideal":
+            self.sng = IdealSNG(seed=seed)
+        elif sng == "lfsr":
+            self.sng = LfsrSNG(width=lfsr_width, seed=seed)
+        else:
+            raise ValueError(f"unknown sng kind {sng!r}; use 'ideal' or 'lfsr'")
+        self.encoding = encoding
+        self._select_rng = spawn_rng(seed, "mux-select")
+
+    def streams(self, values, length: int,
+                encoding: Encoding = None) -> Bitstream:
+        """Encode ``values`` into a batch of bit-streams."""
+        enc = encoding or self.encoding
+        probs = to_probability(values, enc)
+        return Bitstream(self.sng.generate(probs, length), length, enc)
+
+    def packed(self, values, length: int,
+               encoding: Encoding = None) -> np.ndarray:
+        """Encode values and return the raw packed array (hot paths)."""
+        enc = encoding or self.encoding
+        probs = to_probability(values, enc)
+        return self.sng.generate(probs, length)
+
+    def select_signal(self, n: int, length: int) -> np.ndarray:
+        """Uniform random MUX select signal: ``length`` ints in ``[0, n)``."""
+        n = check_positive_int(n, "n")
+        length = check_stream_length(length)
+        return self._select_rng.integers(0, n, size=length)

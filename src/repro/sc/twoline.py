@@ -1,0 +1,155 @@
+"""Two-line representation of stochastic numbers (Toral et al., ref (43)).
+
+A two-line stochastic number consists of a *magnitude* stream ``M(X)`` and
+a *sign* stream ``S(X)`` (1 = negative).  Its value is
+
+    x = (1/L) Σ_t (1 - 2·S(X_t)) · M(X_t)
+
+so each cycle carries a ternary digit in {-1, 0, +1}.  The two-line adder
+(Figure 5d) is *non-scaled*: it sums digits exactly, storing carry
+over/under-flow in a three-state counter.  Because the per-cycle output is
+bounded to {-1, 0, +1}, sums whose magnitude exceeds 1 overflow — the
+reason Section 4.1 rejects this design for inner products with many
+inputs.  The overflow is surfaced via :attr:`TwoLineStream.add`'s
+``overflow`` counter so the limitation is measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc import ops
+from repro.utils.validation import as_float_array, check_stream_length
+
+__all__ = ["TwoLineStream", "two_line_multiply", "two_line_add",
+           "two_line_sum"]
+
+
+class TwoLineStream:
+    """A (batch of) two-line stochastic number(s).
+
+    Attributes
+    ----------
+    magnitude, sign:
+        Packed uint8 arrays of shape ``(..., nbytes)``; a cycle carries
+        digit ``(1 - 2·sign) · magnitude``.
+    length:
+        Stream length in bits.
+    """
+
+    __slots__ = ("magnitude", "sign", "length")
+
+    def __init__(self, magnitude: np.ndarray, sign: np.ndarray, length: int):
+        length = check_stream_length(length)
+        magnitude = np.asarray(magnitude, dtype=np.uint8)
+        sign = np.asarray(sign, dtype=np.uint8)
+        if magnitude.shape != sign.shape:
+            raise ValueError(
+                f"magnitude/sign shape mismatch: {magnitude.shape} vs "
+                f"{sign.shape}"
+            )
+        self.magnitude = magnitude
+        self.sign = sign
+        self.length = length
+
+    @classmethod
+    def encode(cls, values, length: int, rng: np.random.Generator
+               ) -> "TwoLineStream":
+        """Encode real values in [-1, 1] as two-line streams.
+
+        The magnitude stream is Bernoulli(|x|); the sign stream is the
+        constant sign of ``x`` (matching the paper's example, where -0.5
+        has an all-ones sign stream).
+        """
+        arr = as_float_array(values, "values")
+        if arr.size and np.max(np.abs(arr)) > 1.0:
+            raise ValueError("two-line encoding requires values in [-1, 1]")
+        mag_bits = rng.random(arr.shape + (length,)) < np.abs(arr)[..., None]
+        sign_bits = np.broadcast_to((arr < 0)[..., None],
+                                    arr.shape + (length,))
+        return cls(ops.pack_bits(mag_bits), ops.pack_bits(sign_bits), length)
+
+    def digits(self) -> np.ndarray:
+        """Per-cycle ternary digits in {-1, 0, +1} as int8 ``(..., L)``."""
+        mag = ops.unpack_bits(self.magnitude, self.length).astype(np.int8)
+        sgn = ops.unpack_bits(self.sign, self.length).astype(np.int8)
+        return (1 - 2 * sgn) * mag
+
+    @classmethod
+    def from_digits(cls, digits: np.ndarray) -> "TwoLineStream":
+        """Build a stream from ternary digits (values in {-1, 0, +1})."""
+        digits = np.asarray(digits)
+        mag = (digits != 0)
+        sgn = (digits < 0)
+        return cls(ops.pack_bits(mag), ops.pack_bits(sgn), digits.shape[-1])
+
+    def value(self) -> np.ndarray:
+        """Decode: mean ternary digit."""
+        return self.digits().mean(axis=-1)
+
+    @property
+    def shape(self) -> tuple:
+        return self.magnitude.shape[:-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TwoLineStream(shape={self.shape}, length={self.length})"
+
+
+def two_line_multiply(a: TwoLineStream, b: TwoLineStream) -> TwoLineStream:
+    """Multiply two-line numbers: AND magnitudes, XOR signs."""
+    if a.length != b.length:
+        raise ValueError(f"length mismatch: {a.length} vs {b.length}")
+    mag = np.bitwise_and(a.magnitude, b.magnitude)
+    sgn = np.bitwise_and(np.bitwise_xor(a.sign, b.sign), mag)
+    return TwoLineStream(mag, sgn, a.length)
+
+
+def two_line_add(a: TwoLineStream, b: TwoLineStream):
+    """The two-line adder of Figure 5(d).
+
+    Per cycle, the digit sum plus the stored carry is split into an output
+    digit in {-1, 0, +1} and a new carry held in a three-state counter.
+    When the combined value exceeds what digit+carry can hold (|s| = 3),
+    the excess is *dropped* — that overflow count is returned so callers
+    can observe the non-scaled adder's failure mode.
+
+    Returns
+    -------
+    (TwoLineStream, int64 ndarray)
+        The sum stream and the per-stream overflow counts.
+    """
+    if a.length != b.length:
+        raise ValueError(f"length mismatch: {a.length} vs {b.length}")
+    da = a.digits().astype(np.int64)
+    db = b.digits().astype(np.int64)
+    T = a.length
+    carry = np.zeros(da.shape[:-1], dtype=np.int64)
+    out = np.empty(da.shape, dtype=np.int8)
+    overflow = np.zeros(da.shape[:-1], dtype=np.int64)
+    for t in range(T):
+        s = da[..., t] + db[..., t] + carry
+        digit = np.clip(s, -1, 1)
+        new_carry = s - digit
+        lost = np.abs(new_carry) > 1
+        overflow += lost
+        carry = np.clip(new_carry, -1, 1)
+        out[..., t] = digit
+    return TwoLineStream.from_digits(out), overflow
+
+
+def two_line_sum(streams):
+    """Sum several two-line numbers with a cascade of two-line adders.
+
+    Returns ``(sum_stream, total_overflow)``.  With more than two inputs
+    the non-scaled representation saturates frequently — reproducing the
+    limitation Section 4.1 cites for rejecting this design.
+    """
+    streams = list(streams)
+    if not streams:
+        raise ValueError("cannot sum zero streams")
+    acc = streams[0]
+    overflow = np.zeros(acc.shape, dtype=np.int64)
+    for nxt in streams[1:]:
+        acc, lost = two_line_add(acc, nxt)
+        overflow += lost
+    return acc, overflow

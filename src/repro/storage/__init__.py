@@ -1,0 +1,34 @@
+"""Weight storage schemes and optimizations (Section 5).
+
+* :mod:`repro.storage.quantization` — the low-precision weight storage
+  mapping ``y = Int((x+1)/2 · 2^w) / 2^w`` of Section 5.2;
+* :mod:`repro.storage.layerwise` — layer-wise precision assignment
+  (Section 5.3), including the network-error sweeps behind Figure 13;
+* :mod:`repro.storage.sharing` — the filter-aware SRAM sharing scheme of
+  Section 5.1 and its area/routing accounting.
+"""
+
+from repro.storage.quantization import (
+    quantize_weights,
+    dequantize_codes,
+    quantization_error,
+    quantize_model,
+)
+from repro.storage.layerwise import (
+    precision_sweep,
+    layerwise_precision_search,
+    storage_savings,
+)
+from repro.storage.sharing import FilterSharingPlan, lenet_sharing_plan
+
+__all__ = [
+    "quantize_weights",
+    "dequantize_codes",
+    "quantization_error",
+    "quantize_model",
+    "precision_sweep",
+    "layerwise_precision_search",
+    "storage_savings",
+    "FilterSharingPlan",
+    "lenet_sharing_plan",
+]

@@ -1,0 +1,101 @@
+"""Low-precision weight storage (Section 5.2).
+
+The paper stores a weight ``x ∈ [-1, 1]`` as the ``w``-bit binary code
+
+    y = Int((x + 1)/2 · 2^w) / 2^w
+
+i.e. the truncated fixed-point representation of the shifted value.  At
+inference the hardware reconstructs ``x̂ = 2·y - 1``.  The experiments in
+Figure 13 reduce ``w`` for single layers or all layers and measure the
+network error rate; ``w >= 7`` is reported to be indistinguishable from
+full precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_array, check_positive_int
+
+__all__ = ["quantize_weights", "dequantize_codes", "quantization_error",
+           "quantize_model"]
+
+
+def quantize_weights(weights, bits: int) -> np.ndarray:
+    """Return the integer SRAM codes for ``weights`` (paper's ``Int`` map).
+
+    Values are clipped to [-1, 1] first (trained LeNet-5 weights stay
+    well inside that range); the code range is ``[0, 2^w]`` where the top
+    code only occurs for ``x = 1`` exactly.
+
+    Precisions beyond float64's 52-bit mantissa are capped at 52: the
+    mapping is already lossless there (the Section 5.2 baseline stores
+    64-bit words, whose extra bits carry no information the float
+    weights ever had).
+    """
+    bits = min(check_positive_int(bits, "bits"), 52)
+    w = as_float_array(weights, "weights")
+    clipped = np.clip(w, -1.0, 1.0)
+    scale = float(1 << bits)
+    return np.floor((clipped + 1.0) / 2.0 * scale).astype(np.int64)
+
+
+def dequantize_codes(codes, bits: int) -> np.ndarray:
+    """Reconstruct weight values from SRAM codes: ``x̂ = 2·(y/2^w) - 1``.
+
+    Precisions beyond 52 bits are capped to match
+    :func:`quantize_weights`.
+    """
+    bits = min(check_positive_int(bits, "bits"), 52)
+    scale = float(1 << bits)
+    return np.asarray(codes, dtype=np.float64) / scale * 2.0 - 1.0
+
+
+def quantization_error(weights, bits: int) -> dict:
+    """Weight-domain error statistics of the storage mapping.
+
+    Returns ``max_abs``, ``mean_abs`` and ``rmse``.  The truncation step
+    is ``2 / 2^w``, so ``max_abs`` is bounded by it.
+    """
+    w = as_float_array(weights, "weights")
+    restored = dequantize_codes(quantize_weights(w, bits), bits)
+    err = np.abs(np.clip(w, -1.0, 1.0) - restored)
+    return {
+        "max_abs": float(err.max()) if err.size else 0.0,
+        "mean_abs": float(err.mean()) if err.size else 0.0,
+        "rmse": float(np.sqrt((err ** 2).mean())) if err.size else 0.0,
+    }
+
+
+def quantize_model(model, bits_per_layer) -> None:
+    """Quantize a LeNet-5's weight parameters in place.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.nn.module.Sequential` whose weight-bearing layers
+        appear in network order (conv1, conv2, fc1, fc2 for LeNet-5).
+    bits_per_layer:
+        Either an int (uniform precision), or a sequence with one entry
+        per weight-bearing layer.  LeNet-5 convenience: a 3-tuple is
+        interpreted as the Section 5.3 (Layer0, Layer1, Layer2) scheme
+        with the output layer inheriting Layer2's precision.
+
+    Biases are left untouched (the hardware keeps them in the activation
+    FSM's binary domain).
+    """
+    weight_params = [p for p in model.params if p.name.endswith("_w")]
+    if isinstance(bits_per_layer, int):
+        bits_list = [bits_per_layer] * len(weight_params)
+    else:
+        bits_list = [int(b) for b in bits_per_layer]
+        if len(bits_list) == 3 and len(weight_params) == 4:
+            bits_list = bits_list + [bits_list[-1]]
+    if len(bits_list) != len(weight_params):
+        raise ValueError(
+            f"need {len(weight_params)} precisions, got {len(bits_list)}"
+        )
+    for param, bits in zip(weight_params, bits_list):
+        param.value = dequantize_codes(
+            quantize_weights(param.value, bits), bits
+        )

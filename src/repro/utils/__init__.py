@@ -1,0 +1,20 @@
+"""Shared utilities: validation helpers and seeded RNG management."""
+
+from repro.utils.validation import (
+    check_probability,
+    check_bipolar,
+    check_positive_int,
+    check_stream_length,
+    as_float_array,
+)
+from repro.utils.seeding import spawn_rng, derive_seed
+
+__all__ = [
+    "check_probability",
+    "check_bipolar",
+    "check_positive_int",
+    "check_stream_length",
+    "as_float_array",
+    "spawn_rng",
+    "derive_seed",
+]

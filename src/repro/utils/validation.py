@@ -1,0 +1,72 @@
+"""Input-validation helpers used across the library.
+
+All validators raise ``ValueError`` with a message naming the offending
+parameter, so user errors surface at the public API boundary rather than as
+cryptic numpy broadcasting failures deep in the bit-level simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_probability",
+    "check_bipolar",
+    "check_positive_int",
+    "check_stream_length",
+    "as_float_array",
+]
+
+
+def as_float_array(values, name: str = "values") -> np.ndarray:
+    """Convert ``values`` to a float64 numpy array, rejecting non-numerics."""
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got non-finite entries")
+    return arr
+
+
+def check_probability(values, name: str = "values") -> np.ndarray:
+    """Validate that every entry lies in the unipolar range [0, 1]."""
+    arr = as_float_array(values, name)
+    if arr.size and (arr.min() < 0.0 or arr.max() > 1.0):
+        raise ValueError(
+            f"{name} must lie in [0, 1] for unipolar encoding; "
+            f"got range [{arr.min():.4f}, {arr.max():.4f}]. "
+            "Pre-scale the inputs (repro.sc.encoding.prescale) first."
+        )
+    return arr
+
+
+def check_bipolar(values, name: str = "values") -> np.ndarray:
+    """Validate that every entry lies in the bipolar range [-1, 1]."""
+    arr = as_float_array(values, name)
+    if arr.size and (arr.min() < -1.0 or arr.max() > 1.0):
+        raise ValueError(
+            f"{name} must lie in [-1, 1] for bipolar encoding; "
+            f"got range [{arr.min():.4f}, {arr.max():.4f}]. "
+            "Pre-scale the inputs (repro.sc.encoding.prescale) first."
+        )
+    return arr
+
+
+def check_positive_int(value, name: str = "value") -> int:
+    """Validate a strictly positive integer parameter."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_stream_length(length) -> int:
+    """Validate a bit-stream length.
+
+    Lengths need not be powers of two, but must be positive.  Extremely long
+    streams are rejected to protect against accidental memory blow-ups in
+    the packed simulator.
+    """
+    length = check_positive_int(length, "length")
+    if length > 1 << 22:
+        raise ValueError(f"stream length {length} is unreasonably large (> 2^22)")
+    return length

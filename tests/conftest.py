@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (a briefly-trained LeNet-5, a small dataset) are
+session-scoped; individual tests stay fast by using short bit-streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import generate_dataset, to_bipolar
+from repro.nn.lenet import build_lenet5
+from repro.nn.trainer import Trainer
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small synthetic digit dataset: (x_train, y_train, x_test, y_test)."""
+    return generate_dataset(n_train=600, n_test=200, seed=123)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_lenet(small_dataset):
+    """A LeNet-5 trained for a couple of epochs — enough to beat chance
+    decisively, cheap enough for CI."""
+    x_train, y_train, x_test, y_test = small_dataset
+    model = build_lenet5("max", seed=0)
+    trainer = Trainer(model, lr=0.06, batch_size=64, seed=0)
+    trainer.fit(to_bipolar(x_train), y_train, epochs=3)
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def cached_lenet():
+    """The fully-trained LeNet-5 (disk-cached; trains once per machine).
+
+    Used only by tests that assert on end-to-end SC classification
+    quality, where the briefly-trained fixture's small logit margins make
+    bit-level results too noisy to bound reliably."""
+    from repro.data.cache import get_trained_lenet
+    return get_trained_lenet(pooling="max")

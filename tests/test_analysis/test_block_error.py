@@ -1,0 +1,93 @@
+"""Tests for the Table 1-5 / Figure 14 measurement harnesses.
+
+These assert the *shapes* the paper reports (orderings and trends), with
+reduced trial counts to stay fast; the benchmarks print the full grids.
+"""
+
+import pytest
+
+from repro.analysis.block_error import (
+    apc_relative_error,
+    feb_inaccuracy,
+    maxpool_deviation,
+    mux_inner_product_error,
+    or_inner_product_error,
+    stanh_curve,
+    stanh_inaccuracy,
+)
+from repro.sc.encoding import Encoding
+
+
+class TestTable1Harness:
+    def test_bipolar_worse_than_unipolar(self):
+        uni = or_inner_product_error(16, 512, Encoding.UNIPOLAR, trials=16)
+        bip = or_inner_product_error(16, 512, Encoding.BIPOLAR, trials=16)
+        assert bip > uni
+
+    def test_bipolar_error_grows_with_n(self):
+        small = or_inner_product_error(16, 512, Encoding.BIPOLAR, trials=16)
+        large = or_inner_product_error(64, 512, Encoding.BIPOLAR, trials=16)
+        assert large > small
+
+
+class TestTable2Harness:
+    def test_error_shrinks_with_length(self):
+        short = mux_inner_product_error(16, 256, trials=32)
+        long_ = mux_inner_product_error(16, 4096, trials=32)
+        assert long_ < short
+
+    def test_error_grows_with_inputs(self):
+        small = mux_inner_product_error(16, 1024, trials=32)
+        large = mux_inner_product_error(64, 1024, trials=32)
+        assert large > small
+
+
+class TestTable3Harness:
+    def test_below_two_percent(self):
+        """Paper: APC stays within ~1% of the exact counter."""
+        assert apc_relative_error(16, 256, trials=24) < 0.02
+
+    def test_shrinks_with_inputs(self):
+        small = apc_relative_error(16, 256, trials=24)
+        large = apc_relative_error(64, 256, trials=24)
+        assert large < small
+
+
+class TestTable4Harness:
+    def test_deviation_shrinks_with_length(self):
+        short = maxpool_deviation(4, 128, trials=100)
+        long_ = maxpool_deviation(4, 512, trials=100)
+        assert long_ < short
+
+    def test_deviation_grows_with_candidates(self):
+        few = maxpool_deviation(4, 256, trials=100)
+        many = maxpool_deviation(16, 256, trials=100)
+        assert many > few
+
+    def test_magnitude_matches_paper(self):
+        """Paper Table 4: deviations in the 0.05-0.17 band."""
+        dev = maxpool_deviation(4, 128, trials=150)
+        assert 0.01 < dev < 0.25
+
+
+class TestTable5Harness:
+    def test_notable_inaccuracy(self):
+        """Paper: ~7-10% inaccuracy, not suppressed by K."""
+        err = stanh_inaccuracy(8, length=4096, trials=100)
+        assert 0.03 < err < 0.30
+
+    def test_curve_tracks_tanh(self):
+        x, measured, expected = stanh_curve(8, length=8192, points=9)
+        assert abs(measured - expected).mean() < 0.1
+
+
+class TestFigure14Harness:
+    def test_apc_beats_mux(self):
+        mux = feb_inaccuracy("mux-avg", 16, 512, trials=16)
+        apc = feb_inaccuracy("apc-max", 16, 512, trials=16)
+        assert apc < mux
+
+    def test_mux_degrades_with_inputs(self):
+        small = feb_inaccuracy("mux-avg", 16, 512, trials=16)
+        large = feb_inaccuracy("mux-avg", 128, 512, trials=16)
+        assert large > small

@@ -1,0 +1,53 @@
+"""Tests for the Figure 16 layer-sensitivity harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import NoisyForward, layer_noise_sensitivity
+from repro.data.synthetic_mnist import to_bipolar
+
+
+class TestNoisyForward:
+    def test_zero_sigma_matches_model(self, tiny_trained_lenet,
+                                      small_dataset):
+        _, _, x_test, _ = small_dataset
+        x = to_bipolar(x_test)[:32]
+        noisy = NoisyForward(tiny_trained_lenet, stage=0, sigma=0.0)
+        np.testing.assert_allclose(
+            noisy.forward(x),
+            tiny_trained_lenet.forward(x, training=False),
+        )
+
+    def test_noise_changes_outputs(self, tiny_trained_lenet,
+                                   small_dataset):
+        _, _, x_test, _ = small_dataset
+        x = to_bipolar(x_test)[:8]
+        noisy = NoisyForward(tiny_trained_lenet, stage=1, sigma=0.5)
+        clean = tiny_trained_lenet.forward(x, training=False)
+        assert not np.allclose(noisy.forward(x), clean)
+
+    def test_invalid_stage_rejected(self, tiny_trained_lenet):
+        with pytest.raises(ValueError, match="stage"):
+            NoisyForward(tiny_trained_lenet, stage=5, sigma=0.1)
+
+
+class TestLayerSensitivity:
+    def test_error_grows_with_noise(self, tiny_trained_lenet,
+                                    small_dataset):
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:120]
+        y = y_test[:120]
+        result = layer_noise_sensitivity(
+            tiny_trained_lenet, x, y, sigmas=(0.0, 0.6)
+        )
+        for layer in ("Layer0", "Layer1", "Layer2"):
+            assert result[layer][1] >= result[layer][0] - 1.0
+
+    def test_result_structure(self, tiny_trained_lenet, small_dataset):
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:40]
+        result = layer_noise_sensitivity(
+            tiny_trained_lenet, x, y_test[:40], sigmas=(0.0, 0.2)
+        )
+        assert set(result) == {"Layer0", "Layer1", "Layer2", "sigmas"}
+        assert len(result["Layer1"]) == 2

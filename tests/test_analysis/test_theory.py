@@ -1,0 +1,116 @@
+"""Cross-validation of the analytic error models against simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import theory
+from repro.sc import adders, ops
+from repro.sc.rng import StreamFactory
+
+
+@pytest.fixture()
+def factory():
+    return StreamFactory(seed=0)
+
+
+class TestSngDecodeStd:
+    def test_matches_simulation(self, factory):
+        value, L, runs = 0.3, 512, 200
+        decoded = np.empty(runs)
+        for i in range(runs):
+            s = factory.packed(value, L)
+            decoded[i] = 2.0 * ops.popcount(s, L) / L - 1.0
+        predicted = float(theory.sng_decode_std(value, L))
+        assert decoded.std() == pytest.approx(predicted, rel=0.25)
+
+    def test_worst_case_at_zero(self):
+        assert (theory.sng_decode_std(0.0, 1024)
+                > theory.sng_decode_std(0.9, 1024))
+
+
+class TestMuxStd:
+    def test_matches_simulation(self, factory, rng):
+        n, L, runs = 16, 512, 150
+        x = rng.uniform(-1, 1, n)
+        w = rng.uniform(-1, 1, n)
+        errs = np.empty(runs)
+        for i in range(runs):
+            xs = factory.packed(x, L)
+            ws = factory.packed(w, L)
+            prod = ops.xnor_(xs, ws, L)
+            sel = factory.select_signal(n, L)
+            out = adders.mux_add(prod, sel, L)
+            est = (2.0 * ops.popcount(out, L) / L - 1.0) * n
+            errs[i] = est - (x * w).sum()
+        predicted = theory.mux_inner_product_std(n, L)
+        assert errs.std() == pytest.approx(predicted, rel=0.3)
+
+    def test_scaling_laws(self):
+        assert (theory.mux_inner_product_std(64, 512)
+                > 3 * theory.mux_inner_product_std(16, 512))
+        assert (theory.mux_inner_product_std(16, 2048)
+                < theory.mux_inner_product_std(16, 512))
+
+
+class TestApcStd:
+    def test_matches_simulation(self, factory, rng):
+        n, L, runs = 32, 256, 150
+        x = rng.uniform(-1, 1, n)
+        w = rng.uniform(-1, 1, n)
+        errs = np.empty(runs)
+        for i in range(runs):
+            xs = factory.packed(x, L)
+            ws = factory.packed(w, L)
+            counts = adders.parallel_counter(ops.xnor_(xs, ws, L), L)
+            est = (2.0 * counts.sum() - n * L) / L
+            errs[i] = est - (x * w).sum()
+        predicted = theory.apc_inner_product_std(n, L)
+        assert errs.std() == pytest.approx(predicted, rel=0.3)
+
+    def test_sqrt_n_growth(self):
+        assert (theory.apc_inner_product_std(64, 256)
+                == pytest.approx(2 * theory.apc_inner_product_std(16, 256),
+                                 rel=0.05))
+
+
+class TestOrExpectation:
+    def test_matches_simulation(self, factory):
+        from repro.sc.encoding import Encoding
+        probs = np.array([0.2, 0.3, 0.1])
+        fab = StreamFactory(seed=3, encoding=Encoding.UNIPOLAR)
+        streams = fab.packed(probs, 16384)
+        out = adders.or_add(streams)
+        measured = ops.popcount(out, 16384) / 16384
+        assert measured == pytest.approx(theory.or_add_expectation(probs),
+                                         abs=0.02)
+
+    def test_below_true_sum(self):
+        assert theory.or_add_expectation([0.4, 0.4]) < 0.8
+
+
+class TestStanhStationary:
+    @pytest.mark.parametrize("x", [-0.6, -0.2, 0.2, 0.6])
+    def test_close_to_tanh(self, x):
+        out = theory.stanh_stationary(8, x)
+        assert out == pytest.approx(np.tanh(4 * x), abs=0.05)
+
+    def test_saturates_at_extremes(self):
+        assert theory.stanh_stationary(8, 1.0) == 1.0
+        assert theory.stanh_stationary(8, -1.0) == -1.0
+
+    def test_matches_long_simulation(self, factory):
+        from repro.sc import activation
+        x, K, L = 0.25, 10, 1 << 16
+        s = factory.packed(x, L)
+        out = activation.stanh_packed(s, L, K)
+        measured = 2.0 * ops.popcount(out, L) / L - 1.0
+        assert measured == pytest.approx(theory.stanh_stationary(K, x),
+                                         abs=0.05)
+
+
+class TestBtanhGain:
+    def test_paper_sizings_give_unit_gain(self):
+        """K=2N direct and K=N/2 pooled both give gain 1 — the design
+        insight behind equation (3)."""
+        assert theory.btanh_gain(100, 200, pooled=False) == pytest.approx(1.0)
+        assert theory.btanh_gain(100, 50, pooled=True) == pytest.approx(1.0)

@@ -1,0 +1,58 @@
+"""Tests for the activation function blocks."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.activation import BtanhBlock, StanhBlock
+from repro.sc.rng import StreamFactory
+
+
+class TestStanhBlock:
+    def test_call_applies_fsm(self):
+        fab = StreamFactory(seed=0)
+        block = StanhBlock(8)
+        out = block(fab.streams(0.5, 8192))
+        assert float(out.value()) == pytest.approx(np.tanh(2.0), abs=0.08)
+
+    def test_mux_max_variant_threshold(self):
+        block = StanhBlock.mux_max_variant(20)
+        assert block.threshold == 4  # K/5
+
+    def test_expected_curve(self):
+        block = StanhBlock(10)
+        assert block.expected(0.2) == pytest.approx(np.tanh(1.0))
+
+    def test_threshold_must_be_below_states(self):
+        with pytest.raises(ValueError, match="threshold"):
+            StanhBlock(8, threshold=8)
+
+    def test_apply_packed_equivalent(self):
+        fab = StreamFactory(seed=1)
+        s = fab.streams(0.3, 512)
+        block = StanhBlock(6)
+        np.testing.assert_array_equal(block.apply_packed(s.data, 512),
+                                      block(s).data)
+
+
+class TestBtanhBlock:
+    def test_apply_counts(self, rng):
+        n = 8
+        counts = rng.integers(0, n + 1, (3, 256))
+        block = BtanhBlock(n, 2 * n)
+        bits = block.apply_counts(counts)
+        assert bits.shape == (3, 256)
+        assert bits.dtype == bool
+
+    def test_call_returns_stream(self, rng):
+        counts = rng.integers(0, 9, (256,))
+        block = BtanhBlock(8, 16)
+        out = block(counts[None, :])
+        assert out.length == 256
+
+    def test_saturating_behaviour(self):
+        n = 8
+        block = BtanhBlock(n, 2 * n)
+        high = block.apply_counts(np.full((1, 128), n, dtype=np.int64))
+        low = block.apply_counts(np.zeros((1, 128), dtype=np.int64))
+        assert high[0, 8:].all()
+        assert not low[0, 8:].any()

@@ -1,0 +1,156 @@
+"""Tests for the inner-product function blocks (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.inner_product import (
+    ApcInnerProduct,
+    MuxInnerProduct,
+    OrInnerProduct,
+    TwoLineInnerProduct,
+)
+from repro.sc.encoding import Encoding
+
+
+@pytest.fixture()
+def xw(rng):
+    n = 16
+    x = rng.uniform(-1, 1, (8, n))
+    w = rng.uniform(-1, 1, (8, n))
+    return x, w
+
+
+class TestOrInnerProduct:
+    def test_unipolar_rough_accuracy(self, rng):
+        n = 16
+        x = rng.uniform(0, 1, (8, n))
+        w = rng.uniform(0, 1, (8, n))
+        block = OrInnerProduct(n, 2048, encoding=Encoding.UNIPOLAR,
+                               scale=16.0)
+        est = block.compute(x, w)
+        ideal = block.ideal(x, w)
+        # Table 1 reports ~0.5 absolute error at n=16.
+        assert np.abs(est - ideal).mean() < 1.2
+
+    def test_bipolar_much_worse(self, rng):
+        """Table 1's conclusion: bipolar OR addition is unusable."""
+        n = 16
+        xu = rng.uniform(0, 1, (12, n))
+        wu = rng.uniform(0, 1, (12, n))
+        uni = OrInnerProduct(n, 1024, encoding=Encoding.UNIPOLAR, scale=16.0)
+        err_u = np.abs(uni.compute(xu, wu) - uni.ideal(xu, wu)).mean()
+        xb = rng.uniform(-1, 1, (12, n))
+        wb = rng.uniform(-1, 1, (12, n))
+        bip = OrInnerProduct(n, 1024, encoding=Encoding.BIPOLAR, scale=16.0)
+        err_b = np.abs(bip.compute(xb, wb) - bip.ideal(xb, wb)).mean()
+        assert err_b > err_u
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            OrInnerProduct(16, 256, scale=0.5)
+
+
+class TestMuxInnerProduct:
+    def test_estimates_inner_product(self, xw):
+        x, w = xw
+        block = MuxInnerProduct(16, 4096, seed=0)
+        est = block.compute(x, w)
+        ideal = block.ideal(x, w)
+        # Table 2: ~0.2 absolute error at n=16, L=4096.
+        assert np.abs(est - ideal).mean() < 0.6
+
+    def test_error_shrinks_with_length(self, xw):
+        """Table 2's trend: longer streams, better accuracy."""
+        x, w = xw
+        errs = []
+        for L in (256, 4096):
+            block = MuxInnerProduct(16, L, seed=0)
+            errs.append(np.abs(block.compute(x, w) - block.ideal(x, w))
+                        .mean())
+        assert errs[1] < errs[0]
+
+    def test_error_grows_with_input_size(self, rng):
+        """Table 2's trend: more inputs, more dropped bits."""
+        errs = []
+        for n in (16, 64):
+            x = rng.uniform(-1, 1, (10, n))
+            w = rng.uniform(-1, 1, (10, n))
+            block = MuxInnerProduct(n, 1024, seed=0)
+            errs.append(np.abs(block.compute(x, w) - block.ideal(x, w))
+                        .mean())
+        assert errs[1] > errs[0]
+
+    def test_output_stream_scaled(self, rng):
+        n = 8
+        x = rng.uniform(-1, 1, n)
+        w = rng.uniform(-1, 1, n)
+        block = MuxInnerProduct(n, 8192, seed=1)
+        from repro.sc.ops import popcount
+        stream = block.output_stream(x, w)
+        decoded = 2.0 * popcount(stream, 8192) / 8192 - 1.0
+        assert decoded * n == pytest.approx((x * w).sum(), abs=1.0)
+
+    def test_wrong_input_size_rejected(self):
+        block = MuxInnerProduct(16, 256)
+        with pytest.raises(ValueError, match="16"):
+            block.compute(np.zeros(8), np.zeros(8))
+
+
+class TestApcInnerProduct:
+    def test_high_accuracy(self, xw):
+        """APC keeps nearly all information (Section 4.1)."""
+        x, w = xw
+        block = ApcInnerProduct(16, 1024, seed=0)
+        est = block.compute(x, w)
+        assert np.abs(est - block.ideal(x, w)).mean() < 0.25
+
+    def test_approximate_close_to_exact(self, xw):
+        x, w = xw
+        approx = ApcInnerProduct(16, 512, seed=0, approximate=True)
+        exact = ApcInnerProduct(16, 512, seed=0, approximate=False)
+        diff = np.abs(approx.compute(x, w) - exact.compute(x, w))
+        assert diff.mean() < 0.2  # Table 3: ~1% of the value range
+
+    def test_count_stream_shape(self, xw):
+        x, w = xw
+        block = ApcInnerProduct(16, 256, seed=0)
+        counts = block.count_stream(x, w)
+        assert counts.shape == (8, 256)
+        assert counts.min() >= 0 and counts.max() <= 16
+
+    def test_more_accurate_than_mux(self, xw):
+        x, w = xw
+        apc = ApcInnerProduct(16, 1024, seed=0)
+        mux = MuxInnerProduct(16, 1024, seed=0)
+        err_apc = np.abs(apc.compute(x, w) - apc.ideal(x, w)).mean()
+        err_mux = np.abs(mux.compute(x, w) - mux.ideal(x, w)).mean()
+        assert err_apc < err_mux
+
+
+class TestTwoLineInnerProduct:
+    def test_small_sum_ok(self, rng):
+        n = 4
+        x = rng.uniform(-0.3, 0.3, n)
+        w = rng.uniform(-0.3, 0.3, n)
+        block = TwoLineInnerProduct(n, 4096, seed=0)
+        est, overflow = block.compute_with_overflow(x, w)
+        assert est == pytest.approx(float((x * w).sum()), abs=0.15)
+
+    def test_large_sum_overflows(self, rng):
+        """Section 4.1: overflow makes this block unusable for DCNNs."""
+        n = 16
+        x = np.full(n, 0.9)
+        w = np.full(n, 0.9)
+        block = TwoLineInnerProduct(n, 1024, seed=0)
+        est, overflow = block.compute_with_overflow(x, w)
+        assert est < 2.0  # true sum is ~13
+        assert overflow > 0
+
+    def test_rejects_unipolar(self):
+        with pytest.raises(ValueError, match="bipolar"):
+            TwoLineInnerProduct(4, 256, encoding=Encoding.UNIPOLAR)
+
+    def test_rejects_batched(self):
+        block = TwoLineInnerProduct(4, 256)
+        with pytest.raises(ValueError, match="one window"):
+            block.compute_with_overflow(np.zeros((2, 4)), np.zeros((2, 4)))

@@ -1,0 +1,137 @@
+"""Tests for the pooling function blocks (Section 4.2, Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.pooling import (
+    apc_average_pool,
+    apc_max_pool,
+    average_pool,
+    hardware_max_pool,
+    segment_selection,
+    software_max_pool,
+)
+from repro.sc import ops
+from repro.sc.encoding import Encoding
+from repro.sc.rng import StreamFactory
+
+
+@pytest.fixture()
+def factory():
+    return StreamFactory(seed=0, encoding=Encoding.UNIPOLAR)
+
+
+class TestAveragePool:
+    def test_mean_of_inputs(self, factory):
+        probs = np.array([0.2, 0.4, 0.6, 0.8])
+        streams = factory.packed(probs, 8192)
+        sel = factory.select_signal(4, 8192)
+        out = average_pool(streams, sel, 8192)
+        assert ops.popcount(out, 8192) / 8192 == pytest.approx(0.5, abs=0.03)
+
+
+class TestSegmentSelection:
+    def test_shifted_by_one(self):
+        scores = np.array([[1, 9, 1], [5, 2, 3], [0, 0, 8], [2, 1, 1]])
+        sel = segment_selection(scores)
+        # segment 0 fixed to row 0; then argmax of segments 0, 1.
+        np.testing.assert_array_equal(sel, [0, 1, 0])
+
+
+class TestHardwareMaxPool:
+    def test_tracks_maximum(self, factory):
+        """The selected stream's count approaches the true maximum
+        (Table 4: relative deviation ~0.06-0.17)."""
+        probs = np.array([0.2, 0.4, 0.6, 0.9])
+        streams = factory.packed(np.tile(probs, (20, 1)), 512)
+        out = hardware_max_pool(streams, 512, 16)
+        sw = software_max_pool(streams, 512)
+        dev = (np.abs(ops.popcount(sw, 512) - ops.popcount(out, 512))
+               / np.maximum(ops.popcount(sw, 512), 1))
+        assert dev.mean() < 0.15
+
+    def test_output_is_composed_of_input_segments(self, factory):
+        streams = factory.packed(np.array([0.3, 0.5, 0.7, 0.9]), 128)
+        out = hardware_max_pool(streams, 128, 16)
+        out_segs = out.reshape(8, 2)
+        in_segs = streams.reshape(4, 8, 2)
+        for j in range(8):
+            matches = (in_segs[:, j, :] == out_segs[j]).all(axis=-1)
+            assert matches.any()
+
+    def test_never_exceeds_true_max(self, factory):
+        streams = factory.packed(np.array([0.1, 0.2, 0.3, 0.95]), 512)
+        out = hardware_max_pool(streams, 512, 16)
+        assert (ops.popcount(out, 512)
+                <= ops.popcount(streams, 512).max() + 16)
+
+    def test_segment_must_be_byte_aligned(self, factory):
+        streams = factory.packed(np.full(4, 0.5), 120)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            hardware_max_pool(streams, 120, 12)
+
+    def test_length_must_be_segment_multiple(self, factory):
+        streams = factory.packed(np.full(4, 0.5), 120)
+        with pytest.raises(ValueError, match="multiple of segment"):
+            hardware_max_pool(streams, 120, 16)
+
+
+class TestSoftwareMaxPool:
+    def test_returns_largest(self, factory):
+        probs = np.array([0.1, 0.9, 0.4, 0.2])
+        streams = factory.packed(probs, 1024)
+        out = software_max_pool(streams, 1024)
+        np.testing.assert_array_equal(out, streams[1])
+
+    def test_batched(self, factory):
+        probs = np.array([[0.1, 0.8], [0.9, 0.3]])
+        streams = factory.packed(probs, 512)
+        out = software_max_pool(streams, 512)
+        np.testing.assert_array_equal(out[0], streams[0, 1])
+        np.testing.assert_array_equal(out[1], streams[1, 0])
+
+
+class TestApcAveragePool:
+    def test_nearest_rounding(self):
+        counts = np.array([[2], [3], [4], [5]], dtype=np.int64)
+        assert apc_average_pool(counts, rounding="nearest")[0] == 4
+
+    def test_floor_rounding_paper_example(self):
+        """'the mean of (2, 3, 4, 5) is 3.5, represented as 3'."""
+        counts = np.array([[2], [3], [4], [5]], dtype=np.int64)
+        assert apc_average_pool(counts, rounding="floor")[0] == 3
+
+    def test_unknown_rounding_rejected(self):
+        counts = np.zeros((4, 8), dtype=np.int64)
+        with pytest.raises(ValueError, match="rounding"):
+            apc_average_pool(counts, rounding="stochastic")
+
+    def test_float_counts_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            apc_average_pool(np.zeros((4, 8)))
+
+
+class TestApcMaxPool:
+    def test_selects_largest_count_stream(self, rng):
+        """Accumulators integrate noise away: the winner's counts
+        dominate the output (Section 4.4)."""
+        L = 512
+        base = rng.integers(0, 8, (4, L))
+        base[2] += 6  # clearly the largest
+        out = apc_max_pool(base, 16)
+        # After the first few segments the selection locks onto row 2.
+        assert out[64:].mean() == pytest.approx(base[2, 64:].mean(),
+                                                abs=0.5)
+
+    def test_output_counts_from_inputs(self, rng):
+        counts = rng.integers(0, 16, (4, 128))
+        out = apc_max_pool(counts, 16)
+        segs = counts.reshape(4, 8, 16)
+        out_segs = out.reshape(8, 16)
+        for j in range(8):
+            assert any((segs[k, j] == out_segs[j]).all() for k in range(4))
+
+    def test_bad_segment_rejected(self, rng):
+        counts = rng.integers(0, 4, (4, 100))
+        with pytest.raises(ValueError, match="segment"):
+            apc_max_pool(counts, 16)

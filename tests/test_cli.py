@@ -1,0 +1,32 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out
+
+    def test_experiment_registry_complete(self):
+        for key in ("table1", "table2", "table5", "fig14", "fig15",
+                    "table6", "table7"):
+            assert key in EXPERIMENTS
+
+    def test_table7_runs(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "SC-DCNN (No.11)" in out
+        assert "Nvidia Tesla C2075" in out
+
+    def test_table6_runs(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "No.12" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

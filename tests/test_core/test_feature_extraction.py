@@ -1,0 +1,119 @@
+"""Tests for the four feature extraction blocks (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_extraction import (
+    ApcAvgBtanh,
+    ApcMaxBtanh,
+    FEB_CLASSES,
+    MuxAvgStanh,
+    MuxMaxStanh,
+    make_feb,
+)
+
+ALL_KINDS = ("mux-avg", "mux-max", "apc-avg", "apc-max")
+
+
+@pytest.fixture()
+def window_inputs(rng):
+    n = 16
+    x = rng.uniform(-1, 1, (6, 4, n))
+    w = rng.uniform(-1, 1, (6, 4, n))
+    return x, w
+
+
+class TestMakeFeb:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_registry(self, kind):
+        feb = make_feb(kind, 16, 256)
+        assert type(feb) is FEB_CLASSES[kind]
+
+    def test_paper_names_accepted(self):
+        assert isinstance(make_feb("MUX-Avg-Stanh", 16, 256), MuxAvgStanh)
+        assert isinstance(make_feb("APC-Max-Btanh", 16, 256), ApcMaxBtanh)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="FEB kind"):
+            make_feb("or-avg", 16, 256)
+
+
+class TestStateSelection:
+    def test_defaults_use_paper_equations(self):
+        assert MuxAvgStanh(16, 1024).n_states == 10   # equation (1)
+        assert MuxMaxStanh(16, 1024).n_states == 14   # equation (2)
+        assert ApcAvgBtanh(16, 1024).n_states == 8    # equation (3)
+        assert ApcMaxBtanh(16, 1024).n_states == 32   # original (2N)
+
+    def test_override(self):
+        assert MuxAvgStanh(16, 1024, n_states=20).n_states == 20
+
+
+class TestReference:
+    def test_avg_reference(self, window_inputs):
+        x, w = window_inputs
+        feb = ApcAvgBtanh(16, 256)
+        expected = np.tanh((x * w).sum(-1).mean(-1))
+        np.testing.assert_allclose(feb.reference(x, w), expected)
+
+    def test_max_reference(self, window_inputs):
+        x, w = window_inputs
+        feb = ApcMaxBtanh(16, 256)
+        expected = np.tanh((x * w).sum(-1).max(-1))
+        np.testing.assert_allclose(feb.reference(x, w), expected)
+
+
+class TestForward:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_output_in_range(self, kind, window_inputs):
+        x, w = window_inputs
+        feb = make_feb(kind, 16, 256, seed=1)
+        out = feb.forward(x, w)
+        assert out.shape == (6,)
+        assert np.all(np.abs(out) <= 1.0)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_tracks_reference_sign_when_saturated(self, kind, rng):
+        """Strongly positive/negative receptive fields must come out
+        with the right sign from every design."""
+        n = 16
+        x = np.abs(rng.uniform(0.3, 1, (2, 4, n)))
+        w = np.ones((2, 4, n)) * 0.8
+        w[1] *= -1
+        feb = make_feb(kind, n, 1024, seed=2)
+        out = feb.forward(x, w)
+        assert out[0] > 0.2
+        assert out[1] < -0.2
+
+    def test_apc_max_most_accurate(self, rng):
+        """Section 6.1's headline ordering at moderate n and long L."""
+        n, L = 16, 1024
+        x = rng.uniform(-1, 1, (24, 4, n))
+        w = rng.uniform(-1, 1, (24, 4, n))
+        errs = {}
+        for kind in ALL_KINDS:
+            feb = make_feb(kind, n, L, seed=3)
+            errs[kind] = np.abs(feb.forward(x, w)
+                                - feb.reference(x, w)).mean()
+        assert errs["apc-max"] < errs["mux-avg"]
+        assert errs["apc-avg"] < errs["mux-avg"]
+
+    def test_wrong_window_shape_rejected(self):
+        feb = make_feb("apc-avg", 16, 256)
+        with pytest.raises(ValueError, match="shape"):
+            feb.forward(np.zeros((3, 16)), np.zeros((3, 16)))
+
+    def test_forward_stream_length(self, window_inputs):
+        x, w = window_inputs
+        feb = make_feb("mux-avg", 16, 256, seed=0)
+        stream = feb.forward_stream(x, w)
+        assert stream.length == 256
+        assert stream.shape == (6,)
+
+    def test_exact_counter_option(self, window_inputs):
+        x, w = window_inputs
+        approx = ApcAvgBtanh(16, 256, seed=0, approximate=True)
+        exact = ApcAvgBtanh(16, 256, seed=0, approximate=False)
+        # Same seeds → same streams; outputs should be near identical.
+        diff = np.abs(approx.forward(x, w) - exact.forward(x, w))
+        assert diff.mean() < 0.1

@@ -1,0 +1,71 @@
+"""Tests for the Section 6.3 holistic optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FEBKind, PoolKind
+from repro.core.optimizer import DesignPoint, HolisticOptimizer
+from repro.data.cache import TrainedModel
+from repro.data.synthetic_mnist import to_bipolar
+from repro.nn.trainer import evaluate_error_rate
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_trained_lenet, small_dataset):
+    _, _, x_test, y_test = small_dataset
+    err = evaluate_error_rate(tiny_trained_lenet, to_bipolar(x_test), y_test)
+    return TrainedModel(model=tiny_trained_lenet, pooling="max",
+                        x_test=x_test, y_test=y_test,
+                        software_error_pct=err)
+
+
+class TestHolisticOptimizer:
+    def test_candidate_combos_respect_layer2_restriction(self, trained):
+        opt = HolisticOptimizer(trained, eval_images=50)
+        combos = opt._candidate_kind_combos()
+        assert len(combos) == 4
+        assert all(c[2] is FEBKind.APC for c in combos)
+
+    def test_unrestricted_combos(self, trained):
+        opt = HolisticOptimizer(trained, eval_images=50,
+                                restrict_layer2_to_apc=False)
+        assert len(opt._candidate_kind_combos()) == 8
+
+    def test_evaluate_returns_design_point(self, trained):
+        from repro.core.config import NetworkConfig
+        opt = HolisticOptimizer(trained, eval_images=60, seed=0)
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 128,
+                                       ("APC", "APC", "APC"))
+        point = opt.evaluate(cfg)
+        assert isinstance(point, DesignPoint)
+        assert point.cost.area_mm2 > 0
+        assert "err" in point.summary()
+
+    def test_run_halves_lengths(self, trained):
+        """Passing configs are re-tested at L/2 (the paper's loop)."""
+        opt = HolisticOptimizer(trained, threshold_pct=100.0,
+                                eval_images=40, seed=0)
+        points = opt.run(max_length=128, min_length=64)
+        lengths = {p.config.length for p in points}
+        # With an infinite threshold everything survives both rounds.
+        assert lengths == {128, 64}
+
+    def test_strict_threshold_prunes(self, trained):
+        opt = HolisticOptimizer(trained, threshold_pct=-100.0,
+                                eval_images=40, seed=0)
+        assert opt.run(max_length=128, min_length=64) == []
+
+    def test_bad_evaluator_rejected(self, trained):
+        with pytest.raises(ValueError, match="evaluator"):
+            HolisticOptimizer(trained, evaluator="oracle")
+
+    def test_pareto_front(self, trained):
+        from repro.core.config import NetworkConfig
+        from repro.hw.network_cost import lenet_network_cost
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 128,
+                                       ("APC", "APC", "APC"))
+        cost = lenet_network_cost(cfg)
+        good = DesignPoint(cfg, 1.0, 0.0, cost)
+        bad = DesignPoint(cfg, 5.0, 4.0, cost)
+        front = HolisticOptimizer.pareto_front([good, bad])
+        assert good in front and bad not in front

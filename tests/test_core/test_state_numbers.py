@@ -1,0 +1,68 @@
+"""Tests for the state-number equations (1)-(3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.state_numbers import (
+    btanh_states_apc_avg,
+    btanh_states_apc_max,
+    nearest_even,
+    stanh_states_mux_avg,
+    stanh_states_mux_max,
+)
+
+
+class TestNearestEven:
+    @pytest.mark.parametrize("value,expected", [
+        (7.9, 8), (8.1, 8), (9.0, 10), (2.9, 2), (1.0, 2), (0.3, 2),
+    ])
+    def test_rounding(self, value, expected):
+        assert nearest_even(value) == expected
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_always_even_and_positive(self, value):
+        k = nearest_even(value)
+        assert k % 2 == 0
+        assert k >= 2
+
+
+class TestEquation1:
+    def test_hand_computed_value(self):
+        """N=16, L=1024: K = 2·4 + (10·16)/(33.27·4) = 9.20 → 10."""
+        assert stanh_states_mux_avg(1024, 16) == 10
+
+    def test_grows_with_input_size(self):
+        assert stanh_states_mux_avg(1024, 256) > stanh_states_mux_avg(1024, 16)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            stanh_states_mux_avg(1024, 1)
+
+
+class TestEquation2:
+    def test_hand_computed_value(self):
+        """N=16, L=1024: 2(4+10) − 37/4 − 16.5/log5(1024) ≈ 14.9 → 14."""
+        assert stanh_states_mux_max(1024, 16) == 14
+
+    def test_grows_with_length(self):
+        assert (stanh_states_mux_max(4096, 64)
+                > stanh_states_mux_max(256, 64))
+
+    def test_minimum_two_states(self):
+        # Tiny n makes the equation negative; clamp to a valid FSM.
+        assert stanh_states_mux_max(256, 2) >= 2
+
+
+class TestEquation3:
+    def test_half_n(self):
+        assert btanh_states_apc_avg(16) == 8
+        assert btanh_states_apc_avg(25) == 12  # nearest even of 12.5
+
+    def test_original_design_two_n(self):
+        assert btanh_states_apc_max(16) == 32
+
+    @given(st.integers(min_value=2, max_value=2048))
+    def test_avg_smaller_than_max(self, n):
+        """The averaged count stream has 4× less variance, so needs 4×
+        fewer states (N/2 vs 2N)."""
+        assert btanh_states_apc_avg(n) <= btanh_states_apc_max(n)

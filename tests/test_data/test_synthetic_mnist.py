@@ -1,0 +1,82 @@
+"""Tests for the synthetic digit dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.glyphs import DIGIT_GLYPHS, render_glyph
+from repro.data.synthetic_mnist import (
+    SyntheticMNIST,
+    generate_dataset,
+    to_bipolar,
+)
+
+
+class TestGlyphs:
+    def test_all_digits_present(self):
+        assert sorted(DIGIT_GLYPHS) == list(range(10))
+
+    def test_two_variants_each(self):
+        for digit, variants in DIGIT_GLYPHS.items():
+            assert len(variants) >= 2, f"digit {digit}"
+
+    def test_glyphs_have_ink(self):
+        for digit, variants in DIGIT_GLYPHS.items():
+            for glyph in variants:
+                assert glyph.sum() > 20, f"digit {digit} too sparse"
+
+    def test_render_centered(self):
+        img = render_glyph(3, 0, size=28)
+        assert img.shape == (28, 28)
+        # ink must not touch the border
+        assert img[0].sum() == 0 and img[-1].sum() == 0
+        assert img[:, 0].sum() == 0 and img[:, -1].sum() == 0
+
+    def test_unknown_digit_rejected(self):
+        with pytest.raises(ValueError, match="0-9"):
+            render_glyph(10)
+
+
+class TestSyntheticMNIST:
+    def test_sample_properties(self):
+        gen = SyntheticMNIST(seed=0)
+        img = gen.sample(7)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.sum() > 5  # there is actually a digit there
+
+    def test_deterministic(self):
+        a = SyntheticMNIST(seed=5).sample(2)
+        b = SyntheticMNIST(seed=5).sample(2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_samples_vary(self):
+        gen = SyntheticMNIST(seed=0)
+        a, b = gen.sample(4), gen.sample(4)
+        assert not np.array_equal(a, b)
+
+    def test_batch_shapes(self):
+        images, labels = SyntheticMNIST(seed=1).batch(16)
+        assert images.shape == (16, 1, 28, 28)
+        assert labels.shape == (16,)
+        assert labels.min() >= 0 and labels.max() <= 9
+
+
+class TestGenerateDataset:
+    def test_split_shapes(self):
+        xtr, ytr, xte, yte = generate_dataset(20, 10, seed=0)
+        assert xtr.shape == (20, 1, 28, 28)
+        assert xte.shape == (10, 1, 28, 28)
+
+    def test_train_test_disjoint_streams(self):
+        xtr, _, xte, _ = generate_dataset(10, 10, seed=0)
+        assert not np.array_equal(xtr, xte)
+
+    def test_labels_cover_classes(self):
+        _, ytr, _, _ = generate_dataset(200, 10, seed=0)
+        assert len(np.unique(ytr)) == 10
+
+
+class TestToBipolar:
+    def test_range_mapping(self):
+        imgs = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(to_bipolar(imgs), [-1.0, 0.0, 1.0])

@@ -1,0 +1,85 @@
+"""Tests for the FEB cost roll-up (Figure 15 shapes)."""
+
+import pytest
+
+from repro.hw.blocks_cost import (
+    activation_cost,
+    feb_cost,
+    feb_metrics,
+    inner_product_cost,
+    pooling_cost,
+)
+
+
+class TestInnerProductCost:
+    def test_apc_area_exceeds_mux_at_large_n(self):
+        """Figure 15(a): APC-based blocks dominate area at larger n."""
+        assert (inner_product_cost("apc", 256).area_um2
+                > inner_product_cost("mux", 256).area_um2)
+
+    def test_apc_delay_longer(self):
+        """Section 6.1: APC designs have much longer path delays."""
+        assert (inner_product_cost("apc", 64).delay_ns
+                > inner_product_cost("mux", 64).delay_ns)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            inner_product_cost("carry-save", 16)
+
+
+class TestPoolingCost:
+    def test_max_pool_costs_more_than_avg(self):
+        for ip in ("mux", "apc"):
+            assert (pooling_cost("max", ip, 25).area_um2
+                    > pooling_cost("avg", ip, 25).area_um2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="pooling"):
+            pooling_cost("median", "mux", 25)
+
+
+class TestFebCost:
+    def test_mux_avg_cheapest(self):
+        """Section 6.1: MUX-Avg-Stanh is the most area-efficient."""
+        areas = {k: feb_cost(k, 64, 1024).area_um2
+                 for k in ("mux-avg", "mux-max", "apc-avg", "apc-max")}
+        assert min(areas, key=areas.get) == "mux-avg"
+
+    def test_apc_max_most_expensive(self):
+        """Section 6.1: APC-Max-Btanh has the highest area."""
+        areas = {k: feb_cost(k, 64, 1024).area_um2
+                 for k in ("mux-avg", "mux-max", "apc-avg", "apc-max")}
+        assert max(areas, key=areas.get) == "apc-max"
+
+    def test_area_grows_with_input_size(self):
+        for kind in ("mux-avg", "apc-max"):
+            assert (feb_cost(kind, 256, 1024).area_um2
+                    > feb_cost(kind, 16, 1024).area_um2)
+
+    def test_paper_name_aliases(self):
+        assert (feb_cost("APC-Max-Btanh", 16, 1024).area_um2
+                == feb_cost("apc-max", 16, 1024).area_um2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            feb_cost("apc-median", 16, 1024)
+        with pytest.raises(ValueError, match="kind"):
+            feb_cost("nonsense", 16, 1024)
+
+
+class TestFebMetrics:
+    def test_energy_scales_with_length(self):
+        """Figure 15(d) / Table 6: halving L halves the energy."""
+        e1024 = feb_metrics("apc-avg", 64, 1024)["energy_pj"]
+        e512 = feb_metrics("apc-avg", 64, 512)["energy_pj"]
+        assert e1024 / e512 == pytest.approx(2.0, rel=0.05)
+
+    def test_metric_keys(self):
+        m = feb_metrics("mux-max", 16, 1024)
+        assert set(m) == {"area_um2", "delay_ns", "power_uw", "energy_pj"}
+
+
+class TestActivationCost:
+    def test_btanh_grows_with_n(self):
+        assert (activation_cost("apc", 256, 1024, "max").area_um2
+                >= activation_cost("apc", 16, 1024, "max").area_um2)

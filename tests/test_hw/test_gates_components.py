@@ -1,0 +1,83 @@
+"""Tests for the gate library, cost algebra and component inventories."""
+
+import pytest
+
+from repro.hw import components as comp
+from repro.hw.gates import CLOCK_NS, LIBRARY, CostBreakdown
+
+
+class TestCostBreakdown:
+    def test_add_sums_area_max_delay(self):
+        a = CostBreakdown(10, 1, 1, 0.5)
+        b = CostBreakdown(20, 2, 2, 0.3)
+        c = a + b
+        assert c.area_um2 == 30
+        assert c.delay_ns == 0.5  # parallel: max
+
+    def test_chain_adds_delay(self):
+        a = CostBreakdown(10, 1, 1, 0.5)
+        b = CostBreakdown(20, 2, 2, 0.3)
+        assert a.chain(b).delay_ns == pytest.approx(0.8)
+
+    def test_scale_preserves_delay(self):
+        a = CostBreakdown(10, 1, 1, 0.5).scale(4)
+        assert a.area_um2 == 40
+        assert a.delay_ns == 0.5
+
+    def test_sum_builtin(self):
+        parts = [CostBreakdown(1, 1, 1, 0.1)] * 3
+        total = sum(parts, CostBreakdown())
+        assert total.area_um2 == 3
+
+    def test_power_includes_leakage(self):
+        a = CostBreakdown(0, 0, 1000, 0)  # 1000 nW leakage
+        assert a.power_uw() == pytest.approx(1.0)
+
+    def test_from_gates(self):
+        c = CostBreakdown.from_gates({"XNOR2": 2}, depth={"XNOR2": 1})
+        assert c.area_um2 == pytest.approx(2 * LIBRARY["XNOR2"].area_um2)
+        assert c.delay_ns == pytest.approx(LIBRARY["XNOR2"].delay_ns)
+
+
+class TestClock:
+    def test_table6_delay_consistency(self):
+        """Table 6: L=1024 → 5120 ns, fixing the clock at 5 ns."""
+        assert 1024 * CLOCK_NS == 5120
+        assert 256 * CLOCK_NS == 1280
+
+
+class TestComponents:
+    def test_xnor_array_scales_linearly(self):
+        assert (comp.xnor_array(32).area_um2
+                == pytest.approx(2 * comp.xnor_array(16).area_um2))
+
+    def test_mux_tree_bigger_than_xnor(self):
+        assert comp.mux_tree(16).area_um2 > comp.xnor_array(16).area_um2 / 2
+
+    def test_apc_saves_forty_percent(self):
+        approx = comp.apc(64, approximate=True).area_um2
+        exact = comp.apc(64, approximate=False).area_um2
+        assert approx / exact == pytest.approx(0.6, abs=0.05)
+
+    def test_apc_depth_grows_logarithmically(self):
+        assert comp.apc(256).delay_ns > comp.apc(16).delay_ns
+
+    def test_accumulator_heavier_than_counter(self):
+        assert comp.accumulator(8).area_um2 > comp.counter(8).area_um2
+
+    def test_stanh_fsm_grows_with_states(self):
+        assert comp.stanh_fsm(64).area_um2 > comp.stanh_fsm(8).area_um2
+
+    def test_btanh_counter_positive(self):
+        c = comp.btanh_counter(32, 16)
+        assert c.area_um2 > 0 and c.delay_ns > 0
+
+    def test_sng_combines_lfsr_and_comparator(self):
+        sng = comp.sng(8)
+        assert sng.area_um2 > comp.lfsr_cost(8).area_um2
+
+    @pytest.mark.parametrize("fn", [comp.xnor_array, comp.or_tree,
+                                    comp.mux_tree, comp.counter])
+    def test_rejects_nonpositive(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)

@@ -1,0 +1,121 @@
+"""Tests for the SRAM model, network roll-up and platform table."""
+
+import math
+
+import pytest
+
+from repro.core.config import TABLE6_CONFIGS, NetworkConfig, PoolKind
+from repro.hw.network_cost import (
+    LENET_GEOMETRY,
+    lenet_network_cost,
+)
+from repro.hw.platforms import PLATFORMS
+from repro.hw.sram import SramBlockSpec, sram_cost
+
+
+class TestSram:
+    def test_area_grows_with_bits(self):
+        small = sram_cost(SramBlockSpec(100, 7))
+        large = sram_cost(SramBlockSpec(100, 64))
+        assert large.area_um2 > small.area_um2
+
+    def test_precision_reduction_saving(self):
+        """Section 5.2: 64-bit → 7-bit storage saves ~10× SRAM area."""
+        base = sram_cost(SramBlockSpec(800, 64)).area_um2
+        low = sram_cost(SramBlockSpec(800, 7)).area_um2
+        assert 6.0 < base / low < 12.0
+
+    def test_periphery_amortizes(self):
+        """Per-bit cost must fall as blocks grow (CACTI behaviour)."""
+        small = sram_cost(SramBlockSpec(10, 8))
+        large = sram_cost(SramBlockSpec(10000, 8))
+        assert (small.area_um2 / (10 * 8)
+                > large.area_um2 / (10000 * 8))
+
+
+class TestLenetGeometry:
+    def test_feb_counts_match_paper(self):
+        """11520/4 = 2880 and 3200/4 = 800 feature extraction blocks."""
+        by_name = {g.name: g for g in LENET_GEOMETRY}
+        assert by_name["Layer0"].units == 2880
+        assert by_name["Layer1"].units == 800
+        assert by_name["Layer2"].units == 500
+        assert by_name["Output"].units == 10
+
+    def test_weight_counts(self):
+        by_name = {g.name: g for g in LENET_GEOMETRY}
+        assert by_name["Layer2"].weight_count == 400000  # 800×500
+
+
+class TestNetworkCost:
+    def test_no11_matches_paper(self):
+        """The calibration anchor: No.11 ≈ 17.0 mm², 1.53 W, 2.0 µJ."""
+        config, paper = TABLE6_CONFIGS[10]
+        cost = lenet_network_cost(config)
+        assert cost.area_mm2 == pytest.approx(paper.area_mm2, rel=0.05)
+        assert cost.power_w == pytest.approx(paper.power_w, rel=0.05)
+        assert cost.energy_uj == pytest.approx(paper.energy_uj, rel=0.1)
+        assert cost.delay_ns == paper.delay_ns
+
+    def test_throughput_matches_paper(self):
+        """781250 images/s at L=256 (Table 7)."""
+        config, _ = TABLE6_CONFIGS[10]
+        cost = lenet_network_cost(config)
+        assert cost.throughput_ips == pytest.approx(781250, rel=0.01)
+
+    def test_apc_configs_cost_more(self):
+        """Table 6: more APC layers → larger area and power."""
+        mux_cfg, _ = TABLE6_CONFIGS[6]   # No.7 MUX-APC-APC avg
+        apc_cfg, _ = TABLE6_CONFIGS[7]   # No.8 APC-APC-APC avg
+        assert (lenet_network_cost(apc_cfg).area_mm2
+                > lenet_network_cost(mux_cfg).area_mm2)
+
+    def test_energy_proportional_to_length(self):
+        """Table 6: same config at L/2 → half the energy."""
+        long_cfg, _ = TABLE6_CONFIGS[7]   # No.8, L=1024
+        short_cfg, _ = TABLE6_CONFIGS[9]  # No.10, L=512
+        ratio = (lenet_network_cost(long_cfg).energy_uj
+                 / lenet_network_cost(short_cfg).energy_uj)
+        assert ratio == pytest.approx(2.0, rel=0.02)
+
+    def test_max_pool_costs_more_than_avg(self):
+        max_cfg = NetworkConfig.from_kinds(PoolKind.MAX, 512,
+                                           ("APC", "APC", "APC"))
+        avg_cfg = NetworkConfig.from_kinds(PoolKind.AVG, 512,
+                                           ("APC", "APC", "APC"))
+        assert (lenet_network_cost(max_cfg).area_mm2
+                > lenet_network_cost(avg_cfg).area_mm2)
+
+    def test_layerwise_weight_bits(self):
+        config, _ = TABLE6_CONFIGS[10]
+        uniform = lenet_network_cost(config, weight_bits=7)
+        layered = lenet_network_cost(config, weight_bits=(7, 7, 6))
+        assert layered.area_mm2 <= uniform.area_mm2
+
+    def test_breakdown_keys(self):
+        config, _ = TABLE6_CONFIGS[0]
+        cost = lenet_network_cost(config)
+        assert set(cost.breakdown) == {
+            "Layer0", "Layer1", "Layer2", "Output", "SRAM", "SNG"
+        }
+
+    def test_bad_weight_bits_rejected(self):
+        config, _ = TABLE6_CONFIGS[0]
+        with pytest.raises(ValueError, match="entries"):
+            lenet_network_cost(config, weight_bits=(7, 7))
+
+
+class TestPlatforms:
+    def test_row_count(self):
+        assert len(PLATFORMS) == 7
+
+    def test_gpu_efficiency_matches_paper(self):
+        gpu = next(p for p in PLATFORMS if "Tesla" in p.name)
+        assert gpu.area_efficiency == pytest.approx(4.5, abs=0.1)
+        assert gpu.energy_efficiency == pytest.approx(11.5, abs=1.0)
+
+    def test_na_entries(self):
+        minitaur = next(p for p in PLATFORMS if p.name == "Minitaur")
+        assert minitaur.area_efficiency is None
+        dadiannao = next(p for p in PLATFORMS if p.name == "DaDianNao")
+        assert math.isnan(dadiannao.accuracy_pct)

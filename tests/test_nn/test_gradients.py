@@ -1,0 +1,137 @@
+"""Numerical gradient checks for every trainable layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.module import Flatten, Sequential
+from repro.nn.pool import AvgPool2D, MaxPool2D
+
+EPS = 1e-5
+
+
+def numerical_grad(f, x):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        plus = f()
+        x[idx] = orig - EPS
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * EPS)
+        it.iternext()
+    return grad
+
+
+def check_layer_input_grad(layer, x, rtol=1e-4):
+    """Compare backward() against numerical gradients of sum(forward)."""
+    out = layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(out))
+    numeric = numerical_grad(lambda: layer.forward(x, training=False).sum(),
+                             x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=1e-5)
+
+
+def check_param_grads(layer, x, rtol=1e-4):
+    out = layer.forward(x, training=True)
+    layer.zero_grad()
+    layer.backward(np.ones_like(out))
+    for p in layer.params:
+        numeric = numerical_grad(
+            lambda: layer.forward(x, training=False).sum(), p.value
+        )
+        np.testing.assert_allclose(p.grad, numeric, rtol=rtol, atol=1e-5)
+
+
+class TestDenseGradients:
+    def test_input_grad(self, rng):
+        layer = Dense(5, 3, seed=0)
+        check_layer_input_grad(layer, rng.normal(size=(4, 5)))
+
+    def test_param_grads(self, rng):
+        layer = Dense(5, 3, seed=0)
+        check_param_grads(layer, rng.normal(size=(4, 5)))
+
+
+class TestConvGradients:
+    def test_input_grad(self, rng):
+        layer = Conv2D(2, 3, 3, seed=0)
+        check_layer_input_grad(layer, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_param_grads(self, rng):
+        layer = Conv2D(1, 2, 3, seed=0)
+        check_param_grads(layer, rng.normal(size=(2, 1, 5, 5)))
+
+
+class TestPoolGradients:
+    def test_avg_pool(self, rng):
+        check_layer_input_grad(AvgPool2D(2), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_max_pool(self, rng):
+        # Use well-separated values to avoid argmax ties under FD probing.
+        x = rng.permutation(np.arange(96, dtype=np.float64)).reshape(
+            2, 3, 4, 4
+        )
+        check_layer_input_grad(MaxPool2D(2), x)
+
+
+class TestActivationGradients:
+    @pytest.mark.parametrize("cls", [Tanh, Sigmoid])
+    def test_smooth_activations(self, cls, rng):
+        check_layer_input_grad(cls(), rng.normal(size=(3, 7)))
+
+    def test_relu(self, rng):
+        x = rng.normal(size=(3, 7))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_layer_input_grad(ReLU(), x)
+
+
+class TestLossGradients:
+    def test_softmax_cross_entropy(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 1, 4])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        numeric = np.zeros_like(logits)
+        for idx in np.ndindex(*logits.shape):
+            orig = logits[idx]
+            logits[idx] = orig + EPS
+            plus = SoftmaxCrossEntropy().forward(logits, labels)
+            logits[idx] = orig - EPS
+            minus = SoftmaxCrossEntropy().forward(logits, labels)
+            logits[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * EPS)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestSequentialGradients:
+    def test_small_network_end_to_end(self, rng):
+        model = Sequential([
+            Conv2D(1, 2, 3, seed=1),
+            AvgPool2D(2),
+            Tanh(),
+            Flatten(),
+            Dense(2 * 2 * 2, 3, seed=2),
+        ])
+        x = rng.normal(size=(2, 1, 6, 6))
+        labels = np.array([0, 2])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(model.forward(x, training=True), labels)
+        model.zero_grad()
+        model.backward(loss.backward())
+        p = model.params[0]
+        analytic = p.grad.copy()
+        numeric = numerical_grad(
+            lambda: SoftmaxCrossEntropy().forward(
+                model.forward(x, training=False), labels
+            ),
+            p.value,
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-6)

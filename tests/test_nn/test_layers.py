@@ -1,0 +1,146 @@
+"""Shape/behaviour tests for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.conv import Conv2D, col2im, im2col
+from repro.nn.dense import Dense
+from repro.nn.loss import MSELoss, SoftmaxCrossEntropy
+from repro.nn.module import Flatten, Parameter, Sequential
+from repro.nn.pool import AvgPool2D, MaxPool2D
+
+
+class TestIm2Col:
+    def test_patch_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = im2col(x, 3)
+        assert cols.shape == (1, 4, 9)
+        np.testing.assert_array_equal(
+            cols[0, 0], [0, 1, 2, 4, 5, 6, 8, 9, 10]
+        )
+
+    def test_col2im_inverts_scatter(self, rng):
+        x_shape = (2, 3, 6, 6)
+        cols = rng.normal(size=(2, 16, 27))
+        out = col2im(cols, x_shape, 3)
+        assert out.shape == x_shape
+
+    def test_multichannel_order_matches_weights(self, rng):
+        """im2col channel-major layout must match Conv2D weight layout."""
+        x = rng.normal(size=(1, 2, 5, 5))
+        conv = Conv2D(2, 1, 3, seed=0)
+        out = conv.forward(x)
+        cols = im2col(x, 3)
+        manual = cols[0] @ conv.weight.value.T + conv.bias.value
+        np.testing.assert_allclose(out[0, 0].reshape(-1), manual[:, 0])
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        conv = Conv2D(1, 20, 5, seed=0)
+        out = conv.forward(rng.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 20, 24, 24)
+
+    def test_fan_in(self):
+        assert Conv2D(20, 50, 5).fan_in == 500
+
+    def test_channel_mismatch_rejected(self, rng):
+        conv = Conv2D(3, 4, 3)
+        with pytest.raises(ValueError, match="channels"):
+            conv.forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_non_divisible_rejected(self, rng):
+        with pytest.raises(ValueError, match="multiples"):
+            AvgPool2D(2).forward(rng.normal(size=(1, 1, 5, 5)))
+
+
+class TestDense:
+    def test_affine(self, rng):
+        layer = Dense(4, 2, seed=0)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight.value.T + layer.bias.value
+        )
+
+    def test_feature_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="features"):
+            Dense(4, 2).forward(rng.normal(size=(3, 5)))
+
+
+class TestActivations:
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(5, 5)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.5]))
+        np.testing.assert_allclose(out, [0.0, 0.5])
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(5,)) * 100)
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((1, 4))
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_mse(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([1.0, 2.0]),
+                            np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+
+class TestSequential:
+    def test_state_dict_round_trip(self, rng):
+        a = Sequential([Dense(4, 3, seed=1), Tanh(), Dense(3, 2, seed=2)])
+        b = Sequential([Dense(4, 3, seed=9), Tanh(), Dense(3, 2, seed=8)])
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_wrong_count_rejected(self):
+        a = Sequential([Dense(4, 3)])
+        b = Sequential([Dense(4, 3), Dense(3, 2)])
+        with pytest.raises(ValueError, match="parameters"):
+            b.load_state_dict(a.state_dict())
+
+    def test_flatten_round_trip(self, rng):
+        f = Flatten()
+        x = rng.normal(size=(2, 3, 4))
+        out = f.forward(x)
+        assert out.shape == (2, 12)
+        assert f.backward(out).shape == x.shape
+
+    def test_predict_argmax(self, rng):
+        model = Sequential([Dense(4, 3, seed=0)])
+        x = rng.normal(size=(5, 4))
+        preds = model.predict(x)
+        np.testing.assert_array_equal(preds,
+                                      np.argmax(model.forward(x), axis=1))
+
+    def test_parameter_repr_and_zero_grad(self):
+        p = Parameter(np.ones((2, 2)), name="w")
+        p.grad += 3.0
+        p.zero_grad()
+        assert (p.grad == 0).all()

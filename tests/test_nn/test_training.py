@@ -1,0 +1,118 @@
+"""Optimizer and trainer behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Tanh
+from repro.nn.dense import Dense
+from repro.nn.lenet import LENET5_LAYER_SIZES, build_lenet5
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.trainer import Trainer, evaluate_accuracy, evaluate_error_rate
+
+
+def _toy_problem(rng, n=200):
+    """Linearly separable 2-class problem."""
+    x = rng.normal(size=(n, 4))
+    labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return x, labels
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (Adam, {"lr": 0.01}),
+    ])
+    def test_reduces_loss(self, opt_cls, kwargs, rng):
+        from repro.nn.loss import SoftmaxCrossEntropy
+        x, labels = _toy_problem(rng)
+        model = Sequential([Dense(4, 2, seed=0)])
+        opt = opt_cls(model.params, **kwargs)
+        loss_fn = SoftmaxCrossEntropy()
+        first = None
+        for _ in range(150):
+            loss = loss_fn.forward(model.forward(x, training=True), labels)
+            if first is None:
+                first = loss
+            model.zero_grad()
+            model.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first * 0.6
+
+    def test_sgd_weight_decay_shrinks_weights(self, rng):
+        model = Sequential([Dense(4, 2, seed=0)])
+        opt = SGD(model.params, lr=0.1, momentum=0.0, weight_decay=0.5)
+        before = np.abs(model.params[0].value).sum()
+        for _ in range(10):
+            model.zero_grad()
+            opt.step()
+        assert np.abs(model.params[0].value).sum() < before
+
+
+class TestTrainer:
+    def test_learns_toy_problem(self, rng):
+        x, labels = _toy_problem(rng, n=400)
+        model = Sequential([Dense(4, 8, seed=0), Tanh(),
+                            Dense(8, 2, seed=1)])
+        trainer = Trainer(model, lr=0.1, batch_size=32, seed=0)
+        trainer.fit(x, labels, epochs=5)
+        assert evaluate_accuracy(model, x, labels) > 0.9
+
+    def test_history_recorded(self, rng):
+        x, labels = _toy_problem(rng)
+        model = Sequential([Dense(4, 2, seed=0)])
+        trainer = Trainer(model, seed=0)
+        history = trainer.fit(x, labels, epochs=3, x_val=x, y_val=labels)
+        assert len(history) == 3
+
+    def test_lr_decays(self, rng):
+        x, labels = _toy_problem(rng)
+        model = Sequential([Dense(4, 2, seed=0)])
+        trainer = Trainer(model, lr=0.1, lr_decay=0.5, seed=0)
+        trainer.fit(x, labels, epochs=2)
+        assert trainer.optimizer.lr == pytest.approx(0.025)
+
+    def test_error_rate_is_percent(self, rng):
+        x, labels = _toy_problem(rng)
+        model = Sequential([Dense(4, 2, seed=0)])
+        err = evaluate_error_rate(model, x, labels)
+        acc = evaluate_accuracy(model, x, labels)
+        assert err == pytest.approx(100 * (1 - acc))
+
+
+class TestLeNet5:
+    def test_layer_sizes_match_paper(self, rng):
+        """The 784-11520-2880-3200-800-500-10 configuration."""
+        model = build_lenet5("max", seed=0)
+        x = rng.normal(size=(1, 1, 28, 28))
+        sizes = [x.size]
+        for layer in model.layers:
+            x = layer.forward(x)
+            sizes.append(x.size)
+        # conv1 out, pool1 out, conv2 out, pool2 out, fc1 out, fc2 out
+        assert sizes[1] == 11520
+        assert sizes[2] == 2880
+        assert sizes[4] == 3200
+        assert sizes[5] == 800
+        assert sizes[-2] == 500
+        assert sizes[-1] == 10
+        assert LENET5_LAYER_SIZES == (784, 11520, 2880, 3200, 800, 500, 10)
+
+    def test_pooling_variants(self):
+        from repro.nn.pool import AvgPool2D, MaxPool2D
+        assert any(isinstance(l, MaxPool2D)
+                   for l in build_lenet5("max").layers)
+        assert any(isinstance(l, AvgPool2D)
+                   for l in build_lenet5("avg").layers)
+
+    def test_unknown_pooling_rejected(self):
+        with pytest.raises(ValueError, match="pooling"):
+            build_lenet5("median")
+
+    def test_tiny_training_beats_chance(self, tiny_trained_lenet,
+                                        small_dataset):
+        from repro.data.synthetic_mnist import to_bipolar
+        _, _, x_test, y_test = small_dataset
+        acc = evaluate_accuracy(tiny_trained_lenet, to_bipolar(x_test),
+                                y_test)
+        assert acc > 0.5

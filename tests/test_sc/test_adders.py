@@ -1,0 +1,125 @@
+"""Tests for the four stochastic adders (Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc import adders, ops
+from repro.sc.rng import StreamFactory
+
+
+@pytest.fixture()
+def factory():
+    return StreamFactory(seed=0)
+
+
+class TestOrAdd:
+    def test_paper_example(self):
+        """'00100101 OR 11001010' = '11101111' (3/8 + 4/8 → 7/8)."""
+        a = ops.pack_bits(np.array([0, 0, 1, 0, 0, 1, 0, 1], dtype=np.uint8))
+        b = ops.pack_bits(np.array([1, 1, 0, 0, 1, 0, 1, 0], dtype=np.uint8))
+        out = adders.or_add(np.stack([a, b]))
+        assert ops.popcount(out, 8) == 7
+
+    def test_paper_counterexample(self):
+        """With '10011000' instead, OR gives 5/8 — the multiple-
+        representation inaccuracy the paper describes."""
+        a = ops.pack_bits(np.array([1, 0, 0, 1, 1, 0, 0, 0], dtype=np.uint8))
+        b = ops.pack_bits(np.array([1, 1, 0, 0, 1, 0, 1, 0], dtype=np.uint8))
+        out = adders.or_add(np.stack([a, b]))
+        assert ops.popcount(out, 8) == 5
+
+    def test_sparse_streams_near_exact(self, factory):
+        """With few ones, OR addition approaches the true sum."""
+        from repro.sc.encoding import Encoding
+        vals = np.array([0.02, 0.03, 0.01])
+        streams = factory.packed(vals, 8192, encoding=Encoding.UNIPOLAR)
+        out = adders.or_add(streams)
+        assert ops.popcount(out, 8192) / 8192 == pytest.approx(0.06,
+                                                               abs=0.01)
+
+    def test_requires_summand_axis(self):
+        with pytest.raises(ValueError, match="shape"):
+            adders.or_add(np.zeros(4, dtype=np.uint8))
+
+
+class TestMuxAdd:
+    def test_scaled_sum(self, factory):
+        vals = np.array([0.8, -0.4, 0.2, -0.6])
+        streams = factory.packed(vals, 8192)
+        sel = factory.select_signal(4, 8192)
+        out = adders.mux_add(streams, sel, 8192)
+        decoded = 2.0 * ops.popcount(out, 8192) / 8192 - 1.0
+        assert decoded == pytest.approx(vals.mean(), abs=0.04)
+
+    def test_batched(self, factory):
+        vals = np.array([[0.5, 0.5], [-0.5, -0.5]])
+        streams = factory.packed(vals, 4096)
+        sel = factory.select_signal(2, 4096)
+        out = adders.mux_add(streams, sel, 4096)
+        decoded = 2.0 * ops.popcount(out, 4096) / 4096 - 1.0
+        np.testing.assert_allclose(decoded, [0.5, -0.5], atol=0.06)
+
+
+class TestParallelCounter:
+    @given(st.integers(min_value=2, max_value=9))
+    @settings(max_examples=10)
+    def test_counts_exactly(self, n):
+        rng = np.random.default_rng(n)
+        bits = (rng.random((n, 64)) < 0.5).astype(np.uint8)
+        counts = adders.parallel_counter(ops.pack_bits(bits), 64)
+        np.testing.assert_array_equal(counts, bits.sum(axis=0))
+
+    def test_counts_bounded(self, factory):
+        streams = factory.packed(np.full(16, 0.0), 512)
+        counts = adders.parallel_counter(streams, 512)
+        assert counts.min() >= 0 and counts.max() <= 16
+
+
+class TestApcCount:
+    def test_differs_only_in_lsb(self, factory):
+        streams = factory.packed(np.zeros(16), 512)
+        exact = adders.parallel_counter(streams, 512)
+        approx = adders.apc_count(streams, 512)
+        diff = np.abs(approx.astype(int) - exact.astype(int))
+        assert diff.max() <= 1
+
+    def test_zero_mean_error(self, factory):
+        """The LSB approximation must not bias the count (Table 3)."""
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-1, 1, 32)
+        streams = factory.packed(vals, 8192)
+        exact = adders.parallel_counter(streams, 8192)
+        approx = adders.apc_count(streams, 8192)
+        bias = (approx.astype(float) - exact).mean()
+        assert abs(bias) < 0.05
+
+    def test_relative_error_below_one_percent(self, factory):
+        """Table 3's headline: <1% error vs the conventional counter."""
+        rng = np.random.default_rng(1)
+        total_err = []
+        for _ in range(8):
+            vals = rng.uniform(-1, 1, 32)
+            streams = factory.packed(vals, 256)
+            exact = adders.parallel_counter(streams, 256)
+            approx = adders.apc_count(streams, 256)
+            est_e = exact.sum() / 256
+            est_a = approx.sum() / 256
+            total_err.append(abs(est_a - est_e) / 32)
+        assert np.mean(total_err) < 0.01
+
+
+class TestApcGateEquivalents:
+    def test_forty_percent_reduction(self):
+        gates = adders.apc_gate_equivalents(16)
+        ratio = gates["approx_full_adders"] / gates["exact_full_adders"]
+        assert ratio == pytest.approx(0.6, abs=0.05)
+
+    def test_monotone_in_inputs(self):
+        small = adders.apc_gate_equivalents(16)["approx_full_adders"]
+        large = adders.apc_gate_equivalents(64)["approx_full_adders"]
+        assert large > small
+
+    def test_too_few_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            adders.apc_gate_equivalents(1)

@@ -1,0 +1,125 @@
+"""Tests for repro.sc.bitstream.Bitstream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import Encoding
+from repro.sc.rng import StreamFactory
+
+
+class TestConstruction:
+    def test_from_bits_round_trip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1, 0], dtype=np.uint8)
+        s = Bitstream.from_bits(bits, Encoding.UNIPOLAR)
+        assert s.length == 10
+        np.testing.assert_array_equal(s.to_bits(), bits)
+
+    def test_zeros_and_ones_values(self):
+        z = Bitstream.zeros((3,), 100, Encoding.BIPOLAR)
+        o = Bitstream.ones((3,), 100, Encoding.BIPOLAR)
+        np.testing.assert_allclose(z.value(), -1.0)
+        np.testing.assert_allclose(o.value(), 1.0)
+
+    def test_ones_partial_byte(self):
+        o = Bitstream.ones((), 13, Encoding.UNIPOLAR)
+        assert o.popcount() == 13
+
+    def test_wrong_byte_count_rejected(self):
+        with pytest.raises(ValueError, match="bytes"):
+            Bitstream(np.zeros(3, dtype=np.uint8), 100, Encoding.BIPOLAR)
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(ValueError, match="encoding"):
+            Bitstream(np.zeros(2, dtype=np.uint8), 16, "bipolar")
+
+
+class TestDecoding:
+    def test_paper_example_unipolar(self):
+        """'0100110100' has four ones in ten bits → 0.4."""
+        s = Bitstream.from_bits([0, 1, 0, 0, 1, 1, 0, 1, 0, 0],
+                                Encoding.UNIPOLAR)
+        assert s.value() == pytest.approx(0.4)
+
+    def test_paper_example_bipolar(self):
+        """'1011011101' has 7/10 ones → bipolar 0.4."""
+        s = Bitstream.from_bits([1, 0, 1, 1, 0, 1, 1, 1, 0, 1],
+                                Encoding.BIPOLAR)
+        assert s.value() == pytest.approx(0.4)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=20)
+    def test_encode_decode_error_bound(self, x):
+        fab = StreamFactory(seed=5)
+        s = fab.streams(x, 2048)
+        # SNG error ~ 1/sqrt(L); allow 5 sigma.
+        assert abs(float(s.value()) - x) < 5.0 / np.sqrt(2048)
+
+
+class TestOperators:
+    def test_unipolar_and_multiplies(self):
+        fab = StreamFactory(seed=1, encoding=Encoding.UNIPOLAR)
+        a = fab.streams(0.6, 8192)
+        b = fab.streams(0.5, 8192)
+        assert float((a & b).value()) == pytest.approx(0.3, abs=0.05)
+
+    def test_bipolar_xnor_multiplies(self):
+        fab = StreamFactory(seed=1)
+        a = fab.streams(0.6, 8192)
+        b = fab.streams(-0.5, 8192)
+        assert float(a.xnor(b).value()) == pytest.approx(-0.3, abs=0.05)
+
+    def test_multiply_dispatches_on_encoding(self):
+        fab_u = StreamFactory(seed=2, encoding=Encoding.UNIPOLAR)
+        a, b = fab_u.streams(0.5, 4096), fab_u.streams(0.5, 4096)
+        assert float(a.multiply(b).value()) == pytest.approx(0.25, abs=0.05)
+        fab_b = StreamFactory(seed=2, encoding=Encoding.BIPOLAR)
+        c, d = fab_b.streams(0.5, 4096), fab_b.streams(0.5, 4096)
+        assert float(c.multiply(d).value()) == pytest.approx(0.25, abs=0.08)
+
+    def test_invert_negates_bipolar(self):
+        fab = StreamFactory(seed=3)
+        a = fab.streams(0.7, 4096)
+        assert float((~a).value()) == pytest.approx(-0.7, abs=0.05)
+
+    def test_length_mismatch_rejected(self):
+        a = Bitstream.zeros((), 16, Encoding.BIPOLAR)
+        b = Bitstream.zeros((), 24, Encoding.BIPOLAR)
+        with pytest.raises(ValueError, match="length"):
+            _ = a & b
+
+    def test_encoding_mismatch_rejected(self):
+        a = Bitstream.zeros((), 16, Encoding.BIPOLAR)
+        b = Bitstream.zeros((), 16, Encoding.UNIPOLAR)
+        with pytest.raises(ValueError, match="encoding"):
+            _ = a ^ b
+
+    def test_non_bitstream_rejected(self):
+        a = Bitstream.zeros((), 16, Encoding.BIPOLAR)
+        with pytest.raises(TypeError):
+            _ = a & np.zeros(2, dtype=np.uint8)
+
+
+class TestBatching:
+    def test_getitem(self):
+        fab = StreamFactory(seed=4)
+        s = fab.streams([0.1, 0.5, -0.5], 512)
+        sub = s[1]
+        assert sub.shape == ()
+        assert float(sub.value()) == pytest.approx(0.5, abs=0.15)
+
+    def test_stack(self):
+        a = Bitstream.zeros((), 64, Encoding.BIPOLAR)
+        b = Bitstream.ones((), 64, Encoding.BIPOLAR)
+        stacked = Bitstream.stack([a, b])
+        assert stacked.shape == (2,)
+        np.testing.assert_allclose(stacked.value(), [-1.0, 1.0])
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            Bitstream.stack([])
+
+    def test_segment_counts(self):
+        s = Bitstream.from_bits([1] * 16 + [0] * 16, Encoding.UNIPOLAR)
+        np.testing.assert_array_equal(s.segment_counts(16), [16, 0])

@@ -1,0 +1,82 @@
+"""Tests for stream correlation analysis and decorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.sc import ops
+from repro.sc.correlation import (
+    decorrelate,
+    multiply_error_vs_scc,
+    pearson,
+    scc,
+)
+from repro.sc.rng import StreamFactory
+
+
+@pytest.fixture()
+def factory():
+    return StreamFactory(seed=0)
+
+
+class TestScc:
+    def test_identical_streams(self, factory):
+        a = factory.packed(0.3, 1024)
+        assert scc(a, a, 1024) == pytest.approx(1.0)
+
+    def test_complementary_streams(self, factory):
+        a = factory.packed(0.0, 1024)
+        b = ops.not_(a, 1024)
+        assert scc(a, b, 1024) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, factory):
+        a = factory.packed(0.2, 8192)
+        b = factory.packed(-0.1, 8192)
+        assert abs(float(scc(a, b, 8192))) < 0.1
+
+    def test_constant_stream_zero(self, factory):
+        ones = ops.pack_bits(np.ones(64, dtype=np.uint8))
+        b = factory.packed(0.5, 64)
+        assert scc(ones, b, 64) == pytest.approx(0.0)
+
+
+class TestPearson:
+    def test_identical(self, factory):
+        a = factory.packed(0.5, 2048)
+        assert pearson(a, a, 2048) == pytest.approx(1.0)
+
+    def test_independent(self, factory):
+        a = factory.packed(0.5, 8192)
+        b = factory.packed(0.5, 8192)
+        assert abs(float(pearson(a, b, 8192))) < 0.08
+
+
+class TestDecorrelate:
+    def test_value_preserved_exactly(self, factory):
+        a = factory.packed(0.37, 1024)
+        d = decorrelate(a, 1024, seed=5)
+        assert ops.popcount(d, 1024) == ops.popcount(a, 1024)
+
+    def test_breaks_correlation(self, factory):
+        a = factory.packed(0.5, 8192)
+        d = decorrelate(a, 8192, seed=5)
+        assert abs(float(scc(a, d, 8192))) < 0.1
+
+    def test_repairs_multiplication(self, factory):
+        """XNOR of a stream with itself = 1; after isolation ≈ x²."""
+        x = 0.5
+        a = factory.packed(x, 8192)
+        bad = 2.0 * ops.popcount(ops.xnor_(a, a, 8192), 8192) / 8192 - 1.0
+        d = decorrelate(a, 8192, seed=9)
+        good = 2.0 * ops.popcount(ops.xnor_(a, d, 8192), 8192) / 8192 - 1.0
+        assert bad == pytest.approx(1.0)
+        assert good == pytest.approx(x * x, abs=0.08)
+
+
+class TestMultiplyErrorVsScc:
+    def test_shared_rng_hazard(self):
+        result = multiply_error_vs_scc(0.5, 0.5, length=4096)
+        scc_ind, err_ind = result["independent"]
+        scc_sh, err_sh = result["shared"]
+        assert abs(scc_ind) < 0.15
+        assert scc_sh == pytest.approx(1.0)
+        assert err_sh > err_ind + 0.3   # 1.0 vs 0.25 product

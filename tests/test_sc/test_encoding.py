@@ -1,0 +1,78 @@
+"""Tests for repro.sc.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sc.encoding import (
+    Encoding,
+    encoding_range,
+    from_probability,
+    prescale,
+    to_probability,
+)
+
+
+class TestToProbability:
+    def test_unipolar_identity(self):
+        assert to_probability(0.3, Encoding.UNIPOLAR) == pytest.approx(0.3)
+
+    def test_bipolar_mapping(self):
+        # P(X=1) = (x+1)/2: the paper's example, 0.4 → 0.7
+        assert to_probability(0.4, Encoding.BIPOLAR) == pytest.approx(0.7)
+
+    def test_bipolar_extremes(self):
+        assert to_probability(-1.0, Encoding.BIPOLAR) == pytest.approx(0.0)
+        assert to_probability(1.0, Encoding.BIPOLAR) == pytest.approx(1.0)
+
+    def test_unipolar_rejects_negative(self):
+        with pytest.raises(ValueError, match="unipolar"):
+            to_probability(-0.1, Encoding.UNIPOLAR)
+
+    def test_bipolar_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="bipolar"):
+            to_probability(1.5, Encoding.BIPOLAR)
+
+    def test_array_input(self):
+        probs = to_probability([-1.0, 0.0, 1.0], Encoding.BIPOLAR)
+        np.testing.assert_allclose(probs, [0.0, 0.5, 1.0])
+
+
+class TestRoundTrip:
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_bipolar_round_trip(self, x):
+        p = to_probability(x, Encoding.BIPOLAR)
+        assert from_probability(p, Encoding.BIPOLAR) == pytest.approx(x)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_unipolar_round_trip(self, x):
+        p = to_probability(x, Encoding.UNIPOLAR)
+        assert from_probability(p, Encoding.UNIPOLAR) == pytest.approx(x)
+
+
+class TestEncodingRange:
+    def test_ranges(self):
+        assert encoding_range(Encoding.UNIPOLAR) == (0.0, 1.0)
+        assert encoding_range(Encoding.BIPOLAR) == (-1.0, 1.0)
+
+
+class TestPrescale:
+    def test_in_range_unchanged(self):
+        scaled, factor = prescale([0.5, -0.5], Encoding.BIPOLAR)
+        assert factor == 1.0
+        np.testing.assert_allclose(scaled, [0.5, -0.5])
+
+    def test_power_of_two_factor(self):
+        scaled, factor = prescale([3.0, -1.0], Encoding.BIPOLAR)
+        assert factor == 4.0
+        np.testing.assert_allclose(scaled * factor, [3.0, -1.0])
+
+    def test_reconstruction_invariant(self):
+        values = np.array([5.7, -2.3, 0.1])
+        scaled, factor = prescale(values, Encoding.BIPOLAR)
+        assert np.max(np.abs(scaled)) <= 1.0
+        np.testing.assert_allclose(scaled * factor, values)
+
+    def test_unipolar_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            prescale([-1.0, 2.0], Encoding.UNIPOLAR)

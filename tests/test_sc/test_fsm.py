@@ -1,0 +1,59 @@
+"""Tests for the saturating-counter FSM engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc.fsm import saturating_counter
+
+
+class TestSaturatingCounter:
+    def test_all_up_saturates_high(self):
+        inc = np.ones(32, dtype=np.int64)
+        out = saturating_counter(inc, n_states=8)
+        assert out[-1]  # saturated in the right half
+        assert out[8:].all()
+
+    def test_all_down_saturates_low(self):
+        inc = -np.ones(32, dtype=np.int64)
+        out = saturating_counter(inc, n_states=8)
+        assert not out[1:].any()
+
+    def test_threshold_override(self):
+        """A low threshold (Figure 11) outputs 1 from lower states."""
+        inc = np.array([-1, -1, 1, 1], dtype=np.int64)
+        default = saturating_counter(inc, n_states=10)
+        low = saturating_counter(inc, n_states=10, threshold=2)
+        assert low.sum() >= default.sum()
+
+    def test_batched_independent_rows(self):
+        inc = np.stack([np.ones(16, dtype=np.int64),
+                        -np.ones(16, dtype=np.int64)])
+        out = saturating_counter(inc, n_states=4)
+        assert out[0].all()
+        assert not out[1, 1:].any()
+
+    @given(st.integers(min_value=2, max_value=32))
+    @settings(max_examples=15)
+    def test_state_never_escapes(self, n_states):
+        """States saturate: output must be valid for any increments."""
+        rng = np.random.default_rng(n_states)
+        inc = rng.integers(-50, 50, size=100)
+        out = saturating_counter(inc, n_states=n_states)
+        assert out.shape == (100,)
+        assert out.dtype == bool
+
+    def test_init_override(self):
+        inc = np.zeros(4, dtype=np.int64)
+        high = saturating_counter(inc, n_states=8, init=7)
+        low = saturating_counter(inc, n_states=8, init=0)
+        assert high.all()
+        assert not low.any()
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(ValueError, match="init"):
+            saturating_counter(np.zeros(4, dtype=np.int64), 8, init=9)
+
+    def test_float_increments_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            saturating_counter(np.zeros(4), 8)

@@ -1,0 +1,63 @@
+"""Tests for repro.sc.lfsr."""
+
+import numpy as np
+import pytest
+
+from repro.sc.lfsr import LFSR, maximal_taps
+
+
+class TestMaximalTaps:
+    def test_known_widths(self):
+        assert maximal_taps(8) == (8, 6, 5, 4)
+        assert maximal_taps(16) == (16, 15, 13, 4)
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ValueError, match="no maximal-length taps"):
+            maximal_taps(99)
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8])
+    def test_maximal_period(self, width):
+        """A maximal LFSR must visit all 2^w - 1 non-zero states."""
+        lfsr = LFSR(width, seed=1)
+        states = lfsr.sequence(lfsr.period)
+        assert len(set(states.tolist())) == lfsr.period
+        assert 0 not in states
+
+    def test_period_property(self):
+        assert LFSR(8).period == 255
+
+    def test_deterministic(self):
+        a = LFSR(10, seed=7).sequence(100)
+        b = LFSR(10, seed=7).sequence(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_sequence(self):
+        a = LFSR(10, seed=7).sequence(100)
+        b = LFSR(10, seed=8).sequence(100)
+        assert not np.array_equal(a, b)
+
+    def test_zero_seed_recovers(self):
+        """The all-zeros lockup state must be avoided."""
+        lfsr = LFSR(8, seed=0)
+        assert lfsr.state != 0
+        assert np.all(lfsr.sequence(300) != 0)
+
+    def test_states_within_width(self):
+        states = LFSR(6, seed=3).sequence(200)
+        assert states.max() < 64
+
+    def test_bits_roughly_balanced(self):
+        bits = LFSR(16, seed=11).bits(4096)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_step_matches_sequence(self):
+        a = LFSR(8, seed=5)
+        b = LFSR(8, seed=5)
+        stepped = [a.step() for _ in range(16)]
+        np.testing.assert_array_equal(stepped, b.sequence(16))
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError, match="taps"):
+            LFSR(8, taps=(9, 1))

@@ -1,0 +1,127 @@
+"""Property-based invariants of the SC substrate (hypothesis).
+
+These complement the targeted unit tests with randomized invariants on
+the core algebra: decode bounds, operator identities, adder scaling
+relations and FSM saturation — the properties every downstream module
+silently relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc import activation, adders, ops
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import Encoding
+from repro.sc.rng import StreamFactory
+
+lengths = st.integers(min_value=9, max_value=200)
+values = st.floats(min_value=-1.0, max_value=1.0)
+
+
+class TestBitstreamAlgebra:
+    @given(values, values, st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_xnor_commutes(self, a, b, seed):
+        fab = StreamFactory(seed=seed)
+        sa = fab.streams(a, 256)
+        sb = fab.streams(b, 256)
+        np.testing.assert_array_equal(sa.xnor(sb).data, sb.xnor(sa).data)
+
+    @given(values, st.integers(0, 1000), lengths)
+    @settings(max_examples=25, deadline=None)
+    def test_double_invert_identity(self, x, seed, length):
+        fab = StreamFactory(seed=seed)
+        s = fab.streams(x, length)
+        np.testing.assert_array_equal((~(~s)).data, s.data)
+
+    @given(values, st.integers(0, 1000), lengths)
+    @settings(max_examples=25, deadline=None)
+    def test_decode_always_in_range(self, x, seed, length):
+        fab = StreamFactory(seed=seed)
+        v = float(fab.streams(x, length).value())
+        assert -1.0 <= v <= 1.0
+
+    @given(values, st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_xnor_with_ones_is_identity(self, x, seed):
+        """value 1 is the multiplicative identity: x · 1 = x."""
+        fab = StreamFactory(seed=seed)
+        s = fab.streams(x, 128)
+        one = Bitstream.ones((), 128, Encoding.BIPOLAR)
+        np.testing.assert_array_equal(s.xnor(one).data, s.data)
+
+
+class TestAdderInvariants:
+    @given(st.integers(2, 12), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_or_bounded_by_inputs_and_sum(self, n, seed):
+        """max(p_i) <= P(OR) <= min(1, Σ p_i) for any streams."""
+        rng = np.random.default_rng(seed)
+        bits = (rng.random((n, 64)) < rng.random((n, 1))).astype(np.uint8)
+        packed = ops.pack_bits(bits)
+        out = adders.or_add(packed)
+        p_out = ops.popcount(out, 64)
+        per_input = ops.popcount(packed, 64)
+        assert p_out >= per_input.max()
+        assert p_out <= min(64, per_input.sum())
+
+    @given(st.integers(2, 16), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_apc_bounded_by_input_count(self, n, seed):
+        """The LSB approximation deviates by at most ±1 from the exact
+        count, so the output lies in [0, n+1]."""
+        rng = np.random.default_rng(seed)
+        bits = (rng.random((n, 64)) < 0.5).astype(np.uint8)
+        counts = adders.apc_count(ops.pack_bits(bits), 64)
+        assert counts.min() >= 0
+        assert counts.max() <= n + 1
+
+    @given(st.integers(2, 8), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_mux_output_bits_come_from_inputs(self, n, seed):
+        """Every MUX output bit equals the selected input's bit."""
+        rng = np.random.default_rng(seed)
+        bits = (rng.random((n, 32)) < 0.5).astype(np.uint8)
+        select = rng.integers(0, n, 32)
+        out = ops.unpack_bits(
+            adders.mux_add(ops.pack_bits(bits), select, 32), 32
+        )
+        np.testing.assert_array_equal(out, bits[select, np.arange(32)])
+
+
+class TestActivationInvariants:
+    @given(st.integers(2, 40), values, st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_stanh_output_valid(self, k_half, x, seed):
+        fab = StreamFactory(seed=seed)
+        out = activation.stanh(fab.streams(x, 128), 2 * k_half)
+        assert -1.0 <= float(out.value()) <= 1.0
+
+    @given(st.integers(1, 20), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_btanh_monotone_in_counts(self, n, seed):
+        """Uniformly larger counts cannot lower the Btanh output."""
+        rng = np.random.default_rng(seed)
+        low = rng.integers(0, n, (1, 96))
+        high = np.minimum(low + rng.integers(0, 2, (1, 96)), n)
+        k = max(2 * n, 2)
+        out_low = activation.btanh_counts(low, n, k).mean()
+        out_high = activation.btanh_counts(high, n, k).mean()
+        assert out_high >= out_low - 1e-12
+
+
+class TestQuantizationProperties:
+    @given(st.lists(values, min_size=1, max_size=30),
+           st.integers(2, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_idempotent(self, ws, bits):
+        """Quantizing twice equals quantizing once."""
+        from repro.storage.quantization import (
+            dequantize_codes,
+            quantize_weights,
+        )
+        w = np.array(ws)
+        once = dequantize_codes(quantize_weights(w, bits), bits)
+        twice = dequantize_codes(quantize_weights(once, bits), bits)
+        np.testing.assert_allclose(once, twice)

@@ -1,0 +1,114 @@
+"""Tests for the two-line representation (Figure 5d)."""
+
+import numpy as np
+import pytest
+
+from repro.sc.twoline import (
+    TwoLineStream,
+    two_line_add,
+    two_line_multiply,
+    two_line_sum,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        """-0.5 as M: 10110001 (4/8), S: 11111111."""
+        mag = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        sgn = np.ones(8, dtype=np.uint8)
+        s = TwoLineStream(np.packbits(mag), np.packbits(sgn), 8)
+        assert float(s.value()) == pytest.approx(-0.5)
+
+    @pytest.mark.parametrize("x", [-1.0, -0.5, 0.0, 0.25, 1.0])
+    def test_round_trip(self, x, rng):
+        s = TwoLineStream.encode(np.array(x), 8192, rng)
+        assert float(s.value()) == pytest.approx(x, abs=0.05)
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            TwoLineStream.encode(np.array(1.5), 64, rng)
+
+    def test_digits_bounded(self, rng):
+        s = TwoLineStream.encode(np.array(-0.7), 256, rng)
+        digits = s.digits()
+        assert digits.min() >= -1 and digits.max() <= 1
+
+    def test_from_digits_round_trip(self):
+        digits = np.array([1, -1, 0, 1, 0, -1, -1, 1], dtype=np.int8)
+        s = TwoLineStream.from_digits(digits)
+        np.testing.assert_array_equal(s.digits(), digits)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            TwoLineStream(np.zeros((2, 1), dtype=np.uint8),
+                          np.zeros((3, 1), dtype=np.uint8), 8)
+
+
+class TestMultiply:
+    def test_signs(self, rng):
+        for a, b in [(0.5, 0.5), (-0.5, 0.5), (-0.5, -0.5)]:
+            sa = TwoLineStream.encode(np.array(a), 8192, rng)
+            sb = TwoLineStream.encode(np.array(b), 8192, rng)
+            prod = two_line_multiply(sa, sb)
+            assert float(prod.value()) == pytest.approx(a * b, abs=0.05)
+
+    def test_length_mismatch_rejected(self, rng):
+        sa = TwoLineStream.encode(np.array(0.5), 64, rng)
+        sb = TwoLineStream.encode(np.array(0.5), 128, rng)
+        with pytest.raises(ValueError, match="length"):
+            two_line_multiply(sa, sb)
+
+
+class TestAdd:
+    def test_non_scaled_addition(self, rng):
+        """Unlike the MUX adder, the two-line adder does NOT scale.
+
+        The three-state carry counter occasionally drops a unit when both
+        operands and the carry are ones simultaneously, so the result is
+        slightly below the true sum.
+        """
+        sa = TwoLineStream.encode(np.array(0.3), 8192, rng)
+        sb = TwoLineStream.encode(np.array(0.4), 8192, rng)
+        total, overflow = two_line_add(sa, sb)
+        assert float(total.value()) == pytest.approx(0.7, abs=0.1)
+        assert int(overflow) < 0.05 * 8192
+
+    def test_opposite_signs_cancel(self, rng):
+        sa = TwoLineStream.encode(np.array(0.6), 8192, rng)
+        sb = TwoLineStream.encode(np.array(-0.6), 8192, rng)
+        total, _ = two_line_add(sa, sb)
+        assert float(total.value()) == pytest.approx(0.0, abs=0.05)
+
+    def test_overflow_when_sum_exceeds_one(self, rng):
+        """Sums beyond ±1 cannot be represented: the paper's reason for
+        rejecting this design for inner products (Section 4.1)."""
+        sa = TwoLineStream.encode(np.array(0.9), 4096, rng)
+        sb = TwoLineStream.encode(np.array(0.9), 4096, rng)
+        total, _ = two_line_add(sa, sb)
+        assert float(total.value()) < 1.2  # saturates near 1
+
+
+class TestSum:
+    def test_many_inputs_overflow(self, rng):
+        """Accumulating many same-sign inputs must overflow and lose
+        information — the measurable Section 4.1 limitation."""
+        streams = [TwoLineStream.encode(np.array(0.8), 2048, rng)
+                   for _ in range(6)]
+        total, overflow = two_line_sum(streams)
+        assert float(total.value()) <= 1.0
+        assert float(total.value()) < 4.8  # far below the true sum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            two_line_sum([])
+
+    def test_single_stream_identity(self, rng):
+        s = TwoLineStream.encode(np.array(-0.4), 4096, rng)
+        total, overflow = two_line_sum([s])
+        assert float(total.value()) == pytest.approx(-0.4, abs=0.05)
+        assert int(overflow.sum()) == 0

@@ -1,0 +1,102 @@
+"""Tests for layer-wise precision optimization and SRAM sharing."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import to_bipolar
+from repro.storage.layerwise import (
+    BASELINE_BITS,
+    layerwise_precision_search,
+    precision_sweep,
+    storage_savings,
+)
+from repro.storage.sharing import lenet_sharing_plan
+
+
+class TestStorageSavings:
+    def test_uniform_seven_bit_saving(self):
+        """Section 5.2: ~10.3× SRAM area saving for 7-bit storage."""
+        result = storage_savings((7, 7, 7))
+        assert 6.0 < result["area_saving"] < 13.0
+
+    def test_paper_776_scheme(self):
+        """Section 5.3: 7-7-6 → ~12× area, ~11.9× power savings."""
+        result = storage_savings((7, 7, 6))
+        assert result["area_saving"] > storage_savings((7, 7, 7))["area_saving"]
+        assert 6.0 < result["power_saving"] < 14.0
+
+    def test_baseline_is_identity(self):
+        result = storage_savings((BASELINE_BITS,) * 3)
+        assert result["area_saving"] == pytest.approx(1.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            storage_savings((7, 7))
+
+
+class TestPrecisionSweep:
+    def test_figure13_shape(self, tiny_trained_lenet, small_dataset):
+        """Figure 13: error falls as precision rises; Layer2 truncation
+        hurts most (it has the most weights)."""
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:120]
+        y = y_test[:120]
+        sweep = precision_sweep(tiny_trained_lenet, x, y,
+                                precisions=[2, 7])
+        for key in ("Layer0", "Layer1", "Layer2", "All layers"):
+            # 7-bit must be no worse than 2-bit (allow small noise).
+            assert sweep[key][1] <= sweep[key][0] + 2.0
+        # At w=2, truncating everything is at least as bad as only Layer0.
+        assert sweep["All layers"][0] >= sweep["Layer0"][0] - 2.0
+
+    def test_high_precision_matches_float(self, tiny_trained_lenet,
+                                          small_dataset):
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:120]
+        y = y_test[:120]
+        from repro.nn.trainer import evaluate_error_rate
+        base = evaluate_error_rate(tiny_trained_lenet, x, y)
+        sweep = precision_sweep(tiny_trained_lenet, x, y, precisions=[10])
+        assert sweep["All layers"][0] == pytest.approx(base, abs=1.0)
+
+
+class TestLayerwiseSearch:
+    def test_generous_budget_reduces_to_minimum(self, tiny_trained_lenet,
+                                                small_dataset):
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:60]
+        y = y_test[:60]
+        bits, err = layerwise_precision_search(
+            tiny_trained_lenet, x, y, budget_pct=100.0,
+            min_bits=6, max_bits=8,
+        )
+        assert bits == (6, 6, 6)
+        assert 0.0 <= err <= 100.0
+
+    def test_zero_budget_keeps_maximum(self, tiny_trained_lenet,
+                                       small_dataset):
+        _, _, x_test, y_test = small_dataset
+        x = to_bipolar(x_test)[:60]
+        y = y_test[:60]
+        bits, _ = layerwise_precision_search(
+            tiny_trained_lenet, x, y, budget_pct=-100.0,
+            min_bits=6, max_bits=8,
+        )
+        assert bits == (8, 8, 8)
+
+
+class TestSharingPlan:
+    def test_one_block_per_filter(self):
+        plans = lenet_sharing_plan(7)
+        assert plans[0].blocks == 20   # conv1 filters
+        assert plans[1].blocks == 50   # conv2 filters
+
+    def test_routing_saving_positive(self):
+        """Figure 12's claim: local filter blocks beat a central SRAM."""
+        for plan in lenet_sharing_plan(7):
+            assert plan.routing_saving() > 1.0
+
+    def test_area_scales_with_precision(self):
+        a7 = sum(p.total_area_um2() for p in lenet_sharing_plan(7))
+        a64 = sum(p.total_area_um2() for p in lenet_sharing_plan(64))
+        assert a64 > 5 * a7

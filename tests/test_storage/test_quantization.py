@@ -1,0 +1,85 @@
+"""Tests for the weight storage mapping (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.dense import Dense
+from repro.nn.module import Sequential
+from repro.storage.quantization import (
+    dequantize_codes,
+    quantization_error,
+    quantize_model,
+    quantize_weights,
+)
+
+
+class TestQuantizeWeights:
+    def test_paper_mapping(self):
+        """y = Int((x+1)/2 · 2^w): x=0.5, w=3 → Int(0.75·8) = 6."""
+        assert quantize_weights(0.5, 3) == 6
+
+    def test_codes_in_range(self):
+        codes = quantize_weights(np.linspace(-1, 1, 101), 7)
+        assert codes.min() >= 0 and codes.max() <= 128
+
+    @given(st.floats(min_value=-1.0, max_value=1.0),
+           st.integers(min_value=2, max_value=12))
+    @settings(max_examples=60)
+    def test_round_trip_error_bounded(self, x, bits):
+        """Truncation step is 2/2^w, so |x - x̂| < 2/2^w."""
+        restored = dequantize_codes(quantize_weights(x, bits), bits)
+        assert abs(float(restored) - x) < 2.0 / (1 << bits) + 1e-12
+
+    def test_out_of_range_clipped(self):
+        restored = dequantize_codes(quantize_weights(1.7, 8), 8)
+        assert float(restored) <= 1.0
+
+    def test_monotone(self):
+        xs = np.linspace(-1, 1, 33)
+        codes = quantize_weights(xs, 6)
+        assert (np.diff(codes) >= 0).all()
+
+
+class TestQuantizationError:
+    def test_decreases_with_bits(self, rng):
+        w = rng.uniform(-1, 1, 500)
+        e4 = quantization_error(w, 4)["rmse"]
+        e8 = quantization_error(w, 8)["rmse"]
+        assert e8 < e4
+
+    def test_high_precision_negligible(self, rng):
+        w = rng.uniform(-1, 1, 100)
+        assert quantization_error(w, 16)["max_abs"] < 1e-4
+
+
+class TestQuantizeModel:
+    def _model(self):
+        return Sequential([Dense(4, 3, seed=0), Dense(3, 2, seed=1)])
+
+    def test_uniform_precision(self):
+        model = self._model()
+        before = model.params[0].value.copy()
+        quantize_model(model, 4)
+        after = model.params[0].value
+        assert not np.array_equal(before, after)
+        assert np.abs(before - after).max() < 2.0 / 16 + 1e-12
+
+    def test_biases_untouched(self):
+        model = self._model()
+        model.params[1].value += 0.123456789
+        before = model.params[1].value.copy()
+        quantize_model(model, 3)
+        np.testing.assert_array_equal(model.params[1].value, before)
+
+    def test_per_layer_precisions(self):
+        model = self._model()
+        quantize_model(model, [8, 4])
+        # layer 2 is coarser than layer 1
+        w2 = model.params[2].value
+        codes = quantize_weights(w2, 4)
+        np.testing.assert_allclose(dequantize_codes(codes, 4), w2)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="precisions"):
+            quantize_model(self._model(), [8, 8, 8])

@@ -1,0 +1,57 @@
+"""Tests for validation and seeding utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.seeding import derive_seed, spawn_rng
+from repro.utils.validation import (
+    as_float_array,
+    check_bipolar,
+    check_positive_int,
+    check_probability,
+    check_stream_length,
+)
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        check_probability([0.0, 1.0])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability([1.1])
+
+    def test_bipolar_bounds(self):
+        check_bipolar([-1.0, 1.0])
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            check_bipolar([-1.2])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_float_array([np.nan])
+
+    def test_positive_int(self):
+        assert check_positive_int(5) == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+        with pytest.raises(ValueError):
+            check_positive_int(2.5)
+        with pytest.raises(ValueError):
+            check_positive_int(True)
+
+    def test_stream_length_upper_bound(self):
+        with pytest.raises(ValueError, match="large"):
+            check_stream_length(1 << 23)
+
+
+class TestSeeding:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_keys_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_spawn_rng_reproducible(self, seed):
+        a = spawn_rng(seed, "x").random(4)
+        b = spawn_rng(seed, "x").random(4)
+        np.testing.assert_array_equal(a, b)
