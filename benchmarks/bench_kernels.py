@@ -30,6 +30,36 @@ def test_kernel_xnor_multiply(benchmark, factory, rng):
     assert out.shape == a.shape
 
 
+def test_kernel_popcount(benchmark, factory, rng):
+    """Stream decode: ones counts across 4096 streams of 1024 bits."""
+    a = factory.packed(rng.uniform(-1, 1, 4096), L)
+    out = benchmark(lambda: ops.popcount(a, L))
+    assert out.shape == (4096,)
+
+
+def test_kernel_segment_popcount(benchmark, factory, rng):
+    """Max-pool counters: 16-bit segment counts across 2880 streams."""
+    a = factory.packed(rng.uniform(-1, 1, 2880), L)
+    out = benchmark(lambda: ops.segment_popcount(a, L, 16))
+    assert out.shape == (2880, L // 16)
+
+
+def test_kernel_mux_select(benchmark, factory, rng):
+    """16-to-1 MUX across a batch of 64 stream groups."""
+    streams = factory.packed(rng.uniform(-1, 1, (64, 16)), L)
+    select = rng.integers(0, 16, L)
+    out = benchmark(lambda: ops.mux_select(streams, select, L))
+    assert out.shape == (64, streams.shape[-1])
+
+
+def test_kernel_lfsr_sequence(benchmark):
+    """SNG random source: one full-period 16-bit LFSR sequence."""
+    from repro.sc.lfsr import LFSR
+    lfsr = LFSR(16, seed=7)
+    out = benchmark(lambda: lfsr.sequence(65535))
+    assert out.shape == (65535,)
+
+
 def test_kernel_apc_counts(benchmark, factory, rng):
     """APC column counts for 128 windows of 25 inputs."""
     streams = factory.packed(rng.uniform(-1, 1, (128, 25)), L)

@@ -1,0 +1,73 @@
+"""Run the kernel microbenchmarks and record the perf trajectory.
+
+Executes ``bench_kernels.py`` under pytest-benchmark and writes
+``benchmarks/BENCH_kernels.json`` mapping each kernel to its median
+nanoseconds — the baseline that performance claims in later PRs are
+judged against.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
+
+The file is versioned alongside the benchmarks so regressions show up in
+review diffs; machine-to-machine variance means only same-machine ratios
+are meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
+
+
+def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
+    """Run bench_kernels.py; write and return {kernel: median_ns}."""
+    repo_root = BENCH_DIR.parent
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest",
+             str(BENCH_DIR / "bench_kernels.py"), "-q",
+             "--benchmark-json", str(raw)],
+            env=env, cwd=str(repo_root),
+        )
+        if proc.returncode:
+            raise SystemExit(proc.returncode)
+        data = json.loads(raw.read_text())
+    medians = {
+        bench["name"]: round(bench["stats"]["median"] * 1e9)
+        for bench in data["benchmarks"]
+    }
+    payload = {
+        "unit": "median ns per call",
+        "machine": data.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "kernels": dict(sorted(medians.items())),
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    for name, ns in sorted(medians.items()):
+        print(f"  {name:32s} {ns / 1e3:12.1f} us")
+    return medians
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the medians JSON")
+    args = parser.parse_args(argv)
+    run_kernel_benchmarks(args.output)
+
+
+if __name__ == "__main__":
+    main()

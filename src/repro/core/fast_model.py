@@ -43,6 +43,7 @@ from repro.nn.dense import Dense
 from repro.sc import activation
 from repro.sc.adders import apc_count, parallel_counter
 from repro.sc.encoding import Encoding
+from repro.sc.ops import popcount as ops_popcount
 from repro.sc.ops import xnor_
 from repro.sc.rng import StreamFactory
 from repro.storage.quantization import dequantize_codes, quantize_weights
@@ -137,14 +138,16 @@ def _measure_fc(kind: FEBKind, n: int, length: int, samples: int,
         counts = apc_count(products, length)
         k = btanh_states_apc_max(n)
         bits = activation.btanh_counts(counts, n, k)
+        hw = 2.0 * bits.mean(axis=-1) - 1.0
     else:
         select = factory.select_signal(n, length)
         from repro.sc.adders import mux_add
         ips = mux_add(products, select, length)
         k = stanh_states_mux_avg(length, n)
-        from repro.sc.ops import unpack_bits
-        bits = activation.stanh_bits(unpack_bits(ips, length), k)
-    hw = 2.0 * bits.mean(axis=-1) - 1.0
+        # Packed-domain Stanh + word popcount: bit-identical to running
+        # the FSM on unpacked bits and averaging them.
+        out = activation.stanh_packed(ips, length, k)
+        hw = 2.0 * ops_popcount(out, length) / length - 1.0
     return refs, hw
 
 

@@ -13,10 +13,12 @@ constant-1 stream, so the SC computation targets the same function the
 float network was trained for.
 
 Simulation strategy (see DESIGN.md): streams are bit-packed; APC layers
-materialize per-cycle counts in channel×position chunks bounded by
-``chunk_budget`` bytes; MUX layers exploit the identity
+materialize per-cycle counts per output channel through the word-level
+counter of :mod:`repro.sc.adders`, whose stream-axis chunking is bounded
+by ``chunk_budget`` bytes; MUX layers exploit the identity
 ``MUX(xnor(x_i, w_i)) = xnor(MUX(x), MUX(w))`` (the same select signal on
-both sides), which avoids materializing per-output products entirely.
+both sides) with the packed-mask MUX of :mod:`repro.sc.ops`, which avoids
+materializing per-output products — or any unpacked bits — entirely.
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ from repro.core.state_numbers import (
 )
 from repro.nn.conv import Conv2D, im2col_indices
 from repro.nn.dense import Dense
-from repro.sc import activation, ops
+from repro.sc import activation, adders, ops
 from repro.sc.encoding import Encoding
 from repro.sc.rng import StreamFactory
 from repro.storage.quantization import dequantize_codes, quantize_weights
@@ -107,14 +109,6 @@ def pool_window_indices(out_h: int, out_w: int) -> np.ndarray:
             windows[k] = (base, base + 1, base + in_w, base + in_w + 1)
             k += 1
     return windows
-
-
-def _gather_bits_by_select(bits: np.ndarray, select: np.ndarray
-                           ) -> np.ndarray:
-    """``out[..., t] = bits[..., select[t], t]`` (MUX semantics)."""
-    length = bits.shape[-1]
-    idx = select.reshape((1,) * (bits.ndim - 2) + (1, length))
-    return np.take_along_axis(bits, idx, axis=-2)[..., 0, :]
 
 
 class _LayerPlan:
@@ -250,26 +244,20 @@ class SCNetwork:
         """APC counts for every (unit, position).
 
         ``x_patch``: packed ``(P, n, nbytes)``; ``w_streams``: packed
-        ``(C, n, nbytes)``.  Returns int16 counts ``(C, P, L)``, computed
-        in chunks bounded by ``chunk_budget`` unpacked bytes.  The APC's
-        LSB approximation (see :func:`repro.sc.adders.apc_count`) is
-        applied per column.
+        ``(C, n, nbytes)``.  Returns int16 counts ``(C, P, L)``; the
+        word-level counter chunks over the stream axis so no more than
+        ``chunk_budget`` unpacked bytes exist at once.  The APC's LSB
+        approximation (see :func:`repro.sc.adders.apc_count`) is applied
+        per column.
         """
         P, n, nbytes = x_patch.shape
         C = w_streams.shape[0]
         L = self.length
         counts = np.empty((C, P, L), dtype=np.int16)
-        rows_per_chunk = max(self.chunk_budget // max(n * L, 1), 1)
         for c in range(C):
-            w = w_streams[c][None, :, :]  # (1, n, nbytes)
-            for start in range(0, P, rows_per_chunk):
-                stop = min(start + rows_per_chunk, P)
-                prod = ops.xnor_(x_patch[start:stop], w, L)
-                bits = ops.unpack_bits(prod, L)          # (p, n, L)
-                exact = bits.sum(axis=-2, dtype=np.int16)
-                lsb = (exact - bits[..., -1, :]) & np.int16(1)
-                counts[c, start:stop] = (exact & ~np.int16(1)) | lsb
-                del bits, prod
+            prod = ops.xnor_(x_patch, w_streams[c][None, :, :], L)
+            counts[c] = adders.apc_count(prod, L,
+                                         chunk_budget=self.chunk_budget)
         return counts
 
     def _mux_ip_streams(self, x_patch: np.ndarray, w_streams: np.ndarray,
@@ -277,16 +265,13 @@ class SCNetwork:
         """MUX inner-product output streams, packed ``(C, P, nbytes)``.
 
         Uses ``MUX(xnor(x, w)) = xnor(MUX(x), MUX(w))`` with a shared
-        select signal, so only the (P, n, L) input bits are unpacked once.
+        select signal; the packed-mask MUX keeps everything in the packed
+        domain, so nothing is unpacked at all.
         """
         L = self.length
         select = self.factory.select_signal(n, L)
-        x_bits = ops.unpack_bits(x_patch, L)             # (P, n, L)
-        x_sel = ops.pack_bits(_gather_bits_by_select(x_bits, select))
-        del x_bits
-        w_bits = ops.unpack_bits(w_streams, L)           # (C, n, L)
-        w_sel = ops.pack_bits(_gather_bits_by_select(w_bits, select))
-        del w_bits
+        x_sel = ops.mux_select(x_patch, select, L)       # (P, nbytes)
+        w_sel = ops.mux_select(w_streams, select, L)     # (C, nbytes)
         return ops.xnor_(x_sel[None, :, :], w_sel[:, None, :], L)
 
     # ------------------------------------------------------------------

@@ -15,9 +15,19 @@ the APC's *binary* column counts directly: at each cycle the counter adds
 ``2·count - n`` (the signed sum of the n product bits).  The state number
 is chosen by equations (3) / the original design of ref (21), implemented
 in :mod:`repro.core.state_numbers`.
+
+Engines: :func:`stanh_packed` steps the FSM a *byte at a time* directly on
+packed streams — a cached ``(state, byte) → (state', output byte)``
+transition table collapses 8 FSM cycles into one gather, with no
+unpack/pack round-trip (see DESIGN.md, "word-level engine").  The
+bit-level paths (:func:`stanh_bits`, :func:`btanh_counts`) run the blocked
+clamp-composition scan of :mod:`repro.sc.fsm`.  All three are bit-exact
+equivalents of the per-cycle FSM.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -25,7 +35,7 @@ from repro.sc import ops
 from repro.sc.bitstream import Bitstream
 from repro.sc.encoding import Encoding
 from repro.sc.fsm import saturating_counter
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, check_stream_length
 
 __all__ = [
     "stanh_bits",
@@ -36,20 +46,64 @@ __all__ = [
     "stanh_expected",
 ]
 
+#: Widest FSM the uint8 byte-transition tables can hold.
+_MAX_LUT_STATES = 256
+
+
+@functools.lru_cache(maxsize=128)
+def _stanh_tables(n_states: int, threshold: int):
+    """Byte-granular Stanh transition tables.
+
+    Returns ``(next_state, out_byte)``, each ``(n_states, 256)`` uint8:
+    running the ±1 saturating FSM through one input byte (big-endian bit
+    order, threshold compared on each *updated* state — exactly
+    :func:`repro.sc.fsm.saturating_counter` semantics).
+    """
+    states = np.arange(n_states, dtype=np.int16)[:, None]
+    bytes_ = np.arange(256, dtype=np.uint16)[None, :]
+    s = np.broadcast_to(states, (n_states, 256)).astype(np.int16).copy()
+    out = np.zeros((n_states, 256), dtype=np.uint8)
+    for bitpos in range(8):
+        bit = ((bytes_ >> (7 - bitpos)) & 1).astype(np.int16)
+        s += bit * 2 - 1
+        np.clip(s, 0, n_states - 1, out=s)
+        out |= ((s >= threshold).astype(np.uint8) << (7 - bitpos))
+    return s.astype(np.uint8), out
+
 
 def stanh_bits(bits: np.ndarray, n_states: int,
                threshold: int = None) -> np.ndarray:
     """Run Stanh over an unpacked bit array ``(..., T)``; returns bits."""
-    inc = bits.astype(np.int64) * 2 - 1
+    inc = np.asarray(bits).astype(np.int8) * np.int8(2) - np.int8(1)
     return saturating_counter(inc, n_states, threshold=threshold)
 
 
 def stanh_packed(data: np.ndarray, length: int, n_states: int,
                  threshold: int = None) -> np.ndarray:
-    """Run Stanh over packed streams; returns packed streams."""
-    bits = ops.unpack_bits(data, length)
-    out = stanh_bits(bits, n_states, threshold=threshold)
-    return ops.pack_bits(out)
+    """Run Stanh over packed streams; returns packed streams.
+
+    Steps the FSM one packed byte per gather through the cached
+    :func:`_stanh_tables`; the output's padding bits are re-zeroed to
+    keep the module invariant of :mod:`repro.sc.ops`.
+    """
+    length = check_stream_length(length)
+    check_positive_int(n_states, "n_states")
+    if threshold is None:
+        threshold = n_states // 2
+    data = np.asarray(data, dtype=np.uint8)
+    if n_states > _MAX_LUT_STATES:   # pragma: no cover - huge-FSM fallback
+        bits = ops.unpack_bits(data, length)
+        return ops.pack_bits(stanh_bits(bits, n_states, threshold=threshold))
+    nxt, outb = _stanh_tables(n_states, int(threshold))
+    state = np.full(data.shape[:-1], n_states // 2, dtype=np.uint8)
+    out = np.empty_like(data)
+    for j in range(data.shape[-1]):
+        col = data[..., j]
+        out[..., j] = outb[state, col]
+        state = nxt[state, col]
+    if length % 8:
+        out[..., -1] &= ops.pad_mask(length)[-1]
+    return out
 
 
 def stanh(stream: Bitstream, n_states: int,
@@ -105,7 +159,7 @@ def btanh_counts(counts: np.ndarray, n_inputs: int, n_states: int,
     counts = np.asarray(counts)
     if not np.issubdtype(counts.dtype, np.integer):
         raise ValueError(f"counts must be integers, got dtype {counts.dtype}")
-    inc = 2 * counts.astype(np.int64) - n_inputs
+    inc = 2 * counts.astype(np.int32) - np.int32(n_inputs)
     return saturating_counter(inc, n_states, threshold=threshold)
 
 

@@ -15,6 +15,12 @@ second-to-last: shape ``(..., n, nbytes)`` for ``n`` inputs, and reduce it.
    structurally (see Notes).
 4. Two-line representation (Figure 5d) lives in :mod:`repro.sc.twoline`.
 
+Per-cycle counts are computed by moving the summand axis to the front
+(so the reduction vectorizes over long contiguous cycle runs), unpacking
+in stream-axis chunks bounded by ``chunk_budget`` bytes, and reducing in
+uint8 — the full ``(..., n, L)`` bit tensor is never materialized when a
+budget smaller than it is passed (see DESIGN.md, "word-level engine").
+
 Notes
 -----
 The APC of ref (20) replaces part of the LSB full-adder chain with
@@ -41,7 +47,13 @@ __all__ = [
     "parallel_counter",
     "apc_count",
     "apc_gate_equivalents",
+    "DEFAULT_CHUNK_BUDGET",
 ]
+
+#: Default bound (bytes) on the unpacked bit tensor materialized at once
+#: while counting columns; 64 MiB keeps the working set cache-friendly
+#: without chunking the common microbench/layer shapes.
+DEFAULT_CHUNK_BUDGET = 1 << 26
 
 
 def or_add(streams: np.ndarray) -> np.ndarray:
@@ -77,19 +89,66 @@ def mux_add(streams: np.ndarray, select: np.ndarray,
     return ops.mux_select(streams, select, length)
 
 
-def parallel_counter(streams: np.ndarray, length: int) -> np.ndarray:
+def _column_counts(streams: np.ndarray, length: int, chunk_budget,
+                   approximate: bool) -> np.ndarray:
+    """Per-cycle ones counts ``(..., length)``, optionally APC-approximate.
+
+    The summand axis is moved to the front so ``np.add.reduce`` runs over
+    axis 0 with contiguous cycle runs, and the stream axis is unpacked in
+    byte-aligned chunks whose unpacked size stays within ``chunk_budget``
+    bytes.  Counts accumulate in uint8 whenever ``n`` permits.
+    """
+    length = check_stream_length(length)
+    streams = np.asarray(streams, dtype=np.uint8)
+    if streams.ndim < 2:
+        raise ValueError("expected shape (..., n, nbytes)")
+    n = streams.shape[-2]
+    nbytes = ops.packed_nbytes(length)
+    if streams.shape[-1] < nbytes:
+        raise ValueError(
+            f"packed data last axis is {streams.shape[-1]} bytes but "
+            f"length {length} requires {nbytes}"
+        )
+    front = np.ascontiguousarray(np.moveaxis(streams[..., :nbytes], -2, 0))
+    batch = front.shape[1:-1]
+    # The APC approximation can emit n + 1, so uint8 is safe up to n = 254.
+    acc_dtype = np.uint8 if n <= 254 else np.int16
+    if chunk_budget is None:
+        chunk_budget = DEFAULT_CHUNK_BUDGET
+    rows = int(np.prod(batch, dtype=np.int64)) if batch else 1
+    chunk_bytes = max(int(chunk_budget) // max(n * rows * 8, 1), 1)
+    out = np.empty(batch + (length,), dtype=np.int16)
+    for start in range(0, nbytes, chunk_bytes):
+        stop = min(start + chunk_bytes, nbytes)
+        block = front[..., start:stop]
+        if not block.flags.c_contiguous:
+            block = np.ascontiguousarray(block)
+        bits = np.unpackbits(block, axis=-1)          # (n, ..., 8*(stop-start))
+        counts = np.add.reduce(bits, axis=0, dtype=acc_dtype)
+        if approximate:
+            one = acc_dtype(1)
+            counts = (counts & ~one) | ((counts ^ bits[-1]) & one)
+        hi = min(8 * stop, length)
+        out[..., 8 * start:hi] = counts[..., :hi - 8 * start]
+    return out
+
+
+def parallel_counter(streams: np.ndarray, length: int,
+                     chunk_budget: int | None = None) -> np.ndarray:
     """Exact accumulative parallel counter: per-cycle ones counts.
 
     Returns an int16 array ``(..., length)`` where entry ``t`` is the
     number of input streams whose bit ``t`` is one.  This is the
     conventional (non-approximate) counter used as Table 3's baseline.
+
+    ``chunk_budget`` bounds the bytes of unpacked bits materialized at
+    once (default :data:`DEFAULT_CHUNK_BUDGET`).
     """
-    length = check_stream_length(length)
-    bits = ops.unpack_bits(streams, length)  # (..., n, L) uint8
-    return bits.sum(axis=-2, dtype=np.int16)
+    return _column_counts(streams, length, chunk_budget, approximate=False)
 
 
-def apc_count(streams: np.ndarray, length: int) -> np.ndarray:
+def apc_count(streams: np.ndarray, length: int,
+              chunk_budget: int | None = None) -> np.ndarray:
     """Approximate parallel counter: per-cycle counts with LSB approximation.
 
     Behavioural model of the APC of ref (20) (see module Notes): the
@@ -100,13 +159,10 @@ def apc_count(streams: np.ndarray, length: int) -> np.ndarray:
     even exact count with a set approximate LSB overshoots by one, which
     the APC's binary output width accommodates.
 
-    Returns an int16 array ``(..., length)``.
+    Returns an int16 array ``(..., length)``.  ``chunk_budget`` bounds the
+    bytes of unpacked bits materialized at once.
     """
-    length = check_stream_length(length)
-    bits = ops.unpack_bits(streams, length)
-    exact = bits.sum(axis=-2, dtype=np.int16)
-    approx_lsb = (exact - bits[..., -1, :]) & np.int16(1)
-    return (exact & ~np.int16(1)) | approx_lsb
+    return _column_counts(streams, length, chunk_budget, approximate=True)
 
 
 def apc_gate_equivalents(n_inputs: int) -> dict:

@@ -13,6 +13,11 @@ their stochastic-computing meanings where unambiguous:
 
 Value decoding (:meth:`value`) inverts the encoding of
 :mod:`repro.sc.encoding`.
+
+All reductions (:meth:`popcount`, :meth:`segment_counts`) delegate to the
+word-level kernels of :mod:`repro.sc.ops` and therefore never unpack; the
+wrapper also maintains the zero-padding-bits invariant those kernels rely
+on (see DESIGN.md, "word-level engine").
 """
 
 from __future__ import annotations

@@ -30,7 +30,11 @@ __all__ = ["scc", "pearson", "decorrelate", "multiply_error_vs_scc"]
 
 
 def _joint_counts(a: np.ndarray, b: np.ndarray, length: int):
-    """Counts of (1,1), ones(a), ones(b) for packed streams."""
+    """Counts of (1,1), ones(a), ones(b) for packed streams.
+
+    Three word-level popcounts — correlation scans over whole layers stay
+    in the packed domain (no unpacking anywhere on this path).
+    """
     both = ops.popcount(ops.and_(a, b), length)
     na = ops.popcount(a, length)
     nb = ops.popcount(b, length)

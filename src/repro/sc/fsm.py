@@ -6,10 +6,22 @@ Both SC activation functions in the paper are saturating counters:
 * **Btanh** — a saturated up/down counter stepping by the (signed) binary
   output of the APC each cycle.
 
-This module provides one vectorized engine for both.  The per-cycle loop
-is unavoidable (each state depends on the previous one), but it is
-vectorized across the batch: simulating every neuron of a LeNet-5 layer
-costs ``length`` iterations of O(neurons) numpy work.
+The engine runs a *blocked clamp-composition scan* instead of one Python
+iteration per cycle.  The key fact is that saturating-add steps compose in
+closed form: every composition of ``x -> clip(x + a, lo, hi)`` steps is a
+function of the shape ``x -> min(max(x + S, U), V)``, and composing one
+more step updates the triple by
+
+    ``S += a``,  ``U = max(U + a, lo)``,  ``V = clip(V + a, lo, hi)``.
+
+Within a block of ``B`` cycles, ``S`` is a cumulative sum, ``U`` unrolls to
+``lo + S - running_min(S)`` (running extrema — no loop), and only ``V``
+needs a scan of ``B`` vectorized steps.  Block entry states then propagate
+across the ``T/B`` blocks through each block's final triple, and all
+per-cycle states evaluate in one vectorized ``min(max(...))``.  Python-level
+iterations drop from ``T`` to ``B + T/B ≈ 2√T`` (see DESIGN.md,
+"word-level engine"); the per-cycle loop this replaces cost ``T``
+iterations of O(batch) numpy work.
 """
 
 from __future__ import annotations
@@ -21,11 +33,18 @@ from repro.utils.validation import check_positive_int
 __all__ = ["saturating_counter"]
 
 
+def _block_size(n_cycles: int) -> int:
+    """Default block length: ≈√T bounded to a dispatch-friendly range."""
+    root = int(round(float(n_cycles) ** 0.5))
+    return max(1, min(max(root, 8), 128, n_cycles))
+
+
 def saturating_counter(
     increments: np.ndarray,
     n_states: int,
     init: int = None,
     threshold: int = None,
+    block: int = None,
 ) -> np.ndarray:
     """Run a saturating up/down counter over per-cycle increments.
 
@@ -45,6 +64,11 @@ def saturating_counter(
         Defaults to ``n_states // 2`` — the right half of the Figure 6
         diagram.  The re-designed Stanh of Figure 11 passes
         ``round(n_states / 5)`` instead.
+    block:
+        Cycles per scan block; defaults to ≈``√T``.  Any value produces
+        identical output (the composition is exact) — this only tunes how
+        the ``B + T/B`` Python-level iterations split; the work arrays
+        always span the full ``T`` cycles regardless.
 
     Returns
     -------
@@ -62,11 +86,47 @@ def saturating_counter(
         raise ValueError(f"init state {init} outside [0, {n_states - 1}]")
 
     T = inc.shape[-1]
-    state = np.full(inc.shape[:-1], init, dtype=np.int64)
-    out = np.empty(inc.shape, dtype=bool)
     hi = n_states - 1
-    for t in range(T):
-        state += inc[..., t]
-        np.clip(state, 0, hi, out=state)
-        out[..., t] = state >= threshold
-    return out
+    if T == 0:
+        return np.empty(inc.shape, dtype=bool)
+    B = check_positive_int(block, "block") if block else _block_size(T)
+    B = min(B, T)
+    nblocks = -(-T // B)
+    pad = nblocks * B - T
+    if pad:
+        # Zero increments are identity steps; the padded tail is discarded.
+        inc = np.concatenate(
+            [inc, np.zeros(inc.shape[:-1] + (pad,), dtype=inc.dtype)],
+            axis=-1,
+        )
+    # int32 is ample unless a block's partial sums could overflow it; for
+    # narrow increment dtypes the dtype bound settles it without a scan.
+    if inc.dtype.itemsize <= 2:
+        maxabs = 1 << (8 * inc.dtype.itemsize)
+    else:
+        maxabs = int(np.abs(inc).max()) if inc.size else 0
+    work = np.int32 if (maxabs + 1) * (B + 1) + n_states < 2**31 else np.int64
+    a = inc.reshape(inc.shape[:-1] + (nblocks, B)).astype(work)
+
+    P = np.cumsum(a, axis=-1)                       # composed shifts S
+    U = P - np.minimum.accumulate(P, axis=-1)       # lo = 0 closed form
+    V = np.empty_like(P)
+    V[..., 0] = hi
+    v = np.full(a.shape[:-1], hi, dtype=work)
+    for j in range(1, B):
+        np.add(v, a[..., j], out=v)
+        np.clip(v, 0, hi, out=v)
+        V[..., j] = v
+
+    entry = np.empty(a.shape[:-1], dtype=work)
+    e = np.full(a.shape[:-2], init, dtype=work)
+    Pe, Ue, Ve = P[..., -1], U[..., -1], V[..., -1]
+    for b in range(nblocks):
+        entry[..., b] = e
+        e = np.minimum(np.maximum(e + Pe[..., b], Ue[..., b]), Ve[..., b])
+
+    P += entry[..., None]
+    np.maximum(P, U, out=P)
+    np.minimum(P, V, out=P)
+    out = P >= threshold
+    return out.reshape(out.shape[:-2] + (nblocks * B,))[..., :T]

@@ -9,9 +9,19 @@ The LFSR state sequence is used two ways:
 
 * as the random source of a comparator-based SNG (:class:`~repro.sc.rng.LfsrSNG`),
 * as the select-signal generator of MUX-based adders.
+
+State generation is table-driven: for the known maximal tap sets the full
+period orbit (period ≤ 2²⁴) is computed once per ``(width, taps)`` by
+pointer doubling over the vectorized next-state map, together with a
+state→phase index, and cached.  :meth:`LFSR.sequence` then reduces to an
+array slice at the current seed phase — bit-exact with per-cycle stepping,
+including wraparound past the period (see DESIGN.md, "word-level engine").
+Custom tap sets fall back to the per-cycle loop.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -46,6 +56,12 @@ _MAXIMAL_TAPS = {
     24: (24, 23, 22, 17),
 }
 
+# Cached (orbit, phase) tables keyed by (width, taps); the SNG pool shares
+# one entry.  Eviction is byte-budgeted: one width-24 table is ~128 MB, so
+# an entry-count cap alone would not bound memory.
+_ORBIT_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_ORBIT_CACHE_MAX_BYTES = 192 << 20
+
 
 def maximal_taps(width: int) -> tuple:
     """Return a maximal-length tap tuple for ``width``-bit LFSRs."""
@@ -57,6 +73,73 @@ def maximal_taps(width: int) -> tuple:
             f"no maximal-length taps recorded for width {width}; "
             f"supported widths: {sorted(_MAXIMAL_TAPS)}"
         ) from None
+
+
+def _mat_apply(rows: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Apply a GF(2)-linear state map (basis images ``rows``) to states."""
+    out = np.zeros_like(states)
+    one = np.uint32(1)
+    for j in range(rows.shape[0]):
+        out ^= rows[j] * ((states >> np.uint32(j)) & one)
+    return out
+
+
+def _orbit_table(width: int, taps: tuple, tap_mask: int, mask: int):
+    """Full-period orbit and state→phase index for a maximal-length LFSR.
+
+    The one-step map is GF(2)-linear (shift is linear, the feedback bit is
+    a parity), so its powers are matrices over GF(2) that square in O(w²)
+    word ops.  A short scalar prefix of the orbit is then extended
+    geometrically by applying the doubled map to the known prefix —
+    sequential SIMD passes, no random gathers — O(2^w · w) work once,
+    cached.
+    """
+    key = (width, taps)
+    hit = _ORBIT_CACHE.get(key)
+    if hit is not None:
+        _ORBIT_CACHE.move_to_end(key)
+        return hit
+    n_states = 1 << width
+    period = n_states - 1
+    orbit = np.empty(period, dtype=np.uint32)
+    # Scalar prefix from the canonical start state 1: orbit[i] = f^i(1).
+    # 4096 is a power of two, so the matrix power below is pure squaring;
+    # narrow registers (period < 4096) complete entirely in this loop.
+    seed_len = min(4096, period)
+    state = 1
+    orbit[0] = 1
+    for i in range(1, seed_len):
+        feedback = bin(state & tap_mask).count("1") & 1
+        state = ((state << 1) | feedback) & mask
+        orbit[i] = state
+    if seed_len < period:
+        # Basis images of the one-step map, squared up to f^seed_len.
+        jump = np.empty(width, dtype=np.uint32)
+        for j in range(width):
+            basis = 1 << j
+            feedback = bin(basis & tap_mask).count("1") & 1
+            jump[j] = ((basis << 1) | feedback) & mask
+        hops = 1
+        while hops < seed_len:
+            jump = _mat_apply(jump, jump)
+            hops *= 2
+        # Geometric extension: orbit[have + i] = f^have(orbit[i]).
+        have = seed_len
+        while have < period:
+            take = min(have, period - have)
+            orbit[have:have + take] = _mat_apply(jump, orbit[:take])
+            have += take
+            if have < period:
+                jump = _mat_apply(jump, jump)
+    phase = np.full(n_states, -1, dtype=np.int32)
+    phase[orbit] = np.arange(period, dtype=np.int32)
+    entry = (orbit, phase)
+    _ORBIT_CACHE[key] = entry
+    total = sum(o.nbytes + p.nbytes for o, p in _ORBIT_CACHE.values())
+    while len(_ORBIT_CACHE) > 1 and total > _ORBIT_CACHE_MAX_BYTES:
+        old_orbit, old_phase = _ORBIT_CACHE.popitem(last=False)[1]
+        total -= old_orbit.nbytes + old_phase.nbytes
+    return entry
 
 
 class LFSR:
@@ -95,6 +178,9 @@ class LFSR:
         self._tap_mask = 0
         for t in self.taps:
             self._tap_mask |= 1 << (t - 1)
+        # The orbit table is only valid when every non-zero state lies on
+        # one cycle, which the recorded maximal tap sets guarantee.
+        self._tabulated = self.taps == _MAXIMAL_TAPS.get(self.width)
 
     @property
     def period(self) -> int:
@@ -112,24 +198,42 @@ class LFSR:
         self._state = ((self._state << 1) | feedback) & self._mask
         return self._state
 
-    def sequence(self, n: int) -> np.ndarray:
-        """Return the next ``n`` states as a uint32 array.
-
-        The Python loop is acceptable here: SNGs sample the LFSR once and
-        reuse the sequence across all values (hardware shares RNGs the same
-        way, see Section 5.1 of the paper).
-        """
-        n = check_positive_int(n, "n")
+    def _sequence_loop(self, n: int) -> np.ndarray:
+        """Per-cycle stepping fallback for custom tap sets."""
         out = np.empty(n, dtype=np.uint32)
         state = self._state
         mask = self._mask
         tap_mask = self._tap_mask
-        width = self.width
         for i in range(n):
             feedback = bin(state & tap_mask).count("1") & 1
             state = ((state << 1) | feedback) & mask
             out[i] = state
         self._state = state
+        return out
+
+    def sequence(self, n: int) -> np.ndarray:
+        """Return the next ``n`` states as a uint32 array.
+
+        For the recorded maximal tap sets this is an array slice into the
+        cached full-period orbit starting at the current state's phase
+        (wrapping past the period), identical bit-for-bit to stepping the
+        register ``n`` times.
+        """
+        n = check_positive_int(n, "n")
+        if not self._tabulated:
+            return self._sequence_loop(n)
+        if (self.width, self.taps) not in _ORBIT_CACHE:
+            # Amortization guard: building a wide register's table costs
+            # O(2^w · w); only do it for cheap widths (the SNG pool's
+            # 16-bit registers share one table) or period-scale requests.
+            if self.width > 16 and n < (1 << self.width) >> 4:
+                return self._sequence_loop(n)
+        orbit, phase = _orbit_table(self.width, self.taps, self._tap_mask,
+                                    self._mask)
+        start = int(phase[self._state]) + 1
+        idx = start + np.arange(n, dtype=np.int64)
+        out = np.take(orbit, idx, mode="wrap")
+        self._state = int(out[-1])
         return out
 
     def bits(self, n: int) -> np.ndarray:

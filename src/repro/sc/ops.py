@@ -11,9 +11,23 @@ Bitstream` provides the user-facing wrapper.  Packing gives an 8x memory
 reduction and lets AND/OR/XNOR run as single vectorized byte-wise ops,
 which is what makes full bit-level simulation of LeNet-5 tractable (see
 DESIGN.md, "bit-packing").
+
+The hot reductions are *word-level*: packed bytes are re-viewed as
+``uint64`` words (zero-padded to an 8-byte multiple when needed) and
+counted with the hardware ``popcnt`` instruction via ``numpy.bitwise_count``
+(a byte-LUT fallback covers NumPy < 2).  No function in this module
+round-trips through :func:`unpack_bits` any more — see DESIGN.md,
+"word-level engine".
+
+Invariant: the padding bits of the final byte of every packed stream are
+**zero**.  All constructors and every operation here maintain it (NOT and
+XNOR re-apply :func:`pad_mask`), and the counting kernels rely on it.
+:func:`padding_is_zero` checks it explicitly.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -22,6 +36,7 @@ from repro.utils.validation import check_stream_length
 __all__ = [
     "packed_nbytes",
     "pad_mask",
+    "padding_is_zero",
     "pack_bits",
     "unpack_bits",
     "popcount",
@@ -34,10 +49,40 @@ __all__ = [
     "segment_popcount",
 ]
 
-# Number of set bits for every byte value; used for fast popcounts.
+#: True when numpy provides a native SIMD popcount (NumPy >= 2.0).
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+# Number of set bits for every byte value; fallback popcount for NumPy < 2.
 _POPCOUNT_TABLE = np.array(
-    [bin(i).count("1") for i in range(256)], dtype=np.uint16
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
 )
+
+
+def _byte_popcount(data: np.ndarray) -> np.ndarray:
+    """Per-element set-bit counts (uint8) of an unsigned integer array."""
+    if HAVE_BITWISE_COUNT:
+        return np.bitwise_count(data)
+    if data.dtype != np.uint8:
+        data = np.ascontiguousarray(data).view(np.uint8)
+    return _POPCOUNT_TABLE[data]
+
+
+def _as_words(data: np.ndarray) -> np.ndarray:
+    """View packed bytes as uint64 words, zero-padding to an 8-byte multiple.
+
+    Only the *count* of set bits is meaningful in word view (byte order
+    within a word follows the platform, not the stream), which is all the
+    word-level kernels need.
+    """
+    data = np.ascontiguousarray(data)
+    pad = (-data.shape[-1]) % 8
+    if pad:
+        data = np.concatenate(
+            [data, np.zeros(data.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+        data = np.ascontiguousarray(data)
+    return data.view(np.uint64)
 
 
 def packed_nbytes(length: int) -> int:
@@ -46,19 +91,35 @@ def packed_nbytes(length: int) -> int:
     return (length + 7) // 8
 
 
+@functools.lru_cache(maxsize=256)
 def pad_mask(length: int) -> np.ndarray:
     """Per-byte mask that zeroes the padding bits of the final byte.
 
     Streams whose length is not a byte multiple carry unused trailing bits
     in their last byte; every operation that can set bits (NOT, XNOR)
     must re-apply this mask so popcounts stay correct.
+
+    The result is cached per length (XNOR sits on the innermost multiply
+    path) and returned read-only; copy before mutating.
     """
     nbytes = packed_nbytes(length)
     mask = np.full(nbytes, 0xFF, dtype=np.uint8)
     rem = length % 8
     if rem:
         mask[-1] = (0xFF << (8 - rem)) & 0xFF
+    mask.flags.writeable = False
     return mask
+
+
+def padding_is_zero(data: np.ndarray, length: int) -> bool:
+    """Check the zero-padding invariant the counting kernels rely on."""
+    length = check_stream_length(length)
+    rem = length % 8
+    if not rem:
+        return True
+    data = np.asarray(data)
+    spill = np.uint8(0xFF >> rem)
+    return not np.any(np.bitwise_and(data[..., -1], spill))
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
@@ -76,13 +137,28 @@ def unpack_bits(data: np.ndarray, length: int) -> np.ndarray:
     return bits[..., :length]
 
 
-def popcount(data: np.ndarray, length: int = None) -> np.ndarray:
+def popcount(data: np.ndarray, length: int | None = None) -> np.ndarray:
     """Count set bits along the stream axis.
 
-    ``length`` is accepted for interface symmetry; padding bits are assumed
-    to be zero (all constructors and ops in this module maintain that
-    invariant).
+    Relies on the module invariant that padding bits are zero (see the
+    module docstring); under it the count over all stored bytes equals the
+    count over the ``length`` valid bits.  When ``length`` is given the
+    packed width is validated against it.
+
+    Runs on uint64 words through ``numpy.bitwise_count`` where available
+    (NumPy >= 2), falling back to a byte LUT otherwise.
     """
+    data = np.asarray(data)
+    if length is not None:
+        length = check_stream_length(length)
+        nbytes = packed_nbytes(length)
+        if data.shape[-1] != nbytes:
+            raise ValueError(
+                f"packed data last axis is {data.shape[-1]} bytes but "
+                f"length {length} requires {nbytes}"
+            )
+    if HAVE_BITWISE_COUNT:
+        return np.bitwise_count(_as_words(data)).sum(axis=-1, dtype=np.int64)
     return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
 
 
@@ -136,22 +212,30 @@ def mux_select(streams: np.ndarray, select: np.ndarray, length: int) -> np.ndarr
     -----
     This is the scaled adder of Figure 5(b): the output probability is the
     mean of the input probabilities, i.e. the sum scaled by ``1/n``.
+
+    Implemented entirely in the packed domain: the select signal is turned
+    into ``n`` per-cycle one-hot masks (one ``packbits`` call), and the
+    output is ``OR_i(streams_i & mask_i)``.  The masks partition the
+    cycles, so this is bit-identical to gather-by-select, and the packed
+    masks zero the padding bits of the result.
     """
     length = check_stream_length(length)
+    streams = np.asarray(streams)
+    if streams.ndim < 2:
+        raise ValueError("streams must have shape (..., n, nbytes)")
     select = np.asarray(select)
     if select.shape != (length,):
         raise ValueError(
             f"select must have shape ({length},), got {select.shape}"
         )
-    bits = unpack_bits(streams, length)  # (..., n, L)
-    n = bits.shape[-2]
+    n = streams.shape[-2]
     if select.size and (select.min() < 0 or select.max() >= n):
         raise ValueError(f"select values must lie in [0, {n}), got "
                          f"[{select.min()}, {select.max()}]")
-    taken = np.take_along_axis(
-        bits, select.reshape((1,) * (bits.ndim - 2) + (1, length)), axis=-2
-    )[..., 0, :]
-    return pack_bits(taken)
+    masks = np.packbits(
+        select[None, :] == np.arange(n)[:, None], axis=-1
+    )  # (n, nbytes)
+    return np.bitwise_or.reduce(np.bitwise_and(streams, masks), axis=-2)
 
 
 def segment_popcount(data: np.ndarray, length: int, segment: int) -> np.ndarray:
@@ -162,14 +246,51 @@ def segment_popcount(data: np.ndarray, length: int, segment: int) -> np.ndarray:
     ``length``.
 
     Returns an int64 array of shape ``(..., length // segment)``.
+
+    Byte-aligned segments (the hardware's ``c = 16``) reduce to per-byte
+    word popcounts of a reshaped view.  Unaligned segments are handled by
+    popcounting the prefix up to every segment boundary — cumulative
+    per-byte counts plus a masked partial byte — and differencing, still
+    with no ``unpack_bits``.
     """
     length = check_stream_length(length)
     if segment <= 0 or length % segment:
         raise ValueError(
             f"segment length {segment} must divide stream length {length}"
         )
-    bits = unpack_bits(data, length)
+    data = np.asarray(data)
     nseg = length // segment
-    return bits.reshape(bits.shape[:-1] + (nseg, segment)).sum(
-        axis=-1, dtype=np.int64
-    )
+    if segment % 8 == 0:
+        # length is a byte multiple too, so the packed axis reshapes evenly;
+        # a segment that spans one machine word popcounts in a single op.
+        bps = segment // 8
+        segs = np.ascontiguousarray(data).reshape(
+            data.shape[:-1] + (nseg, bps))
+        if bps == 1:
+            return _byte_popcount(segs[..., 0]).astype(np.int64)
+        if HAVE_BITWISE_COUNT and bps in (2, 4, 8):
+            words = segs.view(np.dtype(f"uint{bps * 8}"))[..., 0]
+            return np.bitwise_count(words).astype(np.int64)
+        if HAVE_BITWISE_COUNT and bps % 8 == 0:
+            words = segs.view(np.uint64)
+            return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+        return _byte_popcount(segs).sum(axis=-1, dtype=np.int64)
+
+    nbytes = data.shape[-1]
+    counts = _byte_popcount(data)
+    cum = np.zeros(data.shape[:-1] + (nbytes + 1,), dtype=np.int64)
+    np.cumsum(counts, axis=-1, out=cum[..., 1:])
+    # Prefix popcount at every segment boundary: whole bytes below the
+    # boundary, plus the leading bits of the straddled byte (stream bits
+    # are the byte's high bits).
+    pos = np.arange(1, nseg + 1, dtype=np.int64) * segment
+    full, rem = pos // 8, pos % 8
+    bound = cum[..., full]
+    partial = rem > 0
+    if partial.any():
+        idx = full[partial]
+        masks = ((0xFF00 >> rem[partial]) & 0xFF).astype(np.uint8)
+        bound[..., partial] += _byte_popcount(
+            np.bitwise_and(data[..., idx], masks)
+        )
+    return np.diff(bound, axis=-1, prepend=0)

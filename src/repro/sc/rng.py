@@ -13,6 +13,9 @@ cycle.  Two generators are provided:
     (22)).  Streams produced from the *same* LFSR are strongly correlated
     (a known SC hazard); the generator therefore rotates over a pool of
     differently-seeded LFSRs, mirroring the paper's RNG-sharing design.
+    The pool's state sequences are slices of the cached full-period orbit
+    table of :mod:`repro.sc.lfsr`, so generation is array indexing rather
+    than per-cycle register stepping.
 
 :class:`StreamFactory` bundles an SNG with seed management and exposes the
 high-level ``streams(values, length)`` API used by all function blocks.

@@ -1,0 +1,201 @@
+"""Property tests: word-level kernels match naive unpacked references.
+
+The word-level engine (uint64 popcounts, packed-mask MUX, chunked column
+counters, blocked clamp-composition FSM scan, cached LFSR orbits) must be
+*bit-exact* with the obvious per-bit implementations — including the
+awkward lengths the padding logic exists for: odd lengths, ``L % 8 != 0``
+and ``L % 64 != 0``, and arbitrary batch shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sc import activation, adders, ops
+from repro.sc.fsm import saturating_counter
+from repro.sc.lfsr import LFSR
+
+# Lengths biased toward the hard cases: not multiples of 8 nor 64.
+lengths = st.one_of(
+    st.integers(min_value=1, max_value=200),
+    st.sampled_from([63, 64, 65, 127, 128, 129, 191, 255, 256, 257]),
+)
+batch_shapes = st.sampled_from([(), (1,), (3,), (2, 3)])
+
+
+def random_bits(data, shape, length):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1),
+                                          label="seed"))
+    return (rng.random(shape + (length,)) < 0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes)
+def test_popcount_matches_unpacked(data, length, shape):
+    bits = random_bits(data, shape, length)
+    packed = ops.pack_bits(bits)
+    ref = bits.sum(axis=-1, dtype=np.int64)
+    np.testing.assert_array_equal(ops.popcount(packed, length), ref)
+    np.testing.assert_array_equal(ops.popcount(packed), ref)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes)
+def test_popcount_fallback_lut_path(data, length, shape):
+    bits = random_bits(data, shape, length)
+    packed = ops.pack_bits(bits)
+    ref = bits.sum(axis=-1, dtype=np.int64)
+    have = ops.HAVE_BITWISE_COUNT
+    try:
+        ops.HAVE_BITWISE_COUNT = False
+        np.testing.assert_array_equal(ops.popcount(packed, length), ref)
+    finally:
+        ops.HAVE_BITWISE_COUNT = have
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), shape=batch_shapes,
+       segment=st.integers(min_value=1, max_value=40),
+       nseg=st.integers(min_value=1, max_value=12))
+def test_segment_popcount_matches_unpacked(data, shape, segment, nseg):
+    length = segment * nseg
+    if length > (1 << 22):
+        return
+    bits = random_bits(data, shape, length)
+    packed = ops.pack_bits(bits)
+    ref = bits.reshape(shape + (nseg, segment)).sum(axis=-1, dtype=np.int64)
+    out = ops.segment_popcount(packed, length, segment)
+    np.testing.assert_array_equal(out, ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes,
+       n=st.integers(min_value=1, max_value=9))
+def test_mux_select_matches_gather(data, length, shape, n):
+    bits = random_bits(data, shape + (n,), length)
+    packed = ops.pack_bits(bits)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    select = rng.integers(0, n, size=length)
+    out = ops.mux_select(packed, select, length)
+    taken = np.take_along_axis(
+        bits.astype(np.uint8),
+        select.reshape((1,) * len(shape) + (1, length)), axis=-2
+    )[..., 0, :]
+    np.testing.assert_array_equal(out, ops.pack_bits(taken))
+    assert ops.padding_is_zero(out, length)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes,
+       n=st.integers(min_value=1, max_value=12),
+       budget=st.sampled_from([1, 64, 1 << 20]))
+def test_column_counters_match_unpacked(data, length, shape, n, budget):
+    bits = random_bits(data, shape + (n,), length)
+    packed = ops.pack_bits(bits)
+    exact_ref = bits.sum(axis=-2, dtype=np.int16)
+    exact = adders.parallel_counter(packed, length, chunk_budget=budget)
+    np.testing.assert_array_equal(exact, exact_ref)
+    lsb = (exact_ref - bits[..., -1, :]) & np.int16(1)
+    approx_ref = (exact_ref & ~np.int16(1)) | lsb
+    approx = adders.apc_count(packed, length, chunk_budget=budget)
+    np.testing.assert_array_equal(approx, approx_ref)
+
+
+def test_column_counters_wide_summand_axis():
+    """n > 254 forces the int16 accumulator path."""
+    rng = np.random.default_rng(0)
+    bits = rng.random((300, 40)) < 0.5
+    packed = ops.pack_bits(bits)
+    np.testing.assert_array_equal(
+        adders.parallel_counter(packed, 40),
+        bits.sum(axis=-2, dtype=np.int16))
+    exact = bits.sum(axis=-2, dtype=np.int16)
+    lsb = (exact - bits[-1, :]) & np.int16(1)
+    np.testing.assert_array_equal(
+        adders.apc_count(packed, 40), (exact & ~np.int16(1)) | lsb)
+
+
+def _counter_loop_reference(inc, n_states, init, threshold):
+    state = np.full(inc.shape[:-1], init, dtype=np.int64)
+    out = np.empty(inc.shape, dtype=bool)
+    for t in range(inc.shape[-1]):
+        state = np.clip(state + inc[..., t], 0, n_states - 1)
+        out[..., t] = state >= threshold
+    return out
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data(), shape=batch_shapes,
+       T=st.integers(min_value=1, max_value=150),
+       n_states=st.integers(min_value=1, max_value=24),
+       block=st.one_of(st.none(), st.integers(min_value=1, max_value=20)))
+def test_saturating_counter_matches_loop(data, shape, T, n_states, block):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    inc = rng.integers(-30, 31, size=shape + (T,))
+    init = int(rng.integers(0, n_states))
+    threshold = int(rng.integers(0, n_states + 2))
+    out = saturating_counter(inc, n_states, init=init, threshold=threshold,
+                             block=block)
+    ref = _counter_loop_reference(inc, n_states, init, threshold)
+    np.testing.assert_array_equal(out, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes,
+       n_states=st.integers(min_value=2, max_value=32))
+def test_stanh_packed_matches_bit_fsm(data, length, shape, n_states):
+    bits = random_bits(data, shape, length)
+    packed = ops.pack_bits(bits)
+    threshold = data.draw(st.one_of(
+        st.none(), st.integers(min_value=1, max_value=n_states)))
+    out = activation.stanh_packed(packed, length, n_states,
+                                  threshold=threshold)
+    inc = bits.astype(np.int64) * 2 - 1
+    ref = _counter_loop_reference(
+        inc, n_states, n_states // 2,
+        n_states // 2 if threshold is None else threshold)
+    np.testing.assert_array_equal(out, ops.pack_bits(ref))
+    assert ops.padding_is_zero(out, length)
+
+
+@settings(max_examples=25, deadline=None)
+@given(width=st.sampled_from([3, 5, 8, 10, 13, 16]),
+       seed=st.integers(min_value=1, max_value=2**16),
+       n=st.integers(min_value=1, max_value=300))
+def test_lfsr_sequence_matches_stepping(width, seed, n):
+    table = LFSR(width, seed=seed)
+    stepped = LFSR(width, seed=seed)
+    got = table.sequence(n)
+    ref = np.array([stepped.step() for _ in range(n)], dtype=np.uint32)
+    np.testing.assert_array_equal(got, ref)
+    assert table.state == stepped.state
+    # Continuation from the advanced phase stays aligned.
+    np.testing.assert_array_equal(
+        table.sequence(7),
+        np.array([stepped.step() for _ in range(7)], dtype=np.uint32))
+
+
+def test_lfsr_wraps_past_period():
+    a, b = LFSR(6, seed=11), LFSR(6, seed=11)
+    n = a.period * 2 + 5
+    np.testing.assert_array_equal(
+        a.sequence(n), np.array([b.step() for _ in range(n)],
+                                dtype=np.uint32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes)
+def test_padding_invariant_maintained(data, length, shape):
+    bits = random_bits(data, shape, length)
+    packed = ops.pack_bits(bits)
+    assert ops.padding_is_zero(packed, length)
+    assert ops.padding_is_zero(ops.not_(packed, length), length)
+    assert ops.padding_is_zero(
+        ops.xnor_(packed, ops.not_(packed, length), length), length)
+
+
+def test_popcount_rejects_mismatched_width():
+    packed = ops.pack_bits(np.ones(16, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        ops.popcount(packed, 32)
