@@ -97,11 +97,12 @@ def test_kernel_exact_conv_layer(benchmark, trained_max):
     from repro.core.network import SCNetwork
     cfg = NetworkConfig.from_kinds(PoolKind.MAX, 256, ("APC", "APC", "APC"))
     sc = SCNetwork(trained_max.model, cfg, seed=0)
-    img = trained_max.bipolar_test_images()[0].reshape(-1)
+    img = trained_max.bipolar_test_images()[0].reshape(1, -1)
     x = sc.factory.packed(img, 256)
+    backend = sc.engine.backend
 
     out = benchmark.pedantic(
-        lambda: sc._run_conv_layer(sc._plans[0], x, sc._weight_streams[0]),
+        lambda: backend._conv_layer(0, sc._plans[0], x, selects=[{}]),
         rounds=3, iterations=1,
     )
-    assert out.shape[0] == 2880
+    assert out.shape[1] == 2880

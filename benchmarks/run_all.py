@@ -1,15 +1,18 @@
-"""Run the kernel microbenchmarks and record the perf trajectory.
+"""Run the benchmark suites and record the perf trajectory.
 
-Executes ``bench_kernels.py`` under pytest-benchmark and writes
-``benchmarks/BENCH_kernels.json`` mapping each kernel to its median
-nanoseconds — the baseline that performance claims in later PRs are
-judged against.  Usage::
+Two suites, each versioned as a JSON file so regressions show up in
+review diffs (machine-to-machine variance means only same-machine ratios
+are meaningful):
 
-    PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
+* ``--kernels`` — ``bench_kernels.py`` under pytest-benchmark →
+  ``benchmarks/BENCH_kernels.json`` (median ns per kernel call);
+* ``--engine`` — ``bench_engine.py`` →
+  ``benchmarks/BENCH_engine.json`` (batched vs sequential-legacy exact
+  throughput and per-backend latency of the layer-graph engine).
 
-The file is versioned alongside the benchmarks so regressions show up in
-review diffs; machine-to-machine variance means only same-machine ratios
-are meaningful.
+With no flags both suites run.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--kernels] [--engine]
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
+ENGINE_OUTPUT = BENCH_DIR / "BENCH_engine.json"
 
 
 def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
@@ -61,12 +65,48 @@ def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
     return medians
 
 
+def run_engine_benchmarks(output: Path = ENGINE_OUTPUT) -> dict:
+    """Run bench_engine.py in-process; write and return the payload."""
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        from bench_engine import measure_engine
+        results = measure_engine()
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    payload = {
+        "unit": "seconds / images-per-second per entry",
+        "note": "batched Engine.predict vs sequential pre-engine "
+                "SCNetwork calls (setup excluded on both sides); "
+                "bit_identical asserts batched predictions equal the "
+                "legacy simulator's",
+        **results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(f"  exact batched-vs-legacy speedup at "
+          f"L={results['primary_length']}: "
+          f"{results['speedup_at_primary']}x")
+    return payload
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", action="store_true",
+                        help="run only the kernel microbenchmarks")
+    parser.add_argument("--engine", action="store_true",
+                        help="run only the engine throughput benchmark")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="where to write the medians JSON")
+                        help="where to write the kernel medians JSON")
+    parser.add_argument("--engine-output", type=Path, default=ENGINE_OUTPUT,
+                        help="where to write the engine benchmark JSON")
     args = parser.parse_args(argv)
-    run_kernel_benchmarks(args.output)
+    run_both = not (args.kernels or args.engine)
+    if args.kernels or run_both:
+        run_kernel_benchmarks(args.output)
+    if args.engine or run_both:
+        run_engine_benchmarks(args.engine_output)
 
 
 if __name__ == "__main__":

@@ -6,12 +6,18 @@ any Python — handy for quick paper-vs-measured checks:
     python -m repro table2          # MUX inner-product error grid
     python -m repro table7          # platform comparison
     python -m repro list            # everything available
+
+and runs batched inference through the unified engine:
+
+    python -m repro infer --backend exact --batch 16
+    python -m repro infer --backend surrogate --images 256 --length 512
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 
 def _table1():
@@ -134,17 +140,100 @@ EXPERIMENTS = {
 }
 
 
+def _infer_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro infer",
+        description="Batched inference on synthetic MNIST through the "
+                    "unified layer-graph engine.",
+    )
+    parser.add_argument("--backend", default="exact",
+                        choices=("exact", "surrogate", "float", "noise"),
+                        help="engine backend (default: exact)")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="images per engine call (default: 16)")
+    parser.add_argument("--images", type=int, default=None,
+                        help="test images to run (default: one batch)")
+    parser.add_argument("--length", type=int, default=128,
+                        help="bit-stream length L (default: 128)")
+    parser.add_argument("--pooling", default="max", choices=("max", "avg"),
+                        help="network-wide pooling (default: max)")
+    parser.add_argument("--kinds", default="APC,APC,APC",
+                        help="layer FEB kinds, e.g. MUX,APC,APC")
+    parser.add_argument("--weight-bits", type=int, default=None,
+                        help="weight storage precision (default: float)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--train", type=int, default=600,
+                        help="training images for the quick model "
+                             "(default: 600)")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="training epochs for the quick model "
+                             "(default: 2)")
+    return parser
+
+
+def _infer(argv) -> int:
+    """``python -m repro infer``: batched engine inference + throughput."""
+    args = _infer_parser().parse_args(argv)
+    import numpy as np
+
+    from repro.core.config import NetworkConfig, PoolKind
+    from repro.data.synthetic_mnist import generate_dataset, to_bipolar
+    from repro.engine import Engine
+    from repro.nn.lenet import build_lenet5
+    from repro.nn.trainer import Trainer
+
+    n_images = args.images if args.images is not None else args.batch
+    kinds = tuple(k.strip().upper() for k in args.kinds.split(","))
+    pooling = PoolKind.MAX if args.pooling == "max" else PoolKind.AVG
+    config = NetworkConfig.from_kinds(pooling, args.length, kinds,
+                                      name="infer")
+
+    print(f"training quick LeNet-5 ({args.train} images, "
+          f"{args.epochs} epochs)...")
+    x_train, y_train, x_test, y_test = generate_dataset(
+        n_train=args.train, n_test=max(n_images, 16), seed=123)
+    model = build_lenet5(args.pooling, seed=0)
+    Trainer(model, lr=0.06, batch_size=64, seed=0).fit(
+        to_bipolar(x_train), y_train, epochs=args.epochs)
+
+    engine = Engine(model, config, backend=args.backend, seed=args.seed,
+                    weight_bits=args.weight_bits)
+    images = to_bipolar(x_test)[:n_images]
+    labels = y_test[:n_images]
+    print(f"backend={args.backend} config={config.describe()} "
+          f"batch={args.batch} images={n_images}")
+    start = time.perf_counter()
+    preds = engine.predict(images, batch_size=args.batch)
+    elapsed = time.perf_counter() - start
+    errors = int((preds != np.asarray(labels)).sum())
+    print(f"throughput: {n_images / max(elapsed, 1e-9):.2f} images/s "
+          f"({elapsed:.3f}s total)")
+    print(f"error rate: {100.0 * errors / max(n_images, 1):.2f}% "
+          f"({errors}/{n_images} wrong)")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:  # pragma: no cover - console entry
+        argv = sys.argv[1:]
+    if argv and argv[0] == "infer":
+        return _infer(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate SC-DCNN paper experiments.",
+        description="Regenerate SC-DCNN paper experiments, or run "
+                    "'infer' for batched engine inference.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list"],
-                        help="experiment to run, or 'list'")
+                        choices=sorted(EXPERIMENTS) + ["list", "infer"],
+                        help="experiment to run, 'infer', or 'list'")
     args = parser.parse_args(argv)
+    if args.experiment == "infer":
+        # reached via e.g. `python -m repro -- infer`, which bypasses the
+        # argv[0] intercept above
+        return _infer([a for a in argv if a not in ("--", "infer")])
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("engine inference:      python -m repro infer --help")
         print("full suite: pytest benchmarks/ --benchmark-only")
         return 0
     EXPERIMENTS[args.experiment]()

@@ -1,11 +1,20 @@
-"""Generic parameter-sweep utilities used by the benchmark harnesses."""
+"""Generic parameter-sweep utilities used by the benchmark harnesses.
+
+:class:`Sweep`/:class:`SweepResult` are the declarative cartesian-sweep
+core; :func:`engine_error_sweep` layers the unified inference engine on
+top for the repository's most common sweep shape — error rate over
+(configuration × stream length × backend) — compiling each
+configuration's plan once and re-targeting it per length
+(:meth:`repro.engine.plan.CompiledPlan.with_length`) instead of
+rebuilding evaluator models at every grid point.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
 
-__all__ = ["Sweep", "SweepResult"]
+__all__ = ["Sweep", "SweepResult", "engine_error_sweep"]
 
 
 @dataclasses.dataclass
@@ -66,3 +75,48 @@ class Sweep:
             if progress is not None:  # pragma: no cover - console output
                 progress(dict(zip(self.axes, combo)), values[combo])
         return SweepResult(axes=self.axes, points=self.points, values=values)
+
+
+def engine_error_sweep(model, images, labels, kind_combos, lengths,
+                       pooling, backends=("surrogate",), seed: int = 0,
+                       weight_bits=None, max_images: int | None = None,
+                       progress=None) -> SweepResult:
+    """Error-rate sweep over (kind combo × stream length × backend).
+
+    ``kind_combos`` is an iterable of 3-tuples of FEB kind strings (e.g.
+    ``("APC", "APC", "APC")``); ``lengths`` the stream lengths;
+    ``backends`` registered engine backend names.  Each combo's plan is
+    compiled once at the first length and re-targeted per length, so the
+    grid never re-quantizes weights or re-derives state numbers for
+    points where they cannot change.
+
+    Returns a :class:`SweepResult` over axes ``(combo, length, backend)``
+    whose values are error rates in percent.
+    """
+    from repro.core.config import NetworkConfig
+    from repro.engine.engine import Engine
+    from repro.engine.plan import compile_plan
+
+    combos = [tuple(c) for c in kind_combos]
+    lengths = list(lengths)
+    backends = list(backends)
+    sweep = Sweep(combo=combos, length=lengths, backend=backends)
+    plans = {}
+    if max_images is not None:
+        images = images[:max_images]
+        labels = labels[:max_images]
+
+    def evaluate(combo, length, backend):
+        if combo in plans:
+            plan = plans[combo].with_length(length)
+        else:
+            config = NetworkConfig.from_kinds(
+                pooling, length, combo,
+                name=f"{'-'.join(combo)}@{length}",
+            )
+            plan = compile_plan(model, config, weight_bits=weight_bits)
+        plans[combo] = plan
+        engine = Engine(backend=backend, seed=seed, plan=plan)
+        return engine.error_rate(images, labels, batch_size=256)
+
+    return sweep.run(evaluate, progress=progress)

@@ -1,210 +1,88 @@
-"""Calibrated fast SC-network evaluator.
+"""Calibrated fast SC-network evaluators (engine facades).
 
-Bit-exact simulation (:class:`repro.core.network.SCNetwork`) costs seconds
-per image; sweeping all twelve Table 6 configurations over a meaningful
-test sample — and driving the Section 6.3 optimizer — needs something
-faster.  The surrogate here is *measured from the real hardware blocks*:
+Bit-exact simulation (:class:`repro.core.network.SCNetwork`) costs
+hundreds of milliseconds per image; sweeping all twelve Table 6
+configurations over a meaningful test sample — and driving the
+Section 6.3 optimizer — needs something faster.  Two float-domain
+evaluators cover that:
 
-1. For every (FEB kind, pooling, input size, stream length) appearing in
-   the network, run the bit-level feature extraction block on a few
-   hundred synthetic receptive fields whose true pooled pre-activations
-   sweep the operating range, and record ``(reference, hardware output)``
-   pairs.
-2. Bin by reference value and keep the per-bin mean (the block's
-   *transfer curve*, capturing systematic effects: MUX down-scaling,
-   max-pool under-counting, Btanh gain) and standard deviation (the
-   stochastic noise).
-3. Evaluate the network in float arithmetic, replacing each layer's
-   ``tanh(pool(·))`` with the measured transfer curve plus sampled noise.
+* :class:`FastSCModel` — the calibrated transfer-curve surrogate
+  (``surrogate`` backend): each layer's ``tanh(pool(·))`` is replaced by
+  the transfer curve measured from the genuine bit-level blocks plus
+  sampled measured noise, reproducing both the systematic and random
+  components of SC inaccuracy.
+* :class:`PaperNoiseModel` — the paper's own methodology (``noise``
+  backend): ideal layer outputs perturbed by zero-mean Gaussian noise of
+  each block's measured bit-level absolute inaccuracy.  The two bracket
+  the design space; EXPERIMENTS.md reports both against Table 6.
 
-Because the curve and noise come from the genuine bit-level blocks, the
-surrogate reproduces both the systematic and random components of SC
-inaccuracy; ``tests/test_core/test_fast_model.py`` cross-validates it
-against exact simulation.
+Since the layer-graph engine refactor both classes are thin facades over
+:class:`repro.engine.engine.Engine`; the measurement machinery
+(:class:`FEBCalibration`, :func:`calibrate_feb`) lives in
+:mod:`repro.engine.calibration` and is re-exported here for
+compatibility.  ``tests/test_core/test_fast_model.py`` cross-validates
+the surrogate against exact simulation.
 """
 
 from __future__ import annotations
 
-import hashlib
-
-import numpy as np
-
-from repro.core.config import FEBKind, NetworkConfig, PoolKind
-from repro.core.feature_extraction import make_feb
-from repro.core.network import layer_gain_compensation
-from repro.core.state_numbers import (
-    btanh_states_apc_max,
-    stanh_states_mux_avg,
-    stanh_states_mux_max,
+from repro.core.config import NetworkConfig
+from repro.engine.calibration import (
+    FEBCalibration,
+    calibrate_feb,
+    measured_stage_sigma as _measured_stage_sigma,
 )
-from repro.data.cache import cache_dir
-from repro.nn.conv import Conv2D, im2col
-from repro.nn.dense import Dense
-from repro.sc import activation
-from repro.sc.adders import apc_count, parallel_counter
-from repro.sc.encoding import Encoding
-from repro.sc.ops import popcount as ops_popcount
-from repro.sc.ops import xnor_
-from repro.sc.rng import StreamFactory
-from repro.storage.quantization import dequantize_codes, quantize_weights
-from repro.utils.seeding import spawn_rng
+from repro.engine.engine import Engine
+from repro.engine.plan import normalize_weight_bits
 
 __all__ = ["FEBCalibration", "calibrate_feb", "FastSCModel",
            "PaperNoiseModel"]
 
-TARGET_RANGE = 3.0   # pooled pre-activations of the trained net stay within
-N_BINS = 25
+
+class _FloatFacade:
+    """Shared facade plumbing over a float-domain engine backend."""
+
+    _backend = None  # subclasses set the backend name
+
+    def __init__(self, model, config: NetworkConfig, seed: int = 0,
+                 weight_bits=None, **backend_opts):
+        self.config = config
+        self._engine = Engine(model, config, backend=self._backend,
+                              seed=seed, weight_bits=weight_bits,
+                              **backend_opts)
+
+    @property
+    def engine(self) -> Engine:
+        """The underlying :class:`repro.engine.engine.Engine`."""
+        return self._engine
+
+    @property
+    def plan(self):
+        """The compiled :class:`repro.engine.plan.CompiledPlan`."""
+        return self._engine.plan
+
+    @staticmethod
+    def _normalize_bits(weight_bits):
+        return normalize_weight_bits(weight_bits)
+
+    def forward(self, images):
+        """Logits for a batch of ``(N, 1, 28, 28)`` images."""
+        return self._engine.forward(images)
+
+    def predict(self, images, batch_size: int = 256):
+        return self._engine.predict(images, batch_size=batch_size)
+
+    def error_rate(self, images, labels) -> float:
+        """SC network error rate in percent (Table 6's metric).
+
+        Evaluates in chunks of 256 images — the legacy class's batching
+        — so sampled-noise draws reproduce the pre-engine results
+        exactly.
+        """
+        return self._engine.error_rate(images, labels, batch_size=256)
 
 
-class FEBCalibration:
-    """A measured transfer curve: per-bin mean and noise of a block."""
-
-    def __init__(self, centers: np.ndarray, mean: np.ndarray,
-                 std: np.ndarray):
-        self.centers = np.asarray(centers, dtype=np.float64)
-        self.mean = np.asarray(mean, dtype=np.float64)
-        self.std = np.asarray(std, dtype=np.float64)
-
-    def apply(self, values: np.ndarray, rng: np.random.Generator = None
-              ) -> np.ndarray:
-        """Map true pooled values through the measured transfer + noise."""
-        v = np.asarray(values, dtype=np.float64)
-        out = np.interp(v, self.centers, self.mean)
-        if rng is not None:
-            sigma = np.interp(v, self.centers, self.std)
-            out = out + rng.normal(0.0, 1.0, v.shape) * sigma
-        return np.clip(out, -1.0, 1.0)
-
-    def save(self, path) -> None:
-        np.savez(path, centers=self.centers, mean=self.mean, std=self.std)
-
-    @classmethod
-    def load(cls, path) -> "FEBCalibration":
-        data = np.load(path)
-        return cls(data["centers"], data["mean"], data["std"])
-
-
-def _window_inputs(targets: np.ndarray, n: int, rng: np.random.Generator):
-    """Construct (x, w) whose per-window inner products hit ``targets``.
-
-    ``targets`` has shape ``(samples, windows)``.  x is random in
-    [-1, 1]; w is the along-x component achieving the target plus a small
-    orthogonal perturbation for realism, clipped into [-1, 1] (the clip
-    perturbs extreme targets by a negligible amount for n ≥ 16).
-    """
-    samples, windows = targets.shape
-    x = rng.uniform(-1.0, 1.0, (samples, windows, n))
-    norms = (x ** 2).sum(axis=-1, keepdims=True)
-    alpha = targets[..., None] / np.maximum(norms, 1e-9)
-    r = rng.uniform(-1.0, 1.0, (samples, windows, n)) * 0.2
-    proj = (r * x).sum(axis=-1, keepdims=True) / np.maximum(norms, 1e-9)
-    w = alpha * x + (r - proj * x)
-    return x, np.clip(w, -1.0, 1.0)
-
-
-def _measure_feb(kind_key: str, n: int, length: int, samples: int,
-                 seed: int, target_range: float = TARGET_RANGE):
-    """Run the bit-level FEB on target-swept inputs; return (ref, hw)."""
-    rng = spawn_rng(seed, "feb-calibration", kind_key, n, length)
-    feb = make_feb(kind_key, n, length, seed=seed + 1)
-    refs = np.empty(samples)
-    hw = np.empty(samples)
-    base = rng.uniform(-target_range, target_range, samples)
-    spread = rng.uniform(0.0, 1.0, (samples, 4))
-    targets = base[:, None] - spread
-    x, w = _window_inputs(targets, n, rng)
-    batch = max(1, min(samples, (1 << 24) // max(4 * n * length // 8, 1)))
-    for start in range(0, samples, batch):
-        stop = min(start + batch, samples)
-        refs[start:stop] = feb.reference(x[start:stop], w[start:stop])
-        hw[start:stop] = feb.forward(x[start:stop], w[start:stop])
-    return refs, hw
-
-
-def _measure_fc(kind: FEBKind, n: int, length: int, samples: int,
-                seed: int, target_range: float = TARGET_RANGE):
-    """Measure the FC stage: inner product + activation, no pooling."""
-    rng = spawn_rng(seed, "fc-calibration", kind.value, n, length)
-    factory = StreamFactory(seed=seed + 2, encoding=Encoding.BIPOLAR)
-    targets = rng.uniform(-target_range, target_range, (samples, 1))
-    x, w = _window_inputs(targets, n, rng)
-    x = x[:, 0, :]
-    w = w[:, 0, :]
-    refs = np.tanh((x * w).sum(axis=-1))
-    xs = factory.packed(x, length)
-    ws = factory.packed(w, length)
-    products = xnor_(xs, ws, length)
-    if kind is FEBKind.APC:
-        counts = apc_count(products, length)
-        k = btanh_states_apc_max(n)
-        bits = activation.btanh_counts(counts, n, k)
-        hw = 2.0 * bits.mean(axis=-1) - 1.0
-    else:
-        select = factory.select_signal(n, length)
-        from repro.sc.adders import mux_add
-        ips = mux_add(products, select, length)
-        k = stanh_states_mux_avg(length, n)
-        # Packed-domain Stanh + word popcount: bit-identical to running
-        # the FSM on unpacked bits and averaging them.
-        out = activation.stanh_packed(ips, length, k)
-        hw = 2.0 * ops_popcount(out, length) / length - 1.0
-    return refs, hw
-
-
-def _fit(refs: np.ndarray, hw: np.ndarray,
-         target_range: float = TARGET_RANGE) -> FEBCalibration:
-    """Bin (reference, output) pairs into a monotone-tabulated curve."""
-    edges = np.linspace(-target_range, target_range, N_BINS + 1)
-    centers = (edges[:-1] + edges[1:]) / 2.0
-    mean = np.empty(N_BINS)
-    std = np.empty(N_BINS)
-    which = np.clip(np.digitize(refs, edges) - 1, 0, N_BINS - 1)
-    for b in range(N_BINS):
-        sel = which == b
-        if sel.sum() >= 2:
-            mean[b] = hw[sel].mean()
-            std[b] = hw[sel].std()
-        else:
-            mean[b] = np.nan
-            std[b] = np.nan
-    # Fill sparse bins by interpolation from populated neighbours.
-    good = ~np.isnan(mean)
-    if not good.any():
-        raise RuntimeError("calibration produced no populated bins")
-    mean = np.interp(centers, centers[good], mean[good])
-    std = np.interp(centers, centers[good], std[good])
-    return FEBCalibration(centers, mean, std)
-
-
-def calibrate_feb(kind_key: str, n: int, length: int, samples: int = 240,
-                  seed: int = 0, use_cache: bool = True,
-                  target_range: float = TARGET_RANGE) -> FEBCalibration:
-    """Measure (or load) the transfer curve of one block configuration.
-
-    ``kind_key`` is a FEB key (``"apc-max"`` …) or ``"fc-apc"`` /
-    ``"fc-mux"`` for the pooling-free fully-connected stage.
-    ``target_range`` widens the swept pooled-value range (MUX stages with
-    gain compensation see scaled pre-activations).
-    """
-    tag = (f"febcal_{kind_key}_{n}_{length}_{samples}_{seed}_"
-           f"{target_range:g}")
-    digest = hashlib.sha1(tag.encode()).hexdigest()[:16]
-    path = cache_dir() / f"{digest}.npz"
-    if use_cache and path.exists():
-        return FEBCalibration.load(path)
-    if kind_key.startswith("fc-"):
-        kind = FEBKind.APC if kind_key == "fc-apc" else FEBKind.MUX
-        refs, hw = _measure_fc(kind, n, length, samples, seed, target_range)
-    else:
-        refs, hw = _measure_feb(kind_key, n, length, samples, seed,
-                                target_range)
-    cal = _fit(refs, hw, target_range)
-    if use_cache:
-        cal.save(path)
-    return cal
-
-
-class FastSCModel:
+class FastSCModel(_FloatFacade):
     """Calibrated float-domain evaluator of an SC-DCNN configuration.
 
     Parameters
@@ -224,165 +102,24 @@ class FastSCModel:
         transfer curve only (False).
     """
 
+    _backend = "surrogate"
+
     def __init__(self, model, config: NetworkConfig, seed: int = 0,
                  weight_bits=None, samples: int = 240, noisy: bool = True):
-        self.config = config
-        self.noisy = noisy
-        self._rng = spawn_rng(seed, "fast-model")
-        convs = [l for l in model.layers if isinstance(l, Conv2D)]
-        denses = [l for l in model.layers if isinstance(l, Dense)]
-        if len(convs) != 2 or len(denses) != 2:
-            raise ValueError("FastSCModel expects the paper's LeNet-5")
-        bits = self._normalize_bits(weight_bits)
-        pool = "avg" if config.pooling is PoolKind.AVG else "max"
-        L = config.length
-        kinds = [layer.ip_kind for layer in config.layers] + [FEBKind.APC]
-        self._weights = []
-        deficit = 1.0
-        applied = []
-        for stage, (layer, b) in enumerate(zip(convs + denses, bits)):
-            # Same cascade gain compensation the bit-level mapper applies
-            # (see repro.core.network.layer_gain_compensation).
-            n = layer.weight.value.shape[1] + 1
-            if stage < 3:
-                n_states = self._stage_states(kinds[stage], n, L, pool,
-                                              pooled=stage < 2)
-            else:
-                n_states = 2
-            w, bias, deficit, factor = layer_gain_compensation(
-                layer.weight.value, layer.bias.value, kinds[stage], n,
-                n_states, incoming_deficit=deficit,
-            )
-            applied.append(factor)
-            if b is not None:
-                w = dequantize_codes(quantize_weights(w, b), b)
-                bias = dequantize_codes(quantize_weights(bias, b), b)
-            self._weights.append((w, bias))
-        # The calibration curve is measured on the raw block; a stage
-        # whose weights were scaled up sees pooled values magnified by
-        # the applied factor, so widen its swept range accordingly.
-        self._cal = [
-            calibrate_feb(
-                f"{'mux' if kinds[0] is FEBKind.MUX else 'apc'}-{pool}",
-                convs[0].fan_in + 1, L, samples, seed,
-                target_range=TARGET_RANGE * max(applied[0], 1.0)),
-            calibrate_feb(
-                f"{'mux' if kinds[1] is FEBKind.MUX else 'apc'}-{pool}",
-                convs[1].fan_in + 1, L, samples, seed,
-                target_range=TARGET_RANGE * max(applied[1], 1.0)),
-            calibrate_feb(
-                "fc-apc" if kinds[2] is FEBKind.APC else "fc-mux",
-                denses[0].in_features + 1, L, samples, seed,
-                target_range=TARGET_RANGE * max(applied[2], 1.0)),
-        ]
-        # Output stage noise: the decoded APC inner product over n inputs
-        # has standard deviation sqrt(n/L) in sum units; the logits are
-        # reported scaled by 1/(n+1), so scale the noise the same way.
-        n_out = denses[1].in_features + 1
-        self._output_sigma = np.sqrt(n_out / L) / n_out
+        super().__init__(model, config, seed=seed, weight_bits=weight_bits,
+                         samples=samples, noisy=noisy)
 
-    @staticmethod
-    def _stage_states(kind: FEBKind, n: int, length: int, pool: str,
-                      pooled: bool) -> int:
-        if kind is FEBKind.MUX:
-            if pooled and pool == "max":
-                return stanh_states_mux_max(length, n)
-            return stanh_states_mux_avg(length, n)
-        if pooled and pool == "avg":
-            from repro.core.state_numbers import btanh_states_apc_avg
-            return btanh_states_apc_avg(n)
-        return btanh_states_apc_max(n)
+    @property
+    def noisy(self) -> bool:
+        return self._engine.backend.noisy
 
-    @staticmethod
-    def _normalize_bits(weight_bits):
-        if weight_bits is None:
-            return (None,) * 4
-        if isinstance(weight_bits, int):
-            return (weight_bits,) * 4
-        bits = tuple(int(b) for b in weight_bits)
-        if len(bits) == 3:
-            return bits + (bits[-1],)
-        if len(bits) != 4:
-            raise ValueError("weight_bits must be an int, 3- or 4-tuple")
-        return bits
-
-    # ------------------------------------------------------------------
-    def _conv_stage(self, x: np.ndarray, stage: int, out_hw: int
-                    ) -> np.ndarray:
-        """conv → pool → calibrated transfer, on NCHW float input."""
-        w, b = self._weights[stage]
-        n_img = x.shape[0]
-        cols = im2col(x, 5)                       # (N, P, fan_in)
-        pre = cols @ w.T + b                      # (N, P, C)
-        grid = int(np.sqrt(pre.shape[1]))
-        pre = pre.transpose(0, 2, 1).reshape(n_img, -1, grid, grid)
-        view = pre.reshape(n_img, pre.shape[1], out_hw, 2, out_hw, 2)
-        if self.config.pooling is PoolKind.AVG:
-            pooled = view.mean(axis=(3, 5))
-        else:
-            pooled = view.max(axis=(3, 5))
-        rng = self._rng if self.noisy else None
-        return self._cal[stage].apply(pooled, rng)
-
-    def forward(self, images: np.ndarray) -> np.ndarray:
-        """Surrogate logits for a batch of ``(N, 1, 28, 28)`` images."""
-        x = np.asarray(images, dtype=np.float64)
-        x = self._conv_stage(x, 0, 12)
-        x = self._conv_stage(x, 1, 4)
-        x = x.reshape(x.shape[0], -1)
-        w, b = self._weights[2]
-        pre = x @ w.T + b
-        rng = self._rng if self.noisy else None
-        x = self._cal[2].apply(pre, rng)
-        w, b = self._weights[3]
-        logits = (x @ w.T + b) / (w.shape[1] + 1)
-        if self.noisy:
-            logits = logits + self._rng.normal(
-                0.0, self._output_sigma, logits.shape
-            )
-        return logits
-
-    def predict(self, images: np.ndarray, batch_size: int = 256
-                ) -> np.ndarray:
-        preds = []
-        for start in range(0, len(images), batch_size):
-            logits = self.forward(images[start:start + batch_size])
-            preds.append(np.argmax(logits, axis=1))
-        return (np.concatenate(preds) if preds
-                else np.empty(0, dtype=np.int64))
-
-    def error_rate(self, images: np.ndarray, labels: np.ndarray) -> float:
-        """SC network error rate in percent (Table 6's metric)."""
-        preds = self.predict(images)
-        return 100.0 * float((preds != np.asarray(labels)).mean())
+    @property
+    def _cal(self):
+        """The measured per-stage transfer curves (legacy name)."""
+        return self._engine.backend.calibrations
 
 
-def _measured_stage_sigma(kind_key: str, n: int, length: int,
-                          samples: int, seed: int,
-                          use_cache: bool = True) -> float:
-    """Measured FEB absolute inaccuracy (as a Gaussian sigma), cached.
-
-    Runs the bit-level block against its software reference on random
-    operating-range inputs and converts the mean absolute error to a
-    standard deviation (×√(π/2), exact for Gaussian residuals).
-    """
-    tag = f"febsigma_{kind_key}_{n}_{length}_{samples}_{seed}"
-    digest = hashlib.sha1(tag.encode()).hexdigest()[:16]
-    path = cache_dir() / f"{digest}.npz"
-    if use_cache and path.exists():
-        return float(np.load(path)["sigma"])
-    if kind_key.startswith("fc-"):
-        kind = FEBKind.APC if kind_key == "fc-apc" else FEBKind.MUX
-        refs, hw = _measure_fc(kind, n, length, samples, seed)
-    else:
-        refs, hw = _measure_feb(kind_key, n, length, samples, seed)
-    sigma = float(np.abs(hw - refs).mean() * np.sqrt(np.pi / 2.0))
-    if use_cache:
-        np.savez(path, sigma=sigma)
-    return sigma
-
-
-class PaperNoiseModel:
+class PaperNoiseModel(_FloatFacade):
     """The paper's network-evaluation methodology: inaccuracy as noise.
 
     Section 6's layer-wise analysis (Figure 16) treats each layer's
@@ -397,86 +134,17 @@ class PaperNoiseModel:
     Contrast with :class:`FastSCModel`, which additionally carries each
     block's *systematic* transfer distortion (MUX down-scaling residue,
     Btanh gain, max-pool under-counting) — the physics our exact
-    simulator exhibits.  The two bracket the design space; EXPERIMENTS.md
-    reports both against Table 6.
+    simulator exhibits.
     """
+
+    _backend = "noise"
 
     def __init__(self, model, config: NetworkConfig, seed: int = 0,
                  weight_bits=None, samples: int = 96):
-        self.config = config
-        self._rng = spawn_rng(seed, "paper-noise-model")
-        convs = [l for l in model.layers if isinstance(l, Conv2D)]
-        denses = [l for l in model.layers if isinstance(l, Dense)]
-        if len(convs) != 2 or len(denses) != 2:
-            raise ValueError("PaperNoiseModel expects the paper's LeNet-5")
-        bits = FastSCModel._normalize_bits(weight_bits)
-        self._weights = []
-        for layer, b in zip(convs + denses, bits):
-            w, bias = layer.weight.value, layer.bias.value
-            if b is not None:
-                w = dequantize_codes(quantize_weights(w, b), b)
-                bias = dequantize_codes(quantize_weights(bias, b), b)
-            self._weights.append((w, bias))
+        super().__init__(model, config, seed=seed, weight_bits=weight_bits,
+                         samples=samples)
 
-        pool = "avg" if config.pooling is PoolKind.AVG else "max"
-        L = config.length
-        kinds = [layer.ip_kind for layer in config.layers]
-        self.stage_sigmas = [
-            _measured_stage_sigma(
-                f"{'mux' if kinds[0] is FEBKind.MUX else 'apc'}-{pool}",
-                convs[0].fan_in + 1, L, samples, seed),
-            _measured_stage_sigma(
-                f"{'mux' if kinds[1] is FEBKind.MUX else 'apc'}-{pool}",
-                convs[1].fan_in + 1, L, samples, seed),
-            _measured_stage_sigma(
-                "fc-apc" if kinds[2] is FEBKind.APC else "fc-mux",
-                denses[0].in_features + 1, L, samples, seed),
-        ]
-        n_out = denses[1].in_features + 1
-        self._output_sigma = np.sqrt(n_out / L) / n_out
-
-    def _conv_stage(self, x: np.ndarray, stage: int, out_hw: int
-                    ) -> np.ndarray:
-        w, b = self._weights[stage]
-        n_img = x.shape[0]
-        cols = im2col(x, 5)
-        pre = cols @ w.T + b
-        grid = int(np.sqrt(pre.shape[1]))
-        pre = pre.transpose(0, 2, 1).reshape(n_img, -1, grid, grid)
-        view = pre.reshape(n_img, pre.shape[1], out_hw, 2, out_hw, 2)
-        if self.config.pooling is PoolKind.AVG:
-            pooled = view.mean(axis=(3, 5))
-        else:
-            pooled = view.max(axis=(3, 5))
-        out = np.tanh(pooled)
-        noise = self._rng.normal(0.0, self.stage_sigmas[stage], out.shape)
-        return np.clip(out + noise, -1.0, 1.0)
-
-    def forward(self, images: np.ndarray) -> np.ndarray:
-        """Noise-injected logits for a batch of ``(N, 1, 28, 28)`` images."""
-        x = np.asarray(images, dtype=np.float64)
-        x = self._conv_stage(x, 0, 12)
-        x = self._conv_stage(x, 1, 4)
-        x = x.reshape(x.shape[0], -1)
-        w, b = self._weights[2]
-        out = np.tanh(x @ w.T + b)
-        noise = self._rng.normal(0.0, self.stage_sigmas[2], out.shape)
-        x = np.clip(out + noise, -1.0, 1.0)
-        w, b = self._weights[3]
-        logits = (x @ w.T + b) / (w.shape[1] + 1)
-        return logits + self._rng.normal(0.0, self._output_sigma,
-                                         logits.shape)
-
-    def predict(self, images: np.ndarray, batch_size: int = 256
-                ) -> np.ndarray:
-        preds = []
-        for start in range(0, len(images), batch_size):
-            logits = self.forward(images[start:start + batch_size])
-            preds.append(np.argmax(logits, axis=1))
-        return (np.concatenate(preds) if preds
-                else np.empty(0, dtype=np.int64))
-
-    def error_rate(self, images: np.ndarray, labels: np.ndarray) -> float:
-        """SC network error rate in percent (Table 6's metric)."""
-        preds = self.predict(images)
-        return 100.0 * float((preds != np.asarray(labels)).mean())
+    @property
+    def stage_sigmas(self):
+        """Measured per-stage noise magnitudes (legacy name)."""
+        return self._engine.backend.stage_sigmas

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.blocks.activation import BtanhBlock, StanhBlock
+from repro.core.config import FEBKind, PoolKind
 from repro.blocks.pooling import (
     DEFAULT_SEGMENT,
     apc_average_pool,
@@ -35,12 +36,7 @@ from repro.blocks.pooling import (
     average_pool,
     hardware_max_pool,
 )
-from repro.core.state_numbers import (
-    btanh_states_apc_avg,
-    btanh_states_apc_max,
-    stanh_states_mux_avg,
-    stanh_states_mux_max,
-)
+from repro.core.state_numbers import select_states
 from repro.sc import adders, ops
 from repro.sc.bitstream import Bitstream
 from repro.sc.encoding import Encoding
@@ -82,6 +78,7 @@ class FeatureExtractionBlock:
     #: subclasses set these
     name = "base"
     pooling = None  # "avg" | "max"
+    ip_kind = None  # FEBKind of the inner-product blocks
 
     def __init__(self, n: int, length: int, seed: int = 0,
                  n_states: int = None, segment: int = DEFAULT_SEGMENT):
@@ -133,8 +130,22 @@ class FeatureExtractionBlock:
         """Decoded hardware output in [-1, 1]."""
         return self.forward_stream(x, w).value()
 
-    def _default_states(self) -> int:  # pragma: no cover - interface
-        raise NotImplementedError
+    def _default_states(self) -> int:
+        """The paper's state-number equation for this block.
+
+        Dispatches through :func:`repro.core.state_numbers.select_states`
+        on the block's (inner-product kind, pooling) — the same selection
+        rule the engine's plan compiler applies to whole networks.
+        """
+        if not isinstance(self.ip_kind, FEBKind) or self.pooling not in (
+                "avg", "max"):
+            raise NotImplementedError(
+                f"{type(self).__name__} must set ip_kind/pooling (or "
+                "override _default_states)"
+            )
+        pooling = PoolKind.AVG if self.pooling == "avg" else PoolKind.MAX
+        return select_states(self.ip_kind, self.n, self.length, pooling,
+                             pooled=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{type(self).__name__}(n={self.n}, length={self.length}, "
@@ -152,9 +163,7 @@ class MuxAvgStanh(FeatureExtractionBlock):
 
     name = "MUX-Avg-Stanh"
     pooling = "avg"
-
-    def _default_states(self) -> int:
-        return stanh_states_mux_avg(self.length, self.n)
+    ip_kind = FEBKind.MUX
 
     def forward_stream(self, x, w) -> Bitstream:
         x, w = self._check_window_inputs(x, w)
@@ -178,9 +187,7 @@ class MuxMaxStanh(FeatureExtractionBlock):
 
     name = "MUX-Max-Stanh"
     pooling = "max"
-
-    def _default_states(self) -> int:
-        return stanh_states_mux_max(self.length, self.n)
+    ip_kind = FEBKind.MUX
 
     def forward_stream(self, x, w) -> Bitstream:
         x, w = self._check_window_inputs(x, w)
@@ -203,13 +210,11 @@ class ApcAvgBtanh(FeatureExtractionBlock):
 
     name = "APC-Avg-Btanh"
     pooling = "avg"
+    ip_kind = FEBKind.APC
 
     def __init__(self, *args, approximate: bool = True, **kwargs):
         self.approximate = bool(approximate)
         super().__init__(*args, **kwargs)
-
-    def _default_states(self) -> int:
-        return btanh_states_apc_avg(self.n)
 
     def count_streams(self, x, w) -> np.ndarray:
         """Per-window APC count streams ``(..., 4, L)``."""
@@ -237,13 +242,11 @@ class ApcMaxBtanh(FeatureExtractionBlock):
 
     name = "APC-Max-Btanh"
     pooling = "max"
+    ip_kind = FEBKind.APC
 
     def __init__(self, *args, approximate: bool = True, **kwargs):
         self.approximate = bool(approximate)
         super().__init__(*args, **kwargs)
-
-    def _default_states(self) -> int:
-        return btanh_states_apc_max(self.n)
 
     def count_streams(self, x, w) -> np.ndarray:
         """Per-window APC count streams ``(..., 4, L)``."""

@@ -8,126 +8,34 @@ Btanh activation), and *activations stay bit-streams between layers* —
 exactly as in the hardware, there is no decode/re-encode at layer
 boundaries.
 
-Biases are folded in as one extra inner-product input driven by a
-constant-1 stream, so the SC computation targets the same function the
-float network was trained for.
+Since the layer-graph engine refactor this class is a thin compatibility
+facade over :class:`repro.engine.engine.Engine` with the ``exact``
+backend: construction compiles a :class:`repro.engine.plan.CompiledPlan`
+(gain-compensation cascade, quantized folded weights, state numbers,
+gather/pool indices) and simulation runs the batched bit-level backend of
+:mod:`repro.engine.exact`.  Outputs are bit-identical to the pre-engine
+implementation (asserted against the frozen copy in
+:mod:`repro.engine.reference` by ``tests/test_engine``); ``predict``
+now simulates whole batches per call instead of one image at a time.
 
-Simulation strategy (see DESIGN.md): streams are bit-packed; APC layers
-materialize per-cycle counts per output channel through the word-level
-counter of :mod:`repro.sc.adders`, whose stream-axis chunking is bounded
-by ``chunk_budget`` bytes; MUX layers exploit the identity
-``MUX(xnor(x_i, w_i)) = xnor(MUX(x), MUX(w))`` (the same select signal on
-both sides) with the packed-mask MUX of :mod:`repro.sc.ops`, which avoids
-materializing per-output products — or any unpacked bits — entirely.
+``layer_gain_compensation`` and ``pool_window_indices`` live in
+:mod:`repro.engine.plan` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.blocks.pooling import (
-    DEFAULT_SEGMENT,
-    apc_average_pool,
-    apc_max_pool,
-    average_pool,
-    hardware_max_pool,
-)
-from repro.core.config import FEBKind, NetworkConfig, PoolKind
-from repro.core.state_numbers import (
-    btanh_states_apc_avg,
-    btanh_states_apc_max,
-    stanh_states_mux_avg,
-    stanh_states_mux_max,
-)
-from repro.nn.conv import Conv2D, im2col_indices
-from repro.nn.dense import Dense
-from repro.sc import activation, adders, ops
-from repro.sc.encoding import Encoding
-from repro.sc.rng import StreamFactory
-from repro.storage.quantization import dequantize_codes, quantize_weights
-from repro.utils.validation import check_positive_int
+from repro.blocks.pooling import DEFAULT_SEGMENT
+from repro.core.config import NetworkConfig
+from repro.engine.engine import Engine
+from repro.engine.plan import layer_gain_compensation, pool_window_indices
 
 __all__ = ["SCNetwork", "pool_window_indices", "layer_gain_compensation"]
 
 
-def layer_gain_compensation(weights: np.ndarray, bias: np.ndarray,
-                            kind: FEBKind, n: int, n_states: int,
-                            incoming_deficit: float = 1.0,
-                            headroom: float = 0.97):
-    """Cascade weight pre-scaling for SC layers (the paper's ref (45)).
-
-    A MUX inner product scales its output by ``1/n`` and the following
-    Stanh's small-signal slope is ``K/2``, so the layer's end-to-end gain
-    on its pooled pre-activation is ``K/(2n)`` — far below the unit gain
-    the float network was trained with.  The compensation scales the
-    *stored* weights up toward the local target ``t = 2n/K`` (MUX; ``1``
-    for unit-gain APC layers).  On top of that, any gain deficit left by
-    *earlier* layers (whose activations arrive compressed by
-    ``1/incoming_deficit``) is absorbed by the weight part only — biases
-    are not multiplied by the compressed activations, so they scale by
-    the local target alone.
-
-    All scaled values must stay inside the [-1, 1] SRAM range; the
-    common back-off factor ``alpha ≤ 1`` that enforces this becomes the
-    layer's own residual compression.  In the tanh-linear regime the
-    layer then computes ``tanh(alpha · P)`` for true pre-activation
-    ``P``, so the returned outgoing deficit is ``1/alpha`` (exact up to
-    tanh saturation, where compression is milder anyway).
-
-    Returns ``(scaled_weights, scaled_bias, outgoing_deficit,
-    applied_weight_factor)``.
-    """
-    local_target = (2.0 * n / float(n_states) if kind is FEBKind.MUX
-                    else 1.0)
-    desired_w = incoming_deficit * local_target
-    desired_b = local_target
-    peak = max(
-        float(np.max(np.abs(weights)) if weights.size else 0.0) * desired_w,
-        float(np.max(np.abs(bias)) if bias.size else 0.0) * desired_b,
-        1e-12,
-    )
-    alpha = min(1.0, headroom / peak)
-    return (weights * (alpha * desired_w), bias * (alpha * desired_b),
-            1.0 / alpha, alpha * desired_w)
-
-
-def pool_window_indices(out_h: int, out_w: int) -> np.ndarray:
-    """Indices of each 2×2 pooling window into the flattened conv grid.
-
-    For a conv output grid of shape ``(2·out_h, 2·out_w)`` (row-major
-    flattening), returns an ``(out_h·out_w, 4)`` index array gathering
-    the four member positions of every pooling window.
-    """
-    check_positive_int(out_h, "out_h")
-    check_positive_int(out_w, "out_w")
-    in_w = 2 * out_w
-    windows = np.empty((out_h * out_w, 4), dtype=np.int64)
-    k = 0
-    for i in range(out_h):
-        for j in range(out_w):
-            base = (2 * i) * in_w + 2 * j
-            windows[k] = (base, base + 1, base + in_w, base + in_w + 1)
-            k += 1
-    return windows
-
-
-class _LayerPlan:
-    """Resolved per-layer simulation parameters."""
-
-    def __init__(self, name: str, kind: FEBKind, n_inputs: int,
-                 n_states: int, weights: np.ndarray, has_pool: bool,
-                 geometry=None):
-        self.name = name
-        self.kind = kind
-        self.n_inputs = n_inputs      # including the bias input
-        self.n_states = n_states
-        self.weights = weights        # (units, n_inputs) with bias folded
-        self.has_pool = has_pool
-        self.geometry = geometry      # conv: (channels, in_hw, out_hw)
-
-
 class SCNetwork:
-    """Bit-level SC simulator of a trained LeNet-5.
+    """Bit-level SC simulator of a trained LeNet-5 (engine facade).
 
     Parameters
     ----------
@@ -145,8 +53,7 @@ class SCNetwork:
     segment:
         Hardware max-pooling segment length ``c``.
     chunk_budget:
-        Upper bound (bytes) on any unpacked bit tensor materialized while
-        counting APC columns.
+        Upper bound (bytes) on transient tensors in the counting path.
     """
 
     def __init__(self, model, config: NetworkConfig, seed: int = 0,
@@ -156,201 +63,42 @@ class SCNetwork:
         self.length = config.length
         self.segment = segment
         self.chunk_budget = int(chunk_budget)
-        self.factory = StreamFactory(seed=seed, encoding=Encoding.BIPOLAR)
-        self._plans = self._build_plans(model, weight_bits)
-        self._weight_streams = [
-            self.factory.packed(np.clip(plan.weights, -1.0, 1.0), self.length)
-            for plan in self._plans
-        ]
+        self._engine = Engine(model, config, backend="exact", seed=seed,
+                              weight_bits=weight_bits, segment=segment,
+                              chunk_budget=chunk_budget)
 
     # ------------------------------------------------------------------
-    # construction
+    # engine plumbing exposed for tests and power users
     # ------------------------------------------------------------------
-    def _build_plans(self, model, weight_bits):
-        convs = [l for l in model.layers if isinstance(l, Conv2D)]
-        denses = [l for l in model.layers if isinstance(l, Dense)]
-        if len(convs) != 2 or len(denses) != 2:
-            raise ValueError(
-                "SCNetwork expects the paper's LeNet-5 (2 conv + 2 dense "
-                f"layers); got {len(convs)} conv, {len(denses)} dense"
-            )
-        bits = self._normalize_bits(weight_bits)
-        kinds = [layer.ip_kind for layer in self.config.layers] + [FEBKind.APC]
-        geometries = [
-            (convs[0].out_channels, (28, 28), (24, 24)),
-            (convs[1].out_channels, (12, 12), (8, 8)),
-            None,
-            None,
-        ]
-        names = ["Layer0", "Layer1", "Layer2", "Output"]
-        plans = []
-        self.gain_deficits = []
-        deficit = 1.0
-        for stage, layer in enumerate(convs + denses):
-            kind = kinds[stage]
-            n = (layer.fan_in if isinstance(layer, Conv2D)
-                 else layer.in_features) + 1
-            pooled = stage < 2
-            n_states = (self._states_for(kind, n, pooled=pooled)
-                        if stage < 3 else 2)
-            w, b, deficit, _ = layer_gain_compensation(
-                layer.weight.value, layer.bias.value, kind, n, n_states,
-                incoming_deficit=deficit,
-            )
-            folded = np.concatenate([w, b[:, None]], axis=1)
-            if bits[stage] is not None:
-                folded = dequantize_codes(
-                    quantize_weights(folded, bits[stage]), bits[stage]
-                )
-            plans.append(_LayerPlan(names[stage], kind, n, n_states,
-                                    folded, has_pool=pooled,
-                                    geometry=geometries[stage]))
-            self.gain_deficits.append(deficit)
-        return plans
+    @property
+    def engine(self) -> Engine:
+        """The underlying :class:`repro.engine.engine.Engine`."""
+        return self._engine
 
-    @staticmethod
-    def _normalize_bits(weight_bits):
-        if weight_bits is None:
-            return (None, None, None, None)
-        if isinstance(weight_bits, int):
-            return (weight_bits,) * 4
-        bits = tuple(int(b) for b in weight_bits)
-        if len(bits) == 3:
-            return bits + (bits[-1],)
-        if len(bits) != 4:
-            raise ValueError("weight_bits must be an int, 3- or 4-tuple")
-        return bits
+    @property
+    def plan(self):
+        """The compiled :class:`repro.engine.plan.CompiledPlan`."""
+        return self._engine.plan
 
-    def _states_for(self, kind: FEBKind, n: int, pooled: bool) -> int:
-        avg = self.config.pooling is PoolKind.AVG
-        if kind is FEBKind.MUX:
-            if pooled and not avg:
-                return stanh_states_mux_max(self.length, n)
-            return stanh_states_mux_avg(self.length, n)
-        if pooled and avg:
-            return btanh_states_apc_avg(n)
-        return btanh_states_apc_max(n)
+    @property
+    def factory(self):
+        """The exact backend's stream factory."""
+        return self._engine.backend.factory
 
-    # ------------------------------------------------------------------
-    # stream-level building blocks
-    # ------------------------------------------------------------------
-    def _ones_column(self, rows: int) -> np.ndarray:
-        """Packed constant-1 streams (the bias input), ``(rows, nbytes)``."""
-        mask = ops.pad_mask(self.length)
-        return np.broadcast_to(mask, (rows, mask.shape[0])).copy()
+    @property
+    def gain_deficits(self):
+        """Per-layer outgoing gain deficits of the compensation cascade."""
+        return self._engine.plan.gain_deficits
 
-    def _apc_counts(self, x_patch: np.ndarray, w_streams: np.ndarray
-                    ) -> np.ndarray:
-        """APC counts for every (unit, position).
+    @property
+    def _plans(self):
+        """Per-layer plans (legacy attribute name)."""
+        return self._engine.plan.layers
 
-        ``x_patch``: packed ``(P, n, nbytes)``; ``w_streams``: packed
-        ``(C, n, nbytes)``.  Returns int16 counts ``(C, P, L)``; the
-        word-level counter chunks over the stream axis so no more than
-        ``chunk_budget`` unpacked bytes exist at once.  The APC's LSB
-        approximation (see :func:`repro.sc.adders.apc_count`) is applied
-        per column.
-        """
-        P, n, nbytes = x_patch.shape
-        C = w_streams.shape[0]
-        L = self.length
-        counts = np.empty((C, P, L), dtype=np.int16)
-        for c in range(C):
-            prod = ops.xnor_(x_patch, w_streams[c][None, :, :], L)
-            counts[c] = adders.apc_count(prod, L,
-                                         chunk_budget=self.chunk_budget)
-        return counts
-
-    def _mux_ip_streams(self, x_patch: np.ndarray, w_streams: np.ndarray,
-                        n: int) -> np.ndarray:
-        """MUX inner-product output streams, packed ``(C, P, nbytes)``.
-
-        Uses ``MUX(xnor(x, w)) = xnor(MUX(x), MUX(w))`` with a shared
-        select signal; the packed-mask MUX keeps everything in the packed
-        domain, so nothing is unpacked at all.
-        """
-        L = self.length
-        select = self.factory.select_signal(n, L)
-        x_sel = ops.mux_select(x_patch, select, L)       # (P, nbytes)
-        w_sel = ops.mux_select(w_streams, select, L)     # (C, nbytes)
-        return ops.xnor_(x_sel[None, :, :], w_sel[:, None, :], L)
-
-    # ------------------------------------------------------------------
-    # layer execution
-    # ------------------------------------------------------------------
-    def _run_conv_layer(self, plan: _LayerPlan, x_streams: np.ndarray,
-                        w_streams: np.ndarray) -> np.ndarray:
-        """One conv+pool+activation stage on packed input streams.
-
-        ``x_streams``: ``(channels_in · H · W, nbytes)`` in channel-major
-        row-major order.  Returns the pooled/activated output streams
-        ``(channels_out · out_h · out_w, nbytes)``.
-        """
-        channels_out, (in_h, in_w), (conv_h, conv_w) = plan.geometry
-        kernel = 5
-        rows, cols = im2col_indices(in_h, in_w, kernel)
-        flat = rows * in_w + cols                        # (P, k·k)
-        channels_in = (plan.n_inputs - 1) // (kernel * kernel)
-        # Patch gather across input channels: (P, C_in·k·k)
-        per_channel = [x_streams[c * in_h * in_w + flat]
-                       for c in range(channels_in)]
-        x_patch = np.concatenate(per_channel, axis=1)    # (P, n-1, nbytes)
-        P = x_patch.shape[0]
-        x_patch = np.concatenate(
-            [x_patch, self._ones_column(P)[:, None, :]], axis=1
-        )
-
-        windows = pool_window_indices(conv_h // 2, conv_w // 2)
-        avg = self.config.pooling is PoolKind.AVG
-
-        if plan.kind is FEBKind.APC:
-            counts = self._apc_counts(x_patch, w_streams)  # (C, P, L)
-            grouped = counts[:, windows, :]                # (C, W, 4, L)
-            del counts
-            if avg:
-                pooled = apc_average_pool(
-                    np.moveaxis(grouped, 2, -2)
-                )
-            else:
-                pooled = apc_max_pool(
-                    np.moveaxis(grouped, 2, -2), self.segment
-                )
-            del grouped
-            out_bits = activation.btanh_counts(pooled, plan.n_inputs,
-                                               plan.n_states)
-            out = ops.pack_bits(out_bits)
-        else:
-            ips = self._mux_ip_streams(x_patch, w_streams, plan.n_inputs)
-            grouped = ips[:, windows, :]                   # (C, W, 4, nbytes)
-            del ips
-            if avg:
-                select = self.factory.select_signal(4, self.length)
-                pooled = average_pool(grouped, select, self.length)
-                threshold = None
-            else:
-                pooled = hardware_max_pool(grouped, self.length,
-                                           self.segment)
-                threshold = max(int(round(plan.n_states / 5.0)), 1)
-            del grouped
-            out = activation.stanh_packed(pooled, self.length,
-                                          plan.n_states, threshold=threshold)
-        return out.reshape(-1, out.shape[-1])
-
-    def _run_fc_layer(self, plan: _LayerPlan, x_streams: np.ndarray,
-                      w_streams: np.ndarray, final: bool):
-        """Fully-connected stage.  ``final=True`` returns float logits."""
-        x_with_bias = np.concatenate(
-            [x_streams, self._ones_column(1)], axis=0
-        )[None, :, :]                                     # (1, n, nbytes)
-        n = plan.n_inputs
-        if plan.kind is FEBKind.APC or final:
-            counts = self._apc_counts(x_with_bias, w_streams)[:, 0, :]
-            if final:
-                total = counts.sum(axis=-1, dtype=np.int64)
-                return (2.0 * total - n * self.length) / self.length
-            out_bits = activation.btanh_counts(counts, n, plan.n_states)
-            return ops.pack_bits(out_bits)
-        ips = self._mux_ip_streams(x_with_bias, w_streams, n)[:, 0, :]
-        return activation.stanh_packed(ips, self.length, plan.n_states)
+    @property
+    def _weight_streams(self):
+        """Packed per-layer weight streams (legacy attribute name)."""
+        return self._engine.backend.weight_streams
 
     # ------------------------------------------------------------------
     # public API
@@ -365,28 +113,21 @@ class SCNetwork:
         img = np.asarray(image, dtype=np.float64).reshape(-1)
         if img.size != 784:
             raise ValueError(f"expected a 28×28 image, got {image.shape}")
-        if np.max(np.abs(img)) > 1.0:
+        if img.size and np.max(np.abs(img)) > 1.0:
             raise ValueError("image values must lie in [-1, 1] "
                              "(use repro.data.to_bipolar)")
-        x = self.factory.packed(img, self.length)         # (784, nbytes)
-        x = self._run_conv_layer(self._plans[0], x, self._weight_streams[0])
-        x = self._run_conv_layer(self._plans[1], x, self._weight_streams[1])
-        x = self._run_fc_layer(self._plans[2], x, self._weight_streams[2],
-                               final=False)
-        return self._run_fc_layer(self._plans[3], x, self._weight_streams[3],
-                                  final=True)
+        return self._engine.forward(img[None, :])[0]
 
-    def predict(self, images: np.ndarray) -> np.ndarray:
-        """Argmax predictions for a batch of ``(N, 1, 28, 28)`` images."""
-        images = np.asarray(images, dtype=np.float64)
-        return np.array([int(np.argmax(self.forward_image(img)))
-                         for img in images])
+    def predict(self, images: np.ndarray, batch_size: int | None = None
+                ) -> np.ndarray:
+        """Argmax predictions for a batch of ``(N, 1, 28, 28)`` images.
+
+        Batched through the engine — bit-identical to sequential
+        single-image simulation, just faster.
+        """
+        return self._engine.predict(images, batch_size=batch_size)
 
     def error_rate(self, images: np.ndarray, labels: np.ndarray,
-                   max_images: int = None) -> float:
+                   max_images: int | None = None) -> float:
         """SC network error rate in percent (Table 6's metric)."""
-        if max_images is not None:
-            images = images[:max_images]
-            labels = labels[:max_images]
-        preds = self.predict(images)
-        return 100.0 * float((preds != np.asarray(labels)).mean())
+        return self._engine.error_rate(images, labels, max_images=max_images)

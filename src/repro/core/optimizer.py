@@ -15,7 +15,8 @@ import dataclasses
 import itertools
 
 from repro.core.config import FEBKind, LayerConfig, NetworkConfig, PoolKind
-from repro.core.fast_model import FastSCModel, PaperNoiseModel
+from repro.engine.engine import Engine
+from repro.engine.plan import compile_plan
 from repro.hw.network_cost import NetworkCost, lenet_network_cost
 
 __all__ = ["DesignPoint", "HolisticOptimizer"]
@@ -95,14 +96,31 @@ class HolisticOptimizer:
         return [combo for combo in itertools.product(kinds, kinds,
                                                      layer2_choices)]
 
-    def evaluate(self, config: NetworkConfig) -> DesignPoint:
-        """Evaluate one configuration with the calibrated fast model."""
+    #: engine backend per evaluator methodology.
+    _BACKENDS = {"noise": "noise", "surrogate": "surrogate"}
+    #: facade-compatible backend options per evaluator (the legacy
+    #: classes' defaults: PaperNoiseModel measured 96 samples per sigma,
+    #: FastSCModel 240 per curve).
+    _BACKEND_OPTS = {"noise": {"samples": 96}, "surrogate": {"samples": 240}}
+
+    def evaluate(self, config: NetworkConfig, plan=None) -> DesignPoint:
+        """Evaluate one configuration with the calibrated fast model.
+
+        ``plan`` optionally supplies a pre-compiled engine plan (the
+        halving loop passes re-targeted plans so weights are quantized
+        and state numbers derived only when they actually change).
+        """
         x = self.trained.bipolar_test_images()[: self.eval_images]
         y = self.trained.y_test[: self.eval_images]
-        cls = PaperNoiseModel if self.evaluator == "noise" else FastSCModel
-        model = cls(self.trained.model, config, seed=self.seed,
-                    weight_bits=self.weight_bits)
-        error = model.error_rate(x, y)
+        source = ({"plan": plan} if plan is not None
+                  else {"weight_bits": self.weight_bits})
+        engine = Engine(self.trained.model, config,
+                        backend=self._BACKENDS[self.evaluator],
+                        seed=self.seed, **source,
+                        **self._BACKEND_OPTS[self.evaluator])
+        # 256-image chunks: the legacy evaluator classes' batching, kept
+        # so sampled-noise draws reproduce pre-engine results exactly.
+        error = engine.error_rate(x, y, batch_size=256)
         return DesignPoint(
             config=config,
             error_pct=error,
@@ -117,11 +135,17 @@ class HolisticOptimizer:
 
         The returned list contains every (configuration, length) point
         that met the accuracy target, across all halving iterations,
-        sorted by energy.
+        sorted by energy.  Each kind-combo's plan is compiled once at
+        ``max_length`` and re-targeted with
+        :meth:`repro.engine.plan.CompiledPlan.with_length` down the
+        halving loop, re-deriving only length-dependent pieces (for
+        all-APC combos the layer plans are reused outright — their state
+        numbers never involve ``L``).
         """
         pooling = PoolKind.MAX if self.trained.pooling == "max" else PoolKind.AVG
         survivors = self._candidate_kind_combos()
         passing = []
+        plans = {}
         length = max_length
         while survivors and length >= min_length:
             next_round = []
@@ -131,7 +155,13 @@ class HolisticOptimizer:
                     layers=tuple(LayerConfig(k) for k in combo),
                     name=f"{'-'.join(k.value for k in combo)}@{length}",
                 )
-                point = self.evaluate(config)
+                if combo in plans:
+                    plan = plans[combo].with_length(length, name=config.name)
+                else:
+                    plan = compile_plan(self.trained.model, config,
+                                        weight_bits=self.weight_bits)
+                plans[combo] = plan
+                point = self.evaluate(config, plan=plan)
                 ok = point.degradation_pct <= self.threshold_pct
                 if verbose:  # pragma: no cover - console output
                     print(f"{point.summary()}  "

@@ -36,6 +36,7 @@ __all__ = [
     "stanh_states_mux_max",
     "btanh_states_apc_avg",
     "btanh_states_apc_max",
+    "select_states",
     "MUX_AVG_ALPHA",
     "MUX_MAX_ALPHA",
     "MUX_MAX_BETA",
@@ -99,3 +100,29 @@ def btanh_states_apc_max(n: int) -> int:
     """
     n = check_positive_int(n, "n")
     return nearest_even(2.0 * n)
+
+
+def select_states(kind, n: int, length: int, pooling, pooled: bool = True
+                  ) -> int:
+    """Dispatch to the right state-number equation for a layer.
+
+    The single selection rule shared by the feature extraction blocks, the
+    engine's plan compiler and the legacy evaluators: a MUX layer behind
+    max pooling uses equation (2), any other MUX layer equation (1); an
+    APC layer behind average pooling uses equation (3), any other APC
+    layer the original ``2N`` Btanh sizing (which also covers the
+    pooling-free fully-connected stages).
+
+    ``kind`` is a :class:`repro.core.config.FEBKind` and ``pooling`` a
+    :class:`repro.core.config.PoolKind`; ``pooled`` says whether the layer
+    actually feeds a pooling block (False for fully-connected stages).
+    """
+    from repro.core.config import FEBKind, PoolKind
+    avg = pooling is PoolKind.AVG
+    if kind is FEBKind.MUX:
+        if pooled and not avg:
+            return stanh_states_mux_max(length, n)
+        return stanh_states_mux_avg(length, n)
+    if pooled and avg:
+        return btanh_states_apc_avg(n)
+    return btanh_states_apc_max(n)

@@ -1,0 +1,61 @@
+"""Unified layer-graph IR + pluggable inference engine.
+
+The engine subsystem replaces the three historically-disjoint evaluator
+code paths (exact bit-level simulation, calibrated surrogate, float
+baseline) with one pipeline:
+
+1. :func:`repro.engine.graph.build_graph` lowers a trained LeNet-5 and a
+   :class:`repro.core.config.NetworkConfig` into a backend-agnostic
+   layer graph;
+2. :func:`repro.engine.plan.compile_plan` produces an immutable per-layer
+   plan (gain-compensation cascade, state numbers, all stored-weight
+   variants, gather/window indices) computed once;
+3. a pluggable backend (``exact`` / ``surrogate`` / ``float`` /
+   ``noise``, see :mod:`repro.engine.backends`) executes the plan on
+   batches of images through :class:`repro.engine.engine.Engine`.
+
+See DESIGN.md ("Layer-graph engine") for the architecture rationale and
+the batching strategy.
+"""
+
+from repro.engine.backends import BACKENDS, get_backend, register_backend
+from repro.engine.calibration import (
+    FEBCalibration,
+    calibrate_feb,
+    measured_stage_sigma,
+)
+from repro.engine.engine import Engine
+from repro.engine.exact import ExactBackend
+from repro.engine.graph import LayerGraph, LayerNode, build_graph
+from repro.engine.plan import (
+    CompiledPlan,
+    LayerPlan,
+    compile_plan,
+    layer_gain_compensation,
+    normalize_weight_bits,
+    pool_window_indices,
+)
+from repro.engine.surrogate import FloatBackend, NoiseBackend, SurrogateBackend
+
+__all__ = [
+    "Engine",
+    "LayerGraph",
+    "LayerNode",
+    "build_graph",
+    "CompiledPlan",
+    "LayerPlan",
+    "compile_plan",
+    "layer_gain_compensation",
+    "normalize_weight_bits",
+    "pool_window_indices",
+    "BACKENDS",
+    "get_backend",
+    "register_backend",
+    "ExactBackend",
+    "SurrogateBackend",
+    "NoiseBackend",
+    "FloatBackend",
+    "FEBCalibration",
+    "calibrate_feb",
+    "measured_stage_sigma",
+]

@@ -1,0 +1,50 @@
+"""Pluggable backend registry for the layer-graph engine.
+
+A backend executes a :class:`repro.engine.plan.CompiledPlan` on batches
+of images.  The protocol is deliberately tiny::
+
+    class MyBackend:
+        name = "mine"
+        def __init__(self, plan, seed=0, **opts): ...
+        def forward(self, images) -> np.ndarray:   # (B, units) logits
+
+``forward`` takes bipolar ``(B, 1, 28, 28)`` (or ``(B, 784)``) images and
+returns per-image logits whose argmax is the class prediction — the only
+contract the :class:`repro.engine.engine.Engine` relies on.  Register
+implementations with :func:`register_backend`; the built-in families
+(``exact``, ``surrogate``, ``float``, ``noise``) self-register when
+:mod:`repro.engine` is imported.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BACKENDS", "register_backend", "get_backend"]
+
+BACKENDS = {}
+"""Registry: backend name → backend class."""
+
+
+def register_backend(cls):
+    """Register a backend class under its ``name`` attribute.
+
+    Usable as a decorator.  Re-registering a name overwrites the previous
+    entry (deliberate: callers may shadow a built-in with a tuned
+    variant).
+    """
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"backend {cls!r} must define a string `name` attribute"
+        )
+    BACKENDS[name] = cls
+    return cls
+
+
+def get_backend(name: str):
+    """Look up a backend class by name."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Layer-graph IR: the backend-agnostic description of an SC-DCNN.
+
+The engine's intermediate representation is deliberately small: a trained
+LeNet-5 plus a :class:`repro.core.config.NetworkConfig` lower into a
+linear graph of :class:`LayerNode` records — one per weight layer — each
+carrying the layer's *structure* (operation, inner-product block kind,
+receptive-field geometry, whether a pooling block follows) and references
+to the raw trained parameters.  Nothing here is backend-specific: the
+same graph compiles into plans executed by the exact bit-level backend,
+the calibrated surrogate and the float reference.
+
+The graph is the single place the "three disjoint evaluators" of the
+pre-engine code base each re-derived independently; see DESIGN.md,
+"Layer-graph engine".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import FEBKind, NetworkConfig
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+
+__all__ = ["LayerNode", "LayerGraph", "build_graph", "INPUT_HW"]
+
+INPUT_HW = (28, 28)
+"""Input image geometry the paper's LeNet-5 consumes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerNode:
+    """One weight layer of the graph.
+
+    Attributes
+    ----------
+    name:
+        The paper's layer label (``Layer0`` .. ``Output``).
+    op:
+        ``"conv"`` or ``"dense"``.
+    kind:
+        Inner-product block family (MUX or APC) this design point assigns
+        to the layer.
+    n_inputs:
+        Inner-product input size *including* the folded bias input.
+    units:
+        Output channel / neuron count.
+    pooled:
+        Whether a 2×2 pooling block follows the inner products.
+    final:
+        Whether this is the logit layer (no activation, decoded output).
+    geometry:
+        For conv nodes ``(channels_out, (in_h, in_w), (conv_h, conv_w))``;
+        ``None`` for dense nodes.
+    weight, bias:
+        References to the trained float parameters (not copied — the
+        graph is a view onto the model).
+    """
+
+    name: str
+    op: str
+    kind: FEBKind
+    n_inputs: int
+    units: int
+    pooled: bool
+    final: bool
+    geometry: tuple
+    weight: np.ndarray = dataclasses.field(repr=False)
+    bias: np.ndarray = dataclasses.field(repr=False)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerGraph:
+    """A lowered network: layer nodes plus the design point they serve."""
+
+    nodes: tuple
+    config: NetworkConfig
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def describe(self) -> str:
+        """One line per node, for logs and doctests."""
+        return "\n".join(
+            f"{node.name}: {node.op} {node.kind.value} "
+            f"n={node.n_inputs} units={node.units}"
+            f"{' +pool' if node.pooled else ''}"
+            for node in self.nodes
+        )
+
+
+def build_graph(model, config: NetworkConfig) -> LayerGraph:
+    """Lower a trained LeNet-5 onto a design point's layer graph.
+
+    ``model`` is the :class:`repro.nn.module.Sequential` from
+    :func:`repro.nn.lenet.build_lenet5`; ``config`` assigns each weight
+    layer its inner-product kind (the output layer is always APC, as in
+    Table 6).  Raises ``ValueError`` for any other architecture.
+    """
+    convs = [l for l in model.layers if isinstance(l, Conv2D)]
+    denses = [l for l in model.layers if isinstance(l, Dense)]
+    if len(convs) != 2 or len(denses) != 2:
+        raise ValueError(
+            "the engine expects the paper's LeNet-5 (2 conv + 2 dense "
+            f"layers); got {len(convs)} conv, {len(denses)} dense"
+        )
+    kinds = [layer.ip_kind for layer in config.layers] + [FEBKind.APC]
+    names = ["Layer0", "Layer1", "Layer2", "Output"]
+    nodes = []
+    in_hw = INPUT_HW
+    for stage, layer in enumerate(convs):
+        conv_hw = layer.output_hw(*in_hw)
+        nodes.append(LayerNode(
+            name=names[stage], op="conv", kind=kinds[stage],
+            n_inputs=layer.fan_in + 1, units=layer.out_channels,
+            pooled=True, final=False,
+            geometry=(layer.out_channels, in_hw, conv_hw),
+            weight=layer.weight.value, bias=layer.bias.value,
+        ))
+        in_hw = (conv_hw[0] // 2, conv_hw[1] // 2)
+    for stage, layer in enumerate(denses, start=len(convs)):
+        nodes.append(LayerNode(
+            name=names[stage], op="dense", kind=kinds[stage],
+            n_inputs=layer.in_features + 1, units=layer.out_features,
+            pooled=False, final=stage == 3,
+            geometry=None,
+            weight=layer.weight.value, bias=layer.bias.value,
+        ))
+    return LayerGraph(nodes=tuple(nodes), config=config)

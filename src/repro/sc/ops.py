@@ -40,6 +40,8 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "popcount",
+    "transpose_pack",
+    "popcount_sum",
     "and_",
     "or_",
     "xor_",
@@ -160,6 +162,73 @@ def popcount(data: np.ndarray, length: int | None = None) -> np.ndarray:
     if HAVE_BITWISE_COUNT:
         return np.bitwise_count(_as_words(data)).sum(axis=-1, dtype=np.int64)
     return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
+
+
+def transpose_pack(data: np.ndarray, length: int, align: int = 4,
+                   chunk_budget: int | None = None) -> np.ndarray:
+    """Re-pack cycle-major streams as cycle-indexed input-bit rows.
+
+    ``data`` is a packed bank ``(..., n, nbytes)`` (n streams, stream
+    axis last).  The result is ``(..., length, W)`` where row ``t`` holds
+    the ``n`` streams' bits *at cycle t*, packed big-endian and
+    zero-padded to a ``W`` that is a multiple of ``align`` bytes — so
+    :func:`popcount_sum` can count whole rows in word view.
+
+    This is the layout behind the engine's transposed counting strategy
+    (DESIGN.md, "layer-graph engine"): a per-cycle sum across ``n``
+    inputs becomes one row popcount of ``ceil(n/8)`` bytes instead of an
+    8×-inflated unpack + reduce.  The transposition itself costs one
+    unpack/pack round trip, amortized across every output channel that
+    consumes the bank.
+
+    ``chunk_budget`` bounds the transient *unpacked* bit array (8× the
+    packed bank): batch entries are transposed in blocks so no more than
+    roughly that many unpacked bytes exist at once.  The result is
+    independent of the chunking.
+    """
+    length = check_stream_length(length)
+    data = np.asarray(data, dtype=np.uint8)
+    if data.ndim < 2:
+        raise ValueError("expected shape (..., n, nbytes)")
+    batch = data.shape[:-2]
+    n = data.shape[-2]
+    width = (n + 7) // 8
+    width += (-width) % align
+    flat = data.reshape((-1,) + data.shape[-2:])
+    rows = flat.shape[0]
+    if chunk_budget is None:
+        step = rows
+    else:
+        step = max(1, min(rows, int(chunk_budget) // max(n * length, 1)))
+    out = np.zeros((rows, length, width), dtype=np.uint8)
+    for r0 in range(0, rows, step):
+        r1 = min(r0 + step, rows)
+        bits = unpack_bits(flat[r0:r1], length)            # (r, n, L)
+        out[r0:r1, :, :(n + 7) // 8] = np.packbits(
+            np.swapaxes(bits, -1, -2), axis=-1)
+    return out.reshape(batch + (length, width))
+
+
+def popcount_sum(data: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Count set bits over *all* bytes of the last axis.
+
+    Unlike :func:`popcount` this never re-pads: it picks the widest word
+    view the last axis already aligns to (uint64/uint32/uint16, falling
+    back to bytes), so callers that pre-align — e.g. via
+    :func:`transpose_pack` — pay no copy.  ``dtype`` sets the output and
+    accumulator type; the default ``int64`` is safe for any width, while
+    callers counting short rows (the engine counts ≤ 1024 inputs) pass
+    ``int16`` to keep the result tensors small.
+    """
+    data = np.ascontiguousarray(data)
+    if not HAVE_BITWISE_COUNT:
+        return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=dtype)
+    nbytes = data.shape[-1]
+    for word, width in ((np.uint64, 8), (np.uint32, 4), (np.uint16, 2)):
+        if nbytes % width == 0:
+            return np.bitwise_count(data.view(word)).sum(axis=-1,
+                                                         dtype=dtype)
+    return np.bitwise_count(data).sum(axis=-1, dtype=dtype)
 
 
 def and_(a: np.ndarray, b: np.ndarray) -> np.ndarray:

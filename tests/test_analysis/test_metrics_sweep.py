@@ -91,3 +91,28 @@ class TestPaperConstants:
 
     def test_table7_no11(self):
         assert PAPER["table7"]["No.11"]["area_mm2"] == 17.0
+
+
+class TestEngineErrorSweep:
+    def test_grid_over_combos_lengths_backends(self, tiny_trained_lenet,
+                                               small_dataset):
+        from repro.analysis.sweep import engine_error_sweep
+        from repro.core.config import PoolKind
+        from repro.data.synthetic_mnist import to_bipolar
+        _, _, x_test, y_test = small_dataset
+        result = engine_error_sweep(
+            tiny_trained_lenet, to_bipolar(x_test), y_test,
+            kind_combos=[("APC", "APC", "APC")],
+            lengths=[256, 128],
+            pooling=PoolKind.MAX,
+            backends=("float", "noise"),
+            max_images=32,
+        )
+        assert result.axes == ("combo", "length", "backend")
+        assert len(result.values) == 4
+        for err in result.values.values():
+            assert 0.0 <= err <= 100.0
+        # float backend is length-independent: identical columns
+        combo = ("APC", "APC", "APC")
+        assert (result.values[(combo, 256, "float")]
+                == result.values[(combo, 128, "float")])

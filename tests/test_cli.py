@@ -30,3 +30,29 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+
+class TestInferCli:
+    def test_infer_exact_smoke(self, capsys):
+        assert main(["infer", "--backend", "exact", "--batch", "4",
+                     "--images", "4", "--length", "64",
+                     "--train", "200", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "images/s" in out
+        assert "error rate" in out
+        assert "backend=exact" in out
+
+    def test_infer_float_backend(self, capsys):
+        assert main(["infer", "--backend", "float", "--batch", "8",
+                     "--images", "16", "--length", "64",
+                     "--train", "200", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=float" in out
+
+    def test_infer_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["infer", "--backend", "warp"])
+
+    def test_infer_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "infer" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Bit-identity of the batched exact backend vs the frozen legacy oracle.
+
+The acceptance bar for the engine refactor: on fixed seeds, the batched
+``exact`` backend must produce *bit-identical* logits to the pre-engine
+``SCNetwork`` (frozen verbatim in :mod:`repro.engine.reference`), for
+every inner-product-kind / pooling family and with quantized storage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkConfig, PoolKind
+from repro.core.network import SCNetwork
+from repro.data.synthetic_mnist import to_bipolar
+from repro.engine import Engine
+from repro.engine.reference import ReferenceSCNetwork
+
+
+@pytest.fixture(scope="module")
+def images(small_dataset):
+    _, _, x_test, _ = small_dataset
+    return to_bipolar(x_test)[:5]
+
+
+def _logits(net, imgs):
+    return np.stack([net.forward_image(i) for i in imgs])
+
+
+class TestBitIdentityVsLegacy:
+    @pytest.mark.parametrize("pooling,kinds,length,bits", [
+        (PoolKind.MAX, ("APC", "APC", "APC"), 128, None),
+        (PoolKind.MAX, ("MUX", "APC", "APC"), 64, 7),
+        (PoolKind.MAX, ("APC", "MUX", "APC"), 64, None),
+        (PoolKind.AVG, ("MUX", "MUX", "MUX"), 64, None),
+        (PoolKind.AVG, ("APC", "APC", "APC"), 64, (7, 7, 6)),
+        (PoolKind.AVG, ("APC", "MUX", "APC"), 128, 6),
+    ])
+    def test_batched_engine_matches_sequential_legacy(
+            self, tiny_trained_lenet, images, pooling, kinds, length, bits):
+        cfg = NetworkConfig.from_kinds(pooling, length, kinds)
+        legacy = ReferenceSCNetwork(tiny_trained_lenet, cfg, seed=3,
+                                    weight_bits=bits)
+        engine = Engine(tiny_trained_lenet, cfg, backend="exact", seed=3,
+                        weight_bits=bits)
+        np.testing.assert_array_equal(_logits(legacy, images),
+                                      engine.forward(images))
+
+    def test_facade_matches_legacy(self, tiny_trained_lenet, images):
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("MUX", "APC", "APC"))
+        legacy = ReferenceSCNetwork(tiny_trained_lenet, cfg, seed=1)
+        facade = SCNetwork(tiny_trained_lenet, cfg, seed=1)
+        np.testing.assert_array_equal(legacy.predict(images),
+                                      facade.predict(images))
+
+
+class TestBatchingInvariance:
+    def test_batched_equals_single_image_calls(self, tiny_trained_lenet,
+                                               images):
+        """One predict(batch) == fresh-engine per-image calls, bit for bit
+        (the stream factory draws the same PRNG sequence either way)."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        batched = Engine(tiny_trained_lenet, cfg, backend="exact",
+                         seed=7).forward(images)
+        sequential = Engine(tiny_trained_lenet, cfg, backend="exact",
+                            seed=7)
+        seq = np.stack([sequential.forward(img[None])[0]
+                        for img in images.reshape(len(images), -1)])
+        np.testing.assert_array_equal(batched, seq)
+
+    def test_mux_selects_match_across_batching(self, tiny_trained_lenet,
+                                               images):
+        """MUX select signals are pre-drawn in legacy image-major order."""
+        cfg = NetworkConfig.from_kinds(PoolKind.AVG, 64,
+                                       ("MUX", "MUX", "MUX"))
+        batched = Engine(tiny_trained_lenet, cfg, backend="exact",
+                         seed=2).forward(images)
+        sequential = Engine(tiny_trained_lenet, cfg, backend="exact",
+                            seed=2)
+        seq = np.stack([sequential.forward(img[None])[0]
+                        for img in images.reshape(len(images), -1)])
+        np.testing.assert_array_equal(batched, seq)
+
+    def test_internal_batch_splitting_is_invisible(self, tiny_trained_lenet,
+                                                   images):
+        """A tiny batch budget forces internal chunking; results match."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        whole = Engine(tiny_trained_lenet, cfg, backend="exact",
+                       seed=5).forward(images)
+        split = Engine(tiny_trained_lenet, cfg, backend="exact", seed=5,
+                       batch_budget=1).forward(images)
+        np.testing.assert_array_equal(whole, split)
+
+    def test_lfsr_sng_batch_size_invariant(self, tiny_trained_lenet,
+                                           images):
+        """The pooled-LFSR SNG advances per call; the backend encodes one
+        image per call so batching stays invariant there too."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        batched = Engine(tiny_trained_lenet, cfg, backend="exact",
+                         seed=9, sng="lfsr").forward(images)
+        sequential = Engine(tiny_trained_lenet, cfg, backend="exact",
+                            seed=9, sng="lfsr")
+        seq = np.stack([sequential.forward(img[None])[0]
+                        for img in images.reshape(len(images), -1)])
+        np.testing.assert_array_equal(batched, seq)
+
+    def test_counting_tile_size_is_invisible(self, tiny_trained_lenet,
+                                             images):
+        """chunk_budget tiles the counting loop without changing results."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        a = Engine(tiny_trained_lenet, cfg, backend="exact",
+                   seed=5).forward(images[:2])
+        b = Engine(tiny_trained_lenet, cfg, backend="exact", seed=5,
+                   chunk_budget=1 << 12).forward(images[:2])
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExactValidation:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_trained_lenet):
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        return Engine(tiny_trained_lenet, cfg, backend="exact", seed=0)
+
+    def test_rejects_wrong_size(self, engine):
+        with pytest.raises(ValueError, match="28"):
+            engine.forward(np.zeros((2, 1, 10, 10)))
+
+    def test_rejects_out_of_range(self, engine):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            engine.forward(np.full((1, 1, 28, 28), 2.0))
+
+    def test_single_2d_image_accepted(self, engine, images):
+        out = engine.forward(images[0].reshape(28, 28))
+        assert out.shape == (1, 10)

@@ -1,0 +1,61 @@
+"""Tests for the layer-graph IR builder."""
+
+import pytest
+
+from repro.core.config import FEBKind, NetworkConfig, PoolKind
+from repro.engine.graph import build_graph
+from repro.nn.dense import Dense
+from repro.nn.module import Sequential
+
+
+@pytest.fixture(scope="module")
+def mixed_config():
+    return NetworkConfig.from_kinds(PoolKind.MAX, 128,
+                                    ("MUX", "APC", "APC"))
+
+
+class TestBuildGraph:
+    def test_node_structure(self, tiny_trained_lenet, mixed_config):
+        graph = build_graph(tiny_trained_lenet, mixed_config)
+        assert [n.name for n in graph] == ["Layer0", "Layer1", "Layer2",
+                                           "Output"]
+        assert [n.op for n in graph] == ["conv", "conv", "dense", "dense"]
+        assert [n.kind for n in graph] == [FEBKind.MUX, FEBKind.APC,
+                                           FEBKind.APC, FEBKind.APC]
+        assert [n.n_inputs for n in graph] == [26, 501, 801, 501]
+        assert [n.units for n in graph] == [20, 50, 500, 10]
+
+    def test_pooled_and_final_flags(self, tiny_trained_lenet, mixed_config):
+        nodes = build_graph(tiny_trained_lenet, mixed_config).nodes
+        assert [n.pooled for n in nodes] == [True, True, False, False]
+        assert [n.final for n in nodes] == [False, False, False, True]
+
+    def test_conv_geometry_derived(self, tiny_trained_lenet, mixed_config):
+        nodes = build_graph(tiny_trained_lenet, mixed_config).nodes
+        assert nodes[0].geometry == (20, (28, 28), (24, 24))
+        assert nodes[1].geometry == (50, (12, 12), (8, 8))
+        assert nodes[2].geometry is None
+
+    def test_output_layer_forced_apc(self, tiny_trained_lenet):
+        cfg = NetworkConfig.from_kinds(PoolKind.AVG, 64,
+                                       ("MUX", "MUX", "MUX"))
+        nodes = build_graph(tiny_trained_lenet, cfg).nodes
+        assert nodes[3].kind is FEBKind.APC
+
+    def test_weights_are_views_not_copies(self, tiny_trained_lenet,
+                                          mixed_config):
+        graph = build_graph(tiny_trained_lenet, mixed_config)
+        conv1 = [l for l in tiny_trained_lenet.layers
+                 if hasattr(l, "out_channels")][0]
+        assert graph.nodes[0].weight is conv1.weight.value
+
+    def test_rejects_non_lenet(self, mixed_config):
+        model = Sequential([Dense(4, 2)])
+        with pytest.raises(ValueError, match="LeNet-5"):
+            build_graph(model, mixed_config)
+
+    def test_describe_lists_every_node(self, tiny_trained_lenet,
+                                       mixed_config):
+        text = build_graph(tiny_trained_lenet, mixed_config).describe()
+        assert "Layer0" in text and "Output" in text
+        assert "+pool" in text

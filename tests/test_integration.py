@@ -72,13 +72,13 @@ class TestStreamReuseAcrossLayers:
         cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
                                        ("APC", "APC", "APC"))
         sc = SCNetwork(tiny_trained_lenet, cfg, seed=0)
-        x = sc.factory.packed(to_bipolar(x_test)[0].reshape(-1), 64)
-        out0 = sc._run_conv_layer(sc._plans[0], x, sc._weight_streams[0])
+        backend = sc.engine.backend
+        x = sc.factory.packed(to_bipolar(x_test)[:1].reshape(1, -1), 64)
+        out0 = backend._conv_layer(0, sc._plans[0], x, selects=[{}])
         assert out0.dtype == np.uint8
-        assert out0.shape == (2880, 8)  # 20×12×12 streams, 64 bits each
-        out1 = sc._run_conv_layer(sc._plans[1], out0,
-                                  sc._weight_streams[1])
-        assert out1.shape == (800, 8)   # 50×4×4
+        assert out0.shape == (1, 2880, 8)  # 20×12×12 streams, 64 bits each
+        out1 = backend._conv_layer(1, sc._plans[1], out0, selects=[{}])
+        assert out1.shape == (1, 800, 8)   # 50×4×4
 
 
 class TestDeterministicEndToEnd:

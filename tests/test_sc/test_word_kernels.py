@@ -199,3 +199,70 @@ def test_popcount_rejects_mismatched_width():
     packed = ops.pack_bits(np.ones(16, dtype=np.uint8))
     with pytest.raises(ValueError):
         ops.popcount(packed, 32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), length=lengths, shape=batch_shapes,
+       n=st.integers(min_value=1, max_value=40))
+def test_transpose_pack_round_trips_bits(data, length, shape, n):
+    """transpose_pack: row t of the result holds the n streams' bits at
+    cycle t (zero-padded to the word alignment)."""
+    bits = random_bits(data, shape + (n,), length)        # (..., n, L)
+    packed = ops.pack_bits(bits)
+    t = ops.transpose_pack(packed, length)                # (..., L, W)
+    assert t.shape[:-2] == shape and t.shape[-2] == length
+    assert t.shape[-1] % 4 == 0
+    back = np.unpackbits(t, axis=-1)[..., :n]             # (..., L, n)
+    np.testing.assert_array_equal(back, np.swapaxes(bits, -1, -2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), nbytes=st.integers(min_value=1, max_value=20),
+       shape=batch_shapes)
+def test_popcount_sum_counts_all_bytes(data, nbytes, shape):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    packed = rng.integers(0, 256, shape + (nbytes,), dtype=np.uint8)
+    ref = np.unpackbits(packed, axis=-1).sum(axis=-1, dtype=np.int64)
+    np.testing.assert_array_equal(ops.popcount_sum(packed), ref)
+    np.testing.assert_array_equal(
+        ops.popcount_sum(packed, dtype=np.int16), ref.astype(np.int16))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), length=lengths,
+       n=st.integers(min_value=1, max_value=24),
+       rows=st.integers(min_value=1, max_value=6))
+def test_transposed_counting_matches_apc_count(data, length, n, rows):
+    """The engine's transposed counting identity:
+    count = n - popcount(xT ^ wT), LSB patched with the last product bit
+    — must equal the word-level APC counter bit for bit."""
+    xb = random_bits(data, (rows, n), length)
+    wb = random_bits(data, (n,), length)
+    x = ops.pack_bits(xb)
+    w = ops.pack_bits(wb)
+    ref = adders.apc_count(ops.xnor_(x, w[None], length), length)
+    xT = ops.transpose_pack(x, length)
+    wT = ops.transpose_pack(w[None], length)[0]
+    ham = ops.popcount_sum(xT ^ wT[None], dtype=np.int16)
+    exact = np.int16(n) - ham
+    x_last = ops.unpack_bits(x[:, -1, :], length)
+    w_last = ops.unpack_bits(w[-1, :], length)
+    prod_last = np.uint8(1) ^ x_last ^ w_last[None]
+    one = np.int16(1)
+    got = (exact & ~one) | ((exact ^ prod_last) & one)
+    np.testing.assert_array_equal(got, ref)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data(), nbytes=st.integers(min_value=1, max_value=20),
+       shape=batch_shapes)
+def test_popcount_sum_fallback_lut_path(data, nbytes, shape):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    packed = rng.integers(0, 256, shape + (nbytes,), dtype=np.uint8)
+    ref = np.unpackbits(packed, axis=-1).sum(axis=-1, dtype=np.int64)
+    have = ops.HAVE_BITWISE_COUNT
+    try:
+        ops.HAVE_BITWISE_COUNT = False
+        np.testing.assert_array_equal(ops.popcount_sum(packed), ref)
+    finally:
+        ops.HAVE_BITWISE_COUNT = have
