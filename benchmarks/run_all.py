@@ -8,11 +8,16 @@ are meaningful):
   ``benchmarks/BENCH_kernels.json`` (median ns per kernel call);
 * ``--engine`` — ``bench_engine.py`` →
   ``benchmarks/BENCH_engine.json`` (batched vs sequential-legacy exact
-  throughput and per-backend latency of the layer-graph engine).
+  throughput and per-backend latency of the layer-graph engine);
+* ``--serve`` — ``bench_serve.py`` →
+  ``benchmarks/BENCH_serve.json`` (closed-loop multi-client serving
+  throughput: micro-batched service vs per-request sequential baseline,
+  with a pooled-unbatched ablation and bit-identity checks).
 
-With no flags both suites run.  Usage::
+With no flags all suites run.  Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--kernels] [--engine]
+                                                [--serve]
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
 ENGINE_OUTPUT = BENCH_DIR / "BENCH_engine.json"
+SERVE_OUTPUT = BENCH_DIR / "BENCH_serve.json"
 
 
 def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
@@ -91,22 +97,57 @@ def run_engine_benchmarks(output: Path = ENGINE_OUTPUT) -> dict:
     return payload
 
 
+def run_serve_benchmarks(output: Path = SERVE_OUTPUT) -> dict:
+    """Run bench_serve.py in-process; write and return the payload."""
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        from bench_serve import measure_serve
+        results = measure_serve()
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    payload = {
+        "unit": "closed-loop requests per second per mode",
+        "note": "multi-threaded closed-loop clients against the "
+                "micro-batching InferenceService; per_request_sequential "
+                "is the pre-serve status quo (fresh Engine per request, "
+                "batch size 1), pooled_sequential isolates the engine "
+                "pool (max_batch=1), micro_batched is the full service; "
+                "bit_identical asserts every exact response equals a "
+                "dedicated single-request Engine.predict with the same "
+                "per-request seed",
+        **results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(f"  micro-batched vs per-request sequential (exact, L=64, "
+          f"8 clients): {results['speedup_exact_L64_8_clients']}x")
+    return payload
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", action="store_true",
                         help="run only the kernel microbenchmarks")
     parser.add_argument("--engine", action="store_true",
                         help="run only the engine throughput benchmark")
+    parser.add_argument("--serve", action="store_true",
+                        help="run only the serving throughput benchmark")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the kernel medians JSON")
     parser.add_argument("--engine-output", type=Path, default=ENGINE_OUTPUT,
                         help="where to write the engine benchmark JSON")
+    parser.add_argument("--serve-output", type=Path, default=SERVE_OUTPUT,
+                        help="where to write the serving benchmark JSON")
     args = parser.parse_args(argv)
-    run_both = not (args.kernels or args.engine)
-    if args.kernels or run_both:
+    run_all = not (args.kernels or args.engine or args.serve)
+    if args.kernels or run_all:
         run_kernel_benchmarks(args.output)
-    if args.engine or run_both:
+    if args.engine or run_all:
         run_engine_benchmarks(args.engine_output)
+    if args.serve or run_all:
+        run_serve_benchmarks(args.serve_output)
 
 
 if __name__ == "__main__":

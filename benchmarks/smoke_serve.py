@@ -1,0 +1,112 @@
+"""CI smoke test for ``python -m repro serve``: start, POST, assert.
+
+Launches the real CLI server as a subprocess (quick-trained model, short
+streams), waits for ``/healthz``, POSTs one image on the exact and
+surrogate backends, asserts 200 + a valid prediction, checks ``/stats``
+exposes the batcher/pool telemetry, and shuts the server down.  Uses
+only the standard library so it runs on every CI job unchanged::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STARTUP_TIMEOUT_S = 180.0
+
+
+def _request(url: str, payload: dict = None):
+    """GET (payload None) or POST JSON; returns (status, decoded body)."""
+    data = None if payload is None else json.dumps(payload).encode("utf8")
+    req = urllib.request.Request(
+        url, data=data, method="GET" if data is None else "POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=120) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _wait_for_port(proc) -> int:
+    """Read the server's stdout until it announces its bound port.
+
+    A watchdog kills the subprocess at ``STARTUP_TIMEOUT_S`` so a server
+    that hangs *without printing anything* still fails this script
+    promptly (reading stdout alone would block in readline forever).
+    """
+    watchdog = threading.Timer(STARTUP_TIMEOUT_S, proc.kill)
+    watchdog.daemon = True
+    watchdog.start()
+    try:
+        for line in proc.stdout:
+            sys.stdout.write(line)
+            if "listening on http://" in line:
+                return int(line.rsplit(":", 1)[1])
+    finally:
+        watchdog.cancel()
+    raise RuntimeError("server did not announce its port within "
+                       f"{STARTUP_TIMEOUT_S:.0f}s "
+                       f"(exit code {proc.poll()})")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--length", "64", "--train", "300", "--epochs", "1",
+         "--max-wait-ms", "5"],
+        env=env, cwd=str(REPO_ROOT), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        port = _wait_for_port(proc)
+        base = f"http://127.0.0.1:{port}"
+
+        status, health = _request(f"{base}/healthz")
+        assert status == 200 and health["status"] == "ok", health
+
+        image = [0.0] * 784
+        for backend in ("exact", "surrogate"):
+            status, reply = _request(f"{base}/predict",
+                                     {"image": image, "backend": backend})
+            assert status == 200, (backend, reply)
+            assert reply["prediction"] in range(10), (backend, reply)
+            assert reply["backend"] == backend, reply
+            print(f"POST /predict [{backend}]: prediction="
+                  f"{reply['prediction']} ({reply['latency_ms']} ms)")
+
+        status, reply = _request(f"{base}/predict",
+                                 {"image": image, "backend": "bogus"})
+        assert status == 400 and "unknown backend" in reply["error"], reply
+
+        status, stats = _request(f"{base}/stats")
+        assert status == 200, stats
+        assert stats["service"]["requests"] >= 2, stats
+        assert stats["batcher"]["batches"] >= 2, stats
+        assert stats["pool"]["engines"] >= 2, stats
+        assert stats["service"]["latency_ms"]["p95"] > 0, stats
+        print("GET /stats:", json.dumps(stats["service"]))
+        print("serve smoke test passed")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover - CI guard
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,14 @@ any Python — handy for quick paper-vs-measured checks:
     python -m repro table7          # platform comparison
     python -m repro list            # everything available
 
-and runs batched inference through the unified engine:
+runs batched inference through the unified engine:
 
     python -m repro infer --backend exact --batch 16
     python -m repro infer --backend surrogate --images 256 --length 512
+
+and starts the micro-batching HTTP inference service:
+
+    python -m repro serve --port 8100 --backend exact --length 64
 """
 
 from __future__ import annotations
@@ -140,21 +144,15 @@ EXPERIMENTS = {
 }
 
 
-def _infer_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro infer",
-        description="Batched inference on synthetic MNIST through the "
-                    "unified layer-graph engine.",
-    )
+def _add_model_args(parser: argparse.ArgumentParser,
+                    default_length: int) -> None:
+    """Flags shared by ``infer`` and ``serve`` (design point + model)."""
     parser.add_argument("--backend", default="exact",
-                        choices=("exact", "surrogate", "float", "noise"),
-                        help="engine backend (default: exact)")
-    parser.add_argument("--batch", type=int, default=16,
-                        help="images per engine call (default: 16)")
-    parser.add_argument("--images", type=int, default=None,
-                        help="test images to run (default: one batch)")
-    parser.add_argument("--length", type=int, default=128,
-                        help="bit-stream length L (default: 128)")
+                        help="engine backend (default: exact; see "
+                             "'python -m repro list' for registered names)")
+    parser.add_argument("--length", type=int, default=default_length,
+                        help=f"bit-stream length L "
+                             f"(default: {default_length})")
     parser.add_argument("--pooling", default="max", choices=("max", "avg"),
                         help="network-wide pooling (default: max)")
     parser.add_argument("--kinds", default="APC,APC,APC",
@@ -168,19 +166,56 @@ def _infer_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epochs", type=int, default=2,
                         help="training epochs for the quick model "
                              "(default: 2)")
+
+
+def _check_backend(parser: argparse.ArgumentParser, name: str) -> None:
+    """Exit 2 with a clear message when ``name`` is not registered."""
+    from repro.engine import list_backends
+    if name not in list_backends():
+        parser.error(f"unknown backend {name!r}; registered backends: "
+                     f"{', '.join(list_backends())}")
+
+
+def _quick_model(train: int, epochs: int, n_test: int,
+                 pooling: str = "max"):
+    """Briefly-trained LeNet-5 + bipolar test split for CLI entry points."""
+    from repro.data.synthetic_mnist import generate_dataset, to_bipolar
+    from repro.nn.lenet import build_lenet5
+    from repro.nn.trainer import Trainer
+
+    print(f"training quick LeNet-5 ({train} images, {epochs} epochs)...")
+    x_train, y_train, x_test, y_test = generate_dataset(
+        n_train=train, n_test=n_test, seed=123)
+    model = build_lenet5(pooling, seed=0)
+    Trainer(model, lr=0.06, batch_size=64, seed=0).fit(
+        to_bipolar(x_train), y_train, epochs=epochs)
+    return model, to_bipolar(x_test), y_test
+
+
+def _infer_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro infer",
+        description="Batched inference on synthetic MNIST through the "
+                    "unified layer-graph engine.",
+    )
+    _add_model_args(parser, default_length=128)
+    parser.add_argument("--batch", type=int, default=16,
+                        help="images per engine call (default: 16)")
+    parser.add_argument("--images", type=int, default=None,
+                        help="test images to run (default: one batch)")
     return parser
 
 
 def _infer(argv) -> int:
     """``python -m repro infer``: batched engine inference + throughput."""
-    args = _infer_parser().parse_args(argv)
+    parser = _infer_parser()
+    args = parser.parse_args(argv)
     import numpy as np
 
     from repro.core.config import NetworkConfig, PoolKind
-    from repro.data.synthetic_mnist import generate_dataset, to_bipolar
+
+    _check_backend(parser, args.backend)
     from repro.engine import Engine
-    from repro.nn.lenet import build_lenet5
-    from repro.nn.trainer import Trainer
 
     n_images = args.images if args.images is not None else args.batch
     kinds = tuple(k.strip().upper() for k in args.kinds.split(","))
@@ -188,17 +223,12 @@ def _infer(argv) -> int:
     config = NetworkConfig.from_kinds(pooling, args.length, kinds,
                                       name="infer")
 
-    print(f"training quick LeNet-5 ({args.train} images, "
-          f"{args.epochs} epochs)...")
-    x_train, y_train, x_test, y_test = generate_dataset(
-        n_train=args.train, n_test=max(n_images, 16), seed=123)
-    model = build_lenet5(args.pooling, seed=0)
-    Trainer(model, lr=0.06, batch_size=64, seed=0).fit(
-        to_bipolar(x_train), y_train, epochs=args.epochs)
-
+    model, x_test, y_test = _quick_model(args.train, args.epochs,
+                                         n_test=max(n_images, 16),
+                                         pooling=args.pooling)
     engine = Engine(model, config, backend=args.backend, seed=args.seed,
                     weight_bits=args.weight_bits)
-    images = to_bipolar(x_test)[:n_images]
+    images = x_test[:n_images]
     labels = y_test[:n_images]
     print(f"backend={args.backend} config={config.describe()} "
           f"batch={args.batch} images={n_images}")
@@ -213,27 +243,92 @@ def _infer(argv) -> int:
     return 0
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Micro-batching HTTP inference service over the "
+                    "unified engine (POST /predict, GET /healthz, "
+                    "GET /stats).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8100,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default: 8100)")
+    _add_model_args(parser, default_length=64)
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="largest coalesced micro-batch (default: 16)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="longest a queued request waits for "
+                             "co-batchable traffic (default: 2.0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="batcher worker threads (default: 1)")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="pending-request bound; beyond it requests "
+                             "get 503 (default: 1024)")
+    parser.add_argument("--max-engines", type=int, default=8,
+                        help="engine-pool LRU capacity (default: 8)")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip preloading the default spec's engine")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+    return parser
+
+
+def _serve(argv) -> int:
+    """``python -m repro serve``: run the micro-batching HTTP service."""
+    parser = _serve_parser()
+    args = parser.parse_args(argv)
+    _check_backend(parser, args.backend)
+    from repro.serve import InferenceService, run_server
+
+    model, _, _ = _quick_model(args.train, args.epochs, n_test=16,
+                               pooling=args.pooling)
+    service = InferenceService(
+        model, backend=args.backend, length=args.length, kinds=args.kinds,
+        pooling=args.pooling, weight_bits=args.weight_bits, seed=args.seed,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        workers=args.workers, max_queue=args.max_queue,
+        max_engines=args.max_engines, warm=not args.no_warm)
+    print(f"service ready: backend={args.backend} L={args.length} "
+          f"kinds={args.kinds} max_batch={args.max_batch} "
+          f"max_wait_ms={args.max_wait_ms}")
+    run_server(service, host=args.host, port=args.port,
+               verbose=args.verbose)
+    return 0
+
+
+SUBCOMMANDS = {"infer": _infer, "serve": _serve}
+
+
 def main(argv=None) -> int:
     if argv is None:  # pragma: no cover - console entry
         argv = sys.argv[1:]
-    if argv and argv[0] == "infer":
-        return _infer(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate SC-DCNN paper experiments, or run "
-                    "'infer' for batched engine inference.",
+        description="Regenerate SC-DCNN paper experiments, run 'infer' "
+                    "for batched engine inference, or 'serve' for the "
+                    "micro-batching HTTP service.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list", "infer"],
-                        help="experiment to run, 'infer', or 'list'")
+                        choices=sorted(EXPERIMENTS) + ["list"]
+                        + sorted(SUBCOMMANDS),
+                        help="experiment to run, 'infer', 'serve', or "
+                             "'list'")
     args = parser.parse_args(argv)
-    if args.experiment == "infer":
+    if args.experiment in SUBCOMMANDS:
         # reached via e.g. `python -m repro -- infer`, which bypasses the
         # argv[0] intercept above
-        return _infer([a for a in argv if a not in ("--", "infer")])
+        return SUBCOMMANDS[args.experiment](
+            [a for a in argv if a not in ("--", args.experiment)])
     if args.experiment == "list":
+        from repro.engine import list_backends
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("registered backends:  ", ", ".join(list_backends()))
         print("engine inference:      python -m repro infer --help")
+        print("inference service:     python -m repro serve --help")
         print("full suite: pytest benchmarks/ --benchmark-only")
         return 0
     EXPERIMENTS[args.experiment]()

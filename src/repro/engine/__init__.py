@@ -18,7 +18,12 @@ See DESIGN.md ("Layer-graph engine") for the architecture rationale and
 the batching strategy.
 """
 
-from repro.engine.backends import BACKENDS, get_backend, register_backend
+from repro.engine.backends import (
+    BACKENDS,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.engine.calibration import (
     FEBCalibration,
     calibrate_feb,
@@ -50,6 +55,7 @@ __all__ = [
     "pool_window_indices",
     "BACKENDS",
     "get_backend",
+    "list_backends",
     "register_backend",
     "ExactBackend",
     "SurrogateBackend",

@@ -18,7 +18,7 @@ implementations with :func:`register_backend`; the built-in families
 
 from __future__ import annotations
 
-__all__ = ["BACKENDS", "register_backend", "get_backend"]
+__all__ = ["BACKENDS", "register_backend", "get_backend", "list_backends"]
 
 BACKENDS = {}
 """Registry: backend name → backend class."""
@@ -48,3 +48,12 @@ def get_backend(name: str):
         raise ValueError(
             f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
         ) from None
+
+
+def list_backends() -> list:
+    """Sorted names of all registered backends.
+
+    The built-in families self-register on ``import repro.engine``;
+    importing this module alone may observe an empty registry.
+    """
+    return sorted(BACKENDS)

@@ -20,6 +20,8 @@ state numbers at every point.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.config import NetworkConfig
@@ -27,9 +29,34 @@ from repro.engine.backends import get_backend
 from repro.engine.graph import build_graph
 from repro.engine.plan import CompiledPlan, compile_plan
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "as_image_batch"]
 
 IMAGE_PIXELS = 28 * 28
+
+
+def as_image_batch(images: np.ndarray, bipolar: bool = False) -> np.ndarray:
+    """Normalize input to a float64 ``(B, 784)`` batch.
+
+    Accepts a flat 784-vector, a single ``(28, 28)`` image, or a batch
+    of either.  With ``bipolar=True`` values are additionally required
+    to lie in the bipolar range [-1, 1] (the bit-level backends and the
+    serving layer enforce this; the float-domain executors tolerate
+    out-of-range pre-activations).  The single normalization point for
+    the engine front-end, the exact backend and ``repro.serve``.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim <= 1 or images.shape == (28, 28):
+        flat = images.reshape(1, -1)
+    else:
+        flat = images.reshape(images.shape[0], -1)
+    if flat.shape[-1] != IMAGE_PIXELS:
+        raise ValueError(
+            f"expected 28×28 images (784 pixels), got input of shape "
+            f"{images.shape}")
+    if bipolar and flat.size and np.max(np.abs(flat)) > 1.0:
+        raise ValueError("image values must lie in [-1, 1] "
+                         "(bipolar encoding; use repro.data.to_bipolar)")
+    return flat
 
 
 class Engine:
@@ -81,21 +108,16 @@ class Engine:
         self.config = plan.config
         self.backend_name = backend
         self.backend = get_backend(backend)(plan, seed=seed, **backend_opts)
+        #: serializes callers that share this engine when the backend is
+        #: stateful (its RNG advances per call); the serving layer locks
+        #: this for backends without ``forward_independent``.
+        self.serial_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
     def _as_batch(images: np.ndarray) -> np.ndarray:
         """Normalize input to a float64 ``(B, 784)`` batch."""
-        images = np.asarray(images, dtype=np.float64)
-        if images.ndim <= 1 or images.shape == (28, 28):
-            flat = images.reshape(1, -1)
-        else:
-            flat = images.reshape(images.shape[0], -1)
-        if flat.shape[-1] != IMAGE_PIXELS:
-            raise ValueError(
-                f"expected 28×28 images, got input of shape {images.shape}"
-            )
-        return flat
+        return as_image_batch(images)
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Per-image logits ``(B, 10)`` (argmax-compatible across backends)."""

@@ -43,13 +43,12 @@ from repro.blocks.pooling import (
 )
 from repro.core.config import FEBKind, PoolKind
 from repro.engine.backends import register_backend
+from repro.engine.engine import as_image_batch
 from repro.sc import activation, ops
 from repro.sc.encoding import Encoding
 from repro.sc.rng import IdealSNG, StreamFactory
 
 __all__ = ["ExactBackend"]
-
-IMAGE_PIXELS = 28 * 28
 
 
 @register_backend
@@ -107,6 +106,12 @@ class ExactBackend:
             else:
                 self._weight_t.append(None)
                 self._weight_last.append(None)
+        # Post-construction stream state: weight streams are drawn, no
+        # image has been encoded.  ``forward_independent`` forks this
+        # snapshot once per request so every image of a coalesced batch
+        # replays the exact draws a freshly-constructed backend (same
+        # seed) would make for its first image.
+        self._fresh_factory = self.factory.fork()
 
     # ------------------------------------------------------------------
     # batching
@@ -126,21 +131,17 @@ class ExactBackend:
                             + positions * self.length * width)
         return max(1, self.batch_budget // max(per_image, 1))
 
+    @staticmethod
+    def _validated(images: np.ndarray) -> np.ndarray:
+        return as_image_batch(images, bipolar=True)
+
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Simulate a batch; returns ``(B, 10)`` decoded logits.
 
         Logits estimate ``Σxw + b`` of the output layer scaled by ``1/n``
         — argmax-compatible with the float model.
         """
-        images = np.asarray(images, dtype=np.float64)
-        flat = images.reshape(images.shape[0], -1) if images.ndim > 1 \
-            else images.reshape(1, -1)
-        if flat.shape[-1] != IMAGE_PIXELS:
-            raise ValueError(
-                f"expected a 28×28 image, got {images.shape}")
-        if flat.size and np.max(np.abs(flat)) > 1.0:
-            raise ValueError("image values must lie in [-1, 1] "
-                             "(use repro.data.to_bipolar)")
+        flat = self._validated(images)
         out = np.empty((flat.shape[0], self.plan.layers[-1].units))
         step = self._max_batch()
         for start in range(0, flat.shape[0], step):
@@ -148,10 +149,39 @@ class ExactBackend:
             out[start:stop] = self._forward_batch(flat[start:stop])
         return out
 
+    def forward_independent(self, images: np.ndarray) -> np.ndarray:
+        """Batched simulation with *per-request* stream state.
+
+        Each image's streams (SNG uniforms and MUX selects) are drawn
+        from a fork of the post-construction snapshot, so row ``i`` of
+        the result is bit-identical to what a freshly-constructed backend
+        with the same seed would return for ``images[i]`` alone — while
+        the expensive layer execution still runs batched.  This is the
+        contract the micro-batching service relies on: coalescing
+        concurrent single-image requests into one call must not perturb
+        any response.
+
+        Unlike :meth:`forward`, this method never mutates the backend's
+        own stream factory, so concurrent calls from multiple serving
+        workers are safe on a shared backend.
+        """
+        flat = self._validated(images)
+        out = np.empty((flat.shape[0], self.plan.layers[-1].units))
+        step = self._max_batch()
+        for start in range(0, flat.shape[0], step):
+            stop = min(start + step, flat.shape[0])
+            selects, banks = [], []
+            for img in flat[start:stop]:
+                factory = self._fresh_factory.fork()
+                selects.extend(self._draw_selects(1, factory=factory))
+                banks.append(factory.packed(img, self.length))
+            out[start:stop] = self._run_layers(np.stack(banks), selects)
+        return out
+
     # ------------------------------------------------------------------
     # stream-level building blocks
     # ------------------------------------------------------------------
-    def _draw_selects(self, batch: int):
+    def _draw_selects(self, batch: int, factory: StreamFactory = None):
         """Pre-draw MUX select signals in the legacy per-image order.
 
         The legacy simulator drew selects lazily while walking one image
@@ -159,6 +189,7 @@ class ExactBackend:
         layer-major: inner-product select before the pooling select)
         keeps batched execution bit-identical to sequential runs.
         """
+        factory = self.factory if factory is None else factory
         avg = self.plan.config.pooling is PoolKind.AVG
         draws = []
         for _ in range(batch):
@@ -166,10 +197,10 @@ class ExactBackend:
             for i, lp in enumerate(self.plan.layers):
                 if lp.kind is not FEBKind.MUX or lp.final:
                     continue
-                per["ip", i] = self.factory.select_signal(lp.n_inputs,
-                                                          self.length)
+                per["ip", i] = factory.select_signal(lp.n_inputs,
+                                                     self.length)
                 if lp.op == "conv" and avg:
-                    per["pool", i] = self.factory.select_signal(
+                    per["pool", i] = factory.select_signal(
                         4, self.length)
             draws.append(per)
         return draws
@@ -265,6 +296,10 @@ class ExactBackend:
             # batch-size-invariant.
             x = np.stack([self.factory.packed(img, self.length)
                           for img in imgs])
+        return self._run_layers(x, selects)
+
+    def _run_layers(self, x: np.ndarray, selects) -> np.ndarray:
+        """Execute the layer pipeline on an encoded ``(B, 784, nb)`` bank."""
         for i, lp in enumerate(self.plan.layers):
             if lp.op == "conv":
                 x = self._conv_layer(i, lp, x, selects)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import threading
 
 import numpy as np
 
@@ -231,6 +232,10 @@ class CompiledPlan:
         self.weight_bits = weight_bits
         self._raw_cache = raw_cache
         self._derived = {}
+        # Serving workers share one plan across threads; the lock makes
+        # `cached` a safe memoization point (an RLock so a factory may
+        # itself consult the cache without deadlocking).
+        self._derived_lock = threading.RLock()
 
     @property
     def length(self) -> int:
@@ -242,10 +247,19 @@ class CompiledPlan:
         return [layer.deficit for layer in self.layers]
 
     def cached(self, key, factory):
-        """Memoize a backend-derived artifact on the plan."""
-        if key not in self._derived:
-            self._derived[key] = factory()
-        return self._derived[key]
+        """Memoize a backend-derived artifact on the plan (thread-safe).
+
+        Concurrent callers racing on one key see exactly one ``factory``
+        invocation; the loser blocks until the artifact exists.  Holding
+        the lock across the factory call is deliberate — the guarded
+        artifacts (calibration curves, measured sigmas) are expensive,
+        and racing duplicates would waste far more than the serialization
+        costs.
+        """
+        with self._derived_lock:
+            if key not in self._derived:
+                self._derived[key] = factory()
+            return self._derived[key]
 
     def with_length(self, length: int, name: str | None = None
                     ) -> "CompiledPlan":

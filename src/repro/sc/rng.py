@@ -47,6 +47,18 @@ class IdealSNG:
         self._seed = seed
         self._rng = spawn_rng(seed, "ideal-sng")
 
+    def clone(self) -> "IdealSNG":
+        """A new generator frozen at this one's current PRNG state.
+
+        Draws from the clone replay exactly what this generator would
+        produce next, without advancing it — the serving layer uses this
+        to give every coalesced request its own deterministic stream
+        state (see :meth:`StreamFactory.fork`).
+        """
+        twin = IdealSNG(seed=self._seed)
+        twin._rng.bit_generator.state = self._rng.bit_generator.state
+        return twin
+
     def generate(self, probs: np.ndarray, length: int) -> np.ndarray:
         """Generate packed streams with ones-probability ``probs``.
 
@@ -92,6 +104,12 @@ class LfsrSNG:
         self.pool = check_positive_int(pool, "pool")
         self._seed = seed
         self._counter = 0
+
+    def clone(self) -> "LfsrSNG":
+        """A new generator frozen at this one's current call counter."""
+        twin = LfsrSNG(width=self.width, seed=self._seed, pool=self.pool)
+        twin._counter = self._counter
+        return twin
 
     def generate(self, probs: np.ndarray, length: int) -> np.ndarray:
         """Generate packed streams; see :meth:`IdealSNG.generate`."""
@@ -150,6 +168,25 @@ class StreamFactory:
             raise ValueError(f"unknown sng kind {sng!r}; use 'ideal' or 'lfsr'")
         self.encoding = encoding
         self._select_rng = spawn_rng(seed, "mux-select")
+
+    def fork(self) -> "StreamFactory":
+        """A new factory frozen at this factory's current stream state.
+
+        The fork replays exactly the draws this factory would make next
+        (SNG uniforms *and* MUX select integers) without advancing it.
+        Forking the same factory twice yields two identical, mutually
+        independent replicas — the micro-batching service forks a
+        post-construction snapshot once per request so every request in a
+        coalesced batch sees the stream state a freshly-seeded factory
+        would, bit for bit.
+        """
+        twin = object.__new__(StreamFactory)
+        twin.sng = self.sng.clone()
+        twin.encoding = self.encoding
+        twin._select_rng = np.random.default_rng(0)
+        twin._select_rng.bit_generator.state = \
+            self._select_rng.bit_generator.state
+        return twin
 
     def streams(self, values, length: int,
                 encoding: Encoding = None) -> Bitstream:

@@ -1,0 +1,244 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one call.
+
+The exact bit-level backend is ~3x faster per image when it simulates a
+batch than when it runs images one at a time (see
+``benchmarks/BENCH_engine.json``), but service traffic arrives as
+independent single-image requests.  The :class:`MicroBatcher` closes
+that gap: requests enqueue with a *group key* (everything that must
+match for two requests to share one engine call — backend, config,
+seed), and worker threads drain the queue in group-keyed batches under a
+``max_batch`` / ``max_wait_ms`` policy.  A batch launches when the
+first of three conditions holds:
+
+* **full** — ``max_batch`` same-group requests are queued (no pointless
+  waiting once full);
+* **deadline** — the oldest queued request has waited ``max_wait_ms``
+  (the hard latency bound under sustained open-loop load);
+* **quiescent** — no request joined the *oldest request's group* during
+  the last wait quantum (``max_wait_ms / 8``).  This is what makes the
+  batcher *dynamic*: a closed-loop client fleet smaller than
+  ``max_batch`` flushes as soon as the in-flight wave has fully arrived
+  instead of sleeping out the deadline, and a lone request pays roughly
+  one quantum, not ``max_wait_ms``.  Quiescence is judged per group, so
+  steady traffic on one group cannot starve another group's flush.
+
+Batching is *transparent* by construction: the runner the service
+installs uses :meth:`repro.engine.exact.ExactBackend.
+forward_independent`, whose per-request stream-state forks make every
+coalesced response bit-identical to a dedicated single-request engine
+call.  The batcher itself never inspects payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+__all__ = ["MicroBatcher", "Ticket", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the queue is at its
+    bound — the service's backpressure signal (HTTP maps it to 503)."""
+
+
+class Ticket:
+    """A pending request: wait on it for the result.
+
+    Returned by :meth:`MicroBatcher.submit`; :meth:`result` blocks until
+    a worker has served the batch containing this request and either
+    returns the per-request result or re-raises the batch's error.
+    """
+
+    __slots__ = ("key", "payload", "arrival", "_done", "_result", "_error")
+
+    def __init__(self, key, payload, arrival: float):
+        self.key = key
+        self.payload = payload
+        self.arrival = arrival
+        self._done = threading.Event()
+        self._result = None
+        self._error = None
+
+    def _resolve(self, result=None, error=None):
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def result(self, timeout: float = None):
+        """Block until served; raises the batch's error if it failed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not served within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class MicroBatcher:
+    """Queue + worker threads coalescing requests into batched calls.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(key, payloads) -> results`` — called with a list of
+        payloads sharing one group key; must return one result per
+        payload, in order.
+    max_batch:
+        Largest batch handed to ``runner``.
+    max_wait_ms:
+        Longest the oldest queued request may wait for co-batchable
+        traffic before its batch is flushed anyway.
+    workers:
+        Worker-thread count.  One worker strictly serializes runner
+        calls; more overlap distinct groups (numpy releases the GIL in
+        the counting kernels, so overlap is real).
+    max_queue:
+        Backpressure bound: :meth:`submit` raises :class:`QueueFull`
+        beyond this many pending requests instead of letting latency
+        and memory grow without limit under overload.
+    """
+
+    def __init__(self, runner, max_batch: int = 16,
+                 max_wait_ms: float = 2.0, workers: int = 1,
+                 max_queue: int = 1024):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self._runner = runner
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        #: re-check interval while gathering a batch; arrivals during a
+        #: quantum keep the gather open, a quiet quantum flushes it.
+        self.quantum = max(self.max_wait / 8.0, 5e-4)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue = []
+        self._running = True
+        self._batches = 0
+        self._batch_sizes = Counter()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"micro-batcher-{i}",
+                             daemon=True)
+            for i in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, key, payload) -> Ticket:
+        """Enqueue one request; returns its :class:`Ticket`."""
+        ticket = Ticket(key, payload, time.monotonic())
+        with self._work:
+            if not self._running:
+                raise RuntimeError("batcher is closed")
+            if len(self._queue) >= self.max_queue:
+                raise QueueFull(
+                    f"batcher queue is full ({len(self._queue)} pending "
+                    f"requests); retry later")
+            self._queue.append(ticket)
+            self._work.notify_all()
+        return ticket
+
+    def run(self, key, payload, timeout: float = None):
+        """Submit and block for the result (the serving hot path)."""
+        return self.submit(key, payload).result(timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting requests; drain the queue, join the workers."""
+        with self._work:
+            self._running = False
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def _take_batch(self):
+        """Block until a batch is due; pop and return it (None = shut down).
+
+        Runs under the queue lock.  The batch is the oldest request's
+        group, capped at ``max_batch``; it launches when full, when the
+        oldest request's ``max_wait`` expires, when a whole wait quantum
+        passes with no new arrival (quiescence — see the module
+        docstring), or immediately during drain.  Workers re-evaluate
+        after every wakeup, so whichever worker observes a due batch
+        first takes it and the rest keep waiting.
+        """
+        with self._work:
+            gathering = None  # ((id(head), len(same)), observed_at)
+            while True:
+                if not self._queue:
+                    if not self._running:
+                        return None
+                    gathering = None
+                    self._work.wait()
+                    continue
+                head = self._queue[0]
+                same = [t for t in self._queue if t.key == head.key]
+                deadline = head.arrival + self.max_wait
+                now = time.monotonic()
+                # Quiescent: the head group gained nothing for a full
+                # quantum.  Judged per group (other groups' traffic must
+                # not hold this one to its deadline) and against wall
+                # time (Condition.wait wakes on *every* submit's notify,
+                # so "woke with the group unchanged" alone is not a
+                # quiet quantum).
+                state = (id(head), len(same))
+                if gathering is None or gathering[0] != state:
+                    gathering = (state, now)
+                quiet = now - gathering[1] >= self.quantum
+                if (len(same) >= self.max_batch or now >= deadline
+                        or quiet or not self._running):
+                    batch = same[:self.max_batch]
+                    taken = set(map(id, batch))
+                    self._queue = [t for t in self._queue
+                                   if id(t) not in taken]
+                    self._batches += 1
+                    self._batch_sizes[len(batch)] += 1
+                    return batch
+                self._work.wait(min(
+                    self.quantum - (now - gathering[1]), deadline - now))
+
+    def _worker(self):
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            try:
+                results = self._runner(batch[0].key,
+                                       [t.payload for t in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"runner returned {len(results)} results for a "
+                        f"batch of {len(batch)}")
+            except Exception as exc:  # propagate to every waiter
+                for ticket in batch:
+                    ticket._resolve(error=exc)
+                continue
+            for ticket, result in zip(batch, results):
+                ticket._resolve(result=result)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Coalescing telemetry: batch count, size histogram, mean size."""
+        with self._lock:
+            sizes = dict(sorted(self._batch_sizes.items()))
+            batches = self._batches
+            queued = len(self._queue)
+        requests = sum(size * count for size, count in sizes.items())
+        return {
+            "batches": batches,
+            "batched_requests": requests,
+            "queued": queued,
+            "batch_size_histogram": {str(k): v for k, v in sizes.items()},
+            "mean_batch_size": round(requests / batches, 3) if batches
+            else None,
+            "max_batch": self.max_batch,
+            "max_wait_ms": round(self.max_wait * 1e3, 3),
+        }

@@ -1,0 +1,171 @@
+"""Thread-safe engine pool: hot compiled plans shared across workers.
+
+Serving traffic must not pay per-request compilation: quantizing three
+stored-weight variants and drawing four layers' weight streams costs
+orders of magnitude more than one micro-batched inference.  The pool
+therefore caches two tiers behind one lock:
+
+* **plans** — :class:`repro.engine.plan.CompiledPlan` keyed by
+  ``(config digest, weight_bits)`` per stream length.  A request for a
+  new length first tries :meth:`CompiledPlan.with_length` on a cached
+  sibling, so length variants of one design point share quantized
+  weights (all-APC configurations even share whole layer plans);
+* **engines** — constructed :class:`repro.engine.engine.Engine`
+  instances keyed by ``(backend, config digest, stream length,
+  weight_bits, seed, opts)``, with LRU eviction bounded by
+  ``max_engines`` (an exact engine's weight streams dominate the pool's
+  memory; the plan tier underneath stays warm so a re-admitted engine
+  only re-draws streams, never re-quantizes).
+
+The pool holds the lock across misses: constructing an engine twice
+because two workers raced would cost more than briefly serializing them,
+and the batcher in front of the pool keeps the hot path to lookups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.core.config import NetworkConfig
+from repro.engine import Engine, build_graph, compile_plan
+from repro.engine.plan import normalize_weight_bits
+
+__all__ = ["EnginePool"]
+
+
+def config_digest(config: NetworkConfig) -> str:
+    """Stable digest of a design point, excluding stream length and name.
+
+    Two configurations that differ only in ``length`` (or the cosmetic
+    ``name`` label) share a digest — that is what lets the pool re-target
+    a cached plan via ``with_length`` instead of recompiling.
+    """
+    spec = (config.pooling.value,
+            tuple((layer.ip_kind.value, layer.n_states)
+                  for layer in config.layers))
+    return hashlib.sha1(repr(spec).encode("utf8")).hexdigest()[:16]
+
+
+class EnginePool:
+    """LRU cache of compiled plans and constructed engines over one model.
+
+    Parameters
+    ----------
+    model:
+        The trained :class:`repro.nn.module.Sequential` LeNet-5 every
+        pooled engine executes.
+    max_engines:
+        Engine-tier capacity; least-recently-used engines are evicted
+        beyond it.
+    max_plans:
+        Plan-tier capacity.  Plans are small next to engines (no weight
+        streams), so the default keeps more of them.
+    """
+
+    def __init__(self, model, max_engines: int = 8, max_plans: int = 32):
+        if max_engines < 1 or max_plans < 1:
+            raise ValueError("max_engines and max_plans must be >= 1")
+        self.model = model
+        self.max_engines = int(max_engines)
+        self.max_plans = int(max_plans)
+        self._lock = threading.RLock()
+        self._plans = OrderedDict()    # (digest, bits, length) -> plan
+        self._engines = OrderedDict()  # engine key -> Engine
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._plans_compiled = 0
+        self._plans_rederived = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def engine_key(config: NetworkConfig, backend: str = "exact",
+                   weight_bits=None, seed: int = 0, **backend_opts):
+        """The pool key an engine for this request would live under."""
+        return (backend, config_digest(config), config.length,
+                normalize_weight_bits(weight_bits), int(seed),
+                tuple(sorted(backend_opts.items())))
+
+    def _plan_for(self, config: NetworkConfig, bits):
+        """Cached plan for (digest, bits, length); compiles on miss.
+
+        Misses prefer re-targeting a cached sibling length via
+        ``with_length`` (shares raw-quantized weights, and whole layer
+        plans when no state number changes) over compiling from scratch.
+        """
+        digest = config_digest(config)
+        key = (digest, bits, config.length)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        sibling = next((p for (d, b, _), p in reversed(self._plans.items())
+                        if (d, b) == (digest, bits)), None)
+        if sibling is not None:
+            plan = sibling.with_length(config.length, name=config.name)
+            self._plans_rederived += 1
+        else:
+            plan = compile_plan(build_graph(self.model, config),
+                                weight_bits=bits)
+            self._plans_compiled += 1
+        self._plans[key] = plan
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+        return plan
+
+    def get(self, config: NetworkConfig, backend: str = "exact",
+            weight_bits=None, seed: int = 0, **backend_opts) -> Engine:
+        """The pooled engine for a request spec (constructed on miss)."""
+        bits = normalize_weight_bits(weight_bits)
+        key = self.engine_key(config, backend, bits, seed, **backend_opts)
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                self._hits += 1
+                return engine
+            self._misses += 1
+            plan = self._plan_for(config, bits)
+            engine = Engine(backend=backend, seed=seed, plan=plan,
+                            **backend_opts)
+            self._engines[key] = engine
+            while len(self._engines) > self.max_engines:
+                self._engines.popitem(last=False)
+                self._evictions += 1
+            return engine
+
+    def warm_up(self, specs) -> int:
+        """Preload engines for an iterable of request specs.
+
+        Each spec is a ``(config, backend)`` pair or a dict of
+        :meth:`get` keyword arguments; returns how many engines were
+        newly constructed *by this call* (already-warm specs count zero,
+        and concurrent traffic's own misses are not attributed here —
+        the lock is reentrant, so the check and the build are atomic).
+        """
+        built = 0
+        for spec in specs:
+            kwargs = dict(spec) if isinstance(spec, dict) else \
+                {"config": spec[0], "backend": spec[1]}
+            with self._lock:
+                if self.engine_key(**kwargs) not in self._engines:
+                    built += 1
+                self.get(**kwargs)
+        return built
+
+    def stats(self) -> dict:
+        """Counters snapshot, including the ``/stats`` hit rate."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "engines": len(self._engines),
+                "plans": len(self._plans),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": round(self._hits / lookups, 4) if lookups else None,
+                "plans_compiled": self._plans_compiled,
+                "plans_rederived": self._plans_rederived,
+            }

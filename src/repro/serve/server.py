@@ -1,0 +1,176 @@
+"""Stdlib HTTP JSON API over :class:`repro.serve.service.InferenceService`.
+
+Endpoints:
+
+``POST /predict``
+    Body: ``{"image": [...784 floats...]}`` (or 28×28 nested) for one
+    image, or ``{"images": [[...], ...]}`` for many.  Optional spec
+    overrides ride alongside: ``backend``, ``length``, ``kinds``
+    (``"APC,APC,APC"``), ``pooling`` (``"max"``/``"avg"``),
+    ``weight_bits`` (int or 3-/4-list), ``seed``.  Pixels are bipolar
+    floats in [-1, 1].  Response: ``{"prediction": k}`` (single) or
+    ``{"predictions": [...]}`` (batch), plus the resolved backend and
+    the server-side latency.
+
+``GET /healthz``
+    Liveness: ``{"status": "ok", "requests": N}``.
+
+``GET /stats``
+    Full telemetry: request latency p50/p95, throughput, the batcher's
+    batch-size histogram and mean batch size, and the engine pool's hit
+    rate — the observable effect of micro-batching under load.
+
+The server is a ``ThreadingHTTPServer``: each connection gets a thread,
+so concurrent clients genuinely enqueue concurrently and the
+micro-batcher has traffic to coalesce.  Malformed requests return 400
+with ``{"error": ...}``; unknown paths 404.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.batcher import QueueFull
+
+__all__ = ["ServeHandler", "create_server", "run_server"]
+
+MAX_BODY_BYTES = 64 << 20
+"""Reject request bodies beyond this (a 784-float image is ~10 KB)."""
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """JSON request handler bound to the server's ``service``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf8")
+        if status >= 400:
+            # Error paths may leave an unread request body on the
+            # socket; under HTTP/1.1 keep-alive the next request would
+            # then be parsed out of those leftover bytes.  Close instead.
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {
+                "status": "ok",
+                "requests": service.tracker.summary()["requests"],
+            })
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                       "try /predict, /healthz, /stats"})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                       "POST /predict"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > MAX_BODY_BYTES:
+                raise ValueError("request body required (JSON)")
+            request = json.loads(self.rfile.read(length))
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+            self._reply(200, self._predict(request))
+        except QueueFull as exc:
+            self._reply(503, {"error": str(exc)})
+        except ValueError as exc:
+            # covers json.JSONDecodeError and every service-side
+            # validation error; internal bugs (TypeError, KeyError, ...)
+            # fall through to the 500 below instead of masquerading as
+            # client errors
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+    def _predict(self, request: dict) -> dict:
+        service = self.server.service
+        single = "image" in request
+        if single == ("images" in request):
+            raise ValueError(
+                "provide exactly one of 'image' (single) or 'images' "
+                "(batch)")
+        images = request.pop("image") if single else request.pop("images")
+        if single:
+            shape = np.asarray(images, dtype=np.float64).shape
+            if shape not in ((784,), (28, 28)):
+                raise ValueError(
+                    "'image' must be a single 28×28 image (784 pixels); "
+                    "use 'images' for batches")
+        overrides = {k: request[k] for k in
+                     ("backend", "length", "kinds", "pooling",
+                      "weight_bits", "seed") if k in request}
+        leftover = set(request) - set(overrides)
+        if leftover:
+            raise ValueError(
+                f"unknown request fields: {sorted(leftover)}")
+        start = time.monotonic()
+        preds = service.predict(images, **overrides)
+        reply = {
+            "backend": overrides.get("backend",
+                                     service.defaults["backend"]),
+            "latency_ms": round(1e3 * (time.monotonic() - start), 3),
+        }
+        if single:
+            reply["prediction"] = int(preds[0])
+        else:
+            reply["predictions"] = [int(p) for p in preds]
+        return reply
+
+
+def create_server(service, host: str = "127.0.0.1", port: int = 8100,
+                  verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    ``server.server_address``.  Callers own the lifecycle: run
+    ``serve_forever()`` (blocking or in a thread), then ``shutdown()``
+    and ``server_close()``, and close the service.
+    """
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.daemon_threads = True
+    server.service = service
+    server.verbose = verbose
+    return server
+
+
+def run_server(service, host: str = "127.0.0.1", port: int = 8100,
+               verbose: bool = False) -> None:
+    """Serve until interrupted; closes the service on the way out."""
+    server = create_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro-serve listening on http://{bound_host}:{bound_port}")
+    print(f"  POST http://{bound_host}:{bound_port}/predict  "
+          "{'image': [...784 bipolar floats...]}")
+    print(f"  GET  http://{bound_host}:{bound_port}/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

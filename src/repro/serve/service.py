@@ -1,0 +1,233 @@
+"""In-process inference service: pool + micro-batcher + telemetry.
+
+:class:`InferenceService` is the embeddable core the HTTP server wraps
+(and the right entry point for Python callers — tests and the load
+generator drive it directly).  A request is a single 28×28 bipolar image
+plus an optional spec override (backend, stream length, FEB kinds,
+pooling, weight bits, seed); the service:
+
+1. resolves the spec against its defaults into a canonical
+   :class:`repro.core.config.NetworkConfig` and a hashable *group key* —
+   everything two requests must agree on to share one engine call;
+2. enqueues the image on the :class:`repro.serve.batcher.MicroBatcher`,
+   which coalesces concurrent same-group requests into one batched
+   engine call bounded by ``max_batch``/``max_wait_ms``;
+3. serves the batch from the :class:`repro.serve.pool.EnginePool`'s
+   shared engine.  Exact-backend batches run through
+   ``forward_independent``, so every response is bit-identical to a
+   dedicated single-request ``Engine.predict`` with the same per-request
+   seed regardless of what it was coalesced with.  Stateful float-domain
+   backends (``surrogate``/``noise`` draw sampled noise) are serialized
+   per engine instead — their responses are statistically, not bitwise,
+   batch-invariant; ``float`` is deterministic either way.
+
+Multi-image requests fan out into per-image queue entries, so they both
+benefit from and contribute to coalescing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import NetworkConfig, PoolKind
+from repro.engine import get_backend
+from repro.engine.engine import as_image_batch
+from repro.engine.plan import normalize_weight_bits
+from repro.serve.batcher import MicroBatcher
+from repro.serve.pool import EnginePool
+from repro.serve.stats import LatencyTracker
+
+__all__ = ["InferenceService", "resolve_pooling", "resolve_kinds"]
+
+
+def resolve_pooling(pooling) -> PoolKind:
+    """Parse a pooling spec (``"max"``/``"avg"`` or a PoolKind)."""
+    if isinstance(pooling, PoolKind):
+        return pooling
+    try:
+        return {"max": PoolKind.MAX, "avg": PoolKind.AVG,
+                "average": PoolKind.AVG}[str(pooling).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown pooling {pooling!r}; use 'max' or 'avg'") from None
+
+
+def resolve_kinds(kinds) -> tuple:
+    """Parse a FEB-kind spec (``"APC,APC,APC"`` or a 3-sequence)."""
+    if isinstance(kinds, str):
+        kinds = [k.strip() for k in kinds.split(",")]
+    kinds = tuple(str(k).upper() for k in kinds)
+    if len(kinds) != 3 or not all(k in ("MUX", "APC") for k in kinds):
+        raise ValueError(
+            f"kinds must be three of MUX/APC, got {kinds!r}")
+    return kinds
+
+
+class InferenceService:
+    """Micro-batched inference over pooled engines for one trained model.
+
+    Parameters
+    ----------
+    model:
+        The trained LeNet-5 every request is served from.
+    backend, length, kinds, pooling, weight_bits, seed:
+        Default request spec; any field can be overridden per request.
+    max_batch, max_wait_ms, workers, max_queue:
+        Micro-batching policy (see :class:`MicroBatcher`); ``max_queue``
+        is the backpressure bound (full queue → :class:`QueueFull`,
+        surfaced as HTTP 503).
+    max_engines:
+        Engine-pool capacity (see :class:`EnginePool`).
+    warm:
+        Preload the default spec's engine at construction so the first
+        request does not pay compilation + weight-stream drawing.
+    """
+
+    def __init__(self, model, *, backend: str = "exact", length: int = 64,
+                 kinds=("APC", "APC", "APC"), pooling="max",
+                 weight_bits=None, seed: int = 0, max_batch: int = 16,
+                 max_wait_ms: float = 2.0, workers: int = 1,
+                 max_queue: int = 1024, max_engines: int = 8,
+                 warm: bool = True):
+        self.defaults = {
+            "backend": backend,
+            "length": int(length),
+            "kinds": resolve_kinds(kinds),
+            "pooling": resolve_pooling(pooling),
+            "weight_bits": weight_bits,
+            "seed": int(seed),
+        }
+        get_backend(backend)  # fail fast on an unknown default
+        self.pool = EnginePool(model, max_engines=max_engines)
+        self.batcher = MicroBatcher(self._run_batch, max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms,
+                                    workers=workers, max_queue=max_queue)
+        self.tracker = LatencyTracker()
+        self._closed = False
+        if warm:
+            self.pool.get(self._resolve({})[1], backend=backend,
+                          weight_bits=weight_bits, seed=self.defaults["seed"])
+
+    # ------------------------------------------------------------------
+    # request resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, overrides: dict):
+        """Resolve per-request overrides into ``(group_key, config, spec)``.
+
+        Raises ``ValueError`` on any malformed field — the HTTP layer
+        maps that to a 400.
+        """
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise ValueError(
+                f"unknown request fields: {sorted(unknown)}; "
+                f"allowed: {sorted(self.defaults)}")
+        spec = dict(self.defaults)
+        spec.update(overrides)
+        backend = str(spec["backend"])
+        get_backend(backend)
+        try:
+            config = NetworkConfig.from_kinds(
+                resolve_pooling(spec["pooling"]), int(spec["length"]),
+                resolve_kinds(spec["kinds"]))
+            bits = normalize_weight_bits(spec["weight_bits"])
+            seed = int(spec["seed"])
+        except TypeError as exc:
+            # e.g. length=None or weight_bits=1.5 — a caller error, not
+            # an internal one; keep the ValueError contract of _resolve
+            raise ValueError(f"malformed request field: {exc}") from exc
+        key = (backend, config, bits, seed)
+        return key, config, spec
+
+    @staticmethod
+    def _as_images(images) -> np.ndarray:
+        """Normalize request payload to a float ``(N, 784)`` batch."""
+        return as_image_batch(images, bipolar=True)
+
+    # ------------------------------------------------------------------
+    # batched execution (called by batcher workers)
+    # ------------------------------------------------------------------
+    def _run_batch(self, key, payloads):
+        backend_name, config, bits, seed = key
+        engine = self.pool.get(config, backend=backend_name,
+                               weight_bits=bits, seed=seed)
+        batch = np.stack(payloads)
+        backend = engine.backend
+        if hasattr(backend, "forward_independent"):
+            # Per-request stream-state forks: thread-safe on a shared
+            # engine and bit-identical to single-request calls.
+            logits = backend.forward_independent(batch)
+            return list(np.argmax(logits, axis=1))
+        # Stateful float-domain backends mutate their noise RNG per call;
+        # serialize per engine (the pool attaches the lock, so its
+        # lifetime matches the engine's) so concurrent workers never
+        # race it.
+        with engine.serial_lock:
+            return list(engine.predict(batch))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict(self, images, timeout: float = None, **overrides
+                ) -> np.ndarray:
+        """Class predictions for one or many images (blocking).
+
+        Accepts a single image (``(784,)`` or ``(28, 28)``) or a batch;
+        returns an ``(N,)`` int array.  Keyword overrides (``backend``,
+        ``length``, ``kinds``, ``pooling``, ``weight_bits``, ``seed``)
+        replace the service defaults for this request only.  Every image
+        goes through the micro-batcher, so concurrent callers coalesce.
+        ``timeout`` bounds the *whole* request, not each image.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        try:
+            key, _, _ = self._resolve(overrides)
+            batch = self._as_images(images)
+            tickets = [self.batcher.submit(key, image) for image in batch]
+            preds = np.array(
+                [t.result(None if deadline is None
+                          else max(deadline - time.monotonic(), 0.0))
+                 for t in tickets],
+                dtype=np.int64)
+        except Exception:
+            self.tracker.record_error()
+            raise
+        self.tracker.record(time.monotonic() - start)
+        return preds
+
+    def predict_one(self, image, timeout: float = None, **overrides) -> int:
+        """Single-image convenience wrapper around :meth:`predict`."""
+        return int(self.predict(image, timeout=timeout, **overrides)[0])
+
+    def stats(self) -> dict:
+        """Aggregated service / batcher / pool telemetry for ``/stats``."""
+        return {
+            "service": self.tracker.summary(),
+            "batcher": self.batcher.stats(),
+            "pool": self.pool.stats(),
+            "defaults": {
+                "backend": self.defaults["backend"],
+                "length": self.defaults["length"],
+                "kinds": ",".join(self.defaults["kinds"]),
+                "pooling": self.defaults["pooling"].value.lower(),
+                "weight_bits": self.defaults["weight_bits"],
+                "seed": self.defaults["seed"],
+            },
+        }
+
+    def close(self) -> None:
+        """Drain the queue and stop the batcher workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.batcher.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,78 @@
+"""Thread-safe service telemetry: latency quantiles, throughput, errors.
+
+The serving layer records one sample per completed request.  Latencies
+are kept in a bounded ring (the most recent ``window`` samples) so a
+long-lived server's ``/stats`` endpoint reflects current behaviour
+rather than its whole history, while the monotonically-growing counters
+(requests, errors) and the start timestamp give lifetime throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["LatencyTracker"]
+
+
+class LatencyTracker:
+    """Rolling latency/throughput accounting for the serving layer.
+
+    Parameters
+    ----------
+    window:
+        How many of the most recent per-request latencies the quantile
+        estimates are computed over.
+    clock:
+        Injectable monotonic clock (tests pin it to fake time).
+    """
+
+    def __init__(self, window: int = 4096, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=int(window))
+        self._started = clock()
+        self._requests = 0
+        self._errors = 0
+
+    def record(self, latency_s: float) -> None:
+        """Record one successfully-served request."""
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(float(latency_s))
+
+    def record_error(self) -> None:
+        """Record one failed request."""
+        with self._lock:
+            self._requests += 1
+            self._errors += 1
+
+    def summary(self) -> dict:
+        """Snapshot: counters, lifetime throughput and latency quantiles.
+
+        Latency quantiles are ``None`` before the first served request.
+        """
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            requests = self._requests
+            errors = self._errors
+            uptime = max(self._clock() - self._started, 1e-9)
+        summary = {
+            "requests": requests,
+            "errors": errors,
+            "uptime_s": round(uptime, 3),
+            "throughput_rps": round(requests / uptime, 3),
+            "latency_ms": None,
+        }
+        if latencies.size:
+            p50, p95 = np.percentile(latencies, (50, 95))
+            summary["latency_ms"] = {
+                "p50": round(1e3 * float(p50), 3),
+                "p95": round(1e3 * float(p95), 3),
+                "mean": round(1e3 * float(latencies.mean()), 3),
+                "max": round(1e3 * float(latencies.max()), 3),
+            }
+        return summary

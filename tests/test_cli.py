@@ -27,9 +27,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "No.12" in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["table99"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "table99" in err and "invalid choice" in err
+
+    def test_list_shows_registered_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exact", "surrogate", "float", "noise"):
+            assert name in out
+        assert "serve" in out
 
 
 class TestInferCli:
@@ -49,10 +59,55 @@ class TestInferCli:
         out = capsys.readouterr().out
         assert "backend=float" in out
 
-    def test_infer_rejects_unknown_backend(self):
-        with pytest.raises(SystemExit):
+    def test_infer_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["infer", "--backend", "warp"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "unknown backend 'warp'" in err
+        assert "exact" in err  # the message lists what IS registered
 
     def test_infer_listed(self, capsys):
         assert main(["list"]) == 0
         assert "infer" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_serve_rejects_unknown_backend(self, capsys):
+        """The backend is validated before any model training starts."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--backend", "warp"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "unknown backend 'warp'" in err
+
+    def test_serve_help_documents_policy_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--max-batch", "--max-wait-ms", "--workers",
+                     "--max-engines", "--port"):
+            assert flag in out
+
+
+class TestEngineErrorPaths:
+    def test_weight_bits_alongside_plan_rejected(self, tiny_trained_lenet):
+        """Engine(plan=..., weight_bits=...) must fail loudly: the plan
+        already fixes the storage precision."""
+        from repro.core.config import NetworkConfig, PoolKind
+        from repro.engine import Engine, compile_plan
+
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 32,
+                                       ("APC", "APC", "APC"))
+        plan = compile_plan(tiny_trained_lenet, cfg, weight_bits=7)
+        with pytest.raises(ValueError, match="weight_bits cannot be "
+                                             "combined"):
+            Engine(plan=plan, weight_bits=7)
+        # and without weight_bits the same plan is accepted
+        assert Engine(plan=plan, backend="float") is not None
+
+    def test_engine_requires_model_or_plan(self):
+        from repro.engine import Engine
+        with pytest.raises(ValueError, match="either"):
+            Engine()

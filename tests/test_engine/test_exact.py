@@ -137,3 +137,64 @@ class TestExactValidation:
     def test_single_2d_image_accepted(self, engine, images):
         out = engine.forward(images[0].reshape(28, 28))
         assert out.shape == (1, 10)
+
+
+class TestForwardIndependent:
+    """The serving contract: per-request stream state inside one batch."""
+
+    @pytest.mark.parametrize("pooling,kinds,sng", [
+        (PoolKind.MAX, ("APC", "APC", "APC"), "ideal"),
+        (PoolKind.AVG, ("MUX", "APC", "APC"), "ideal"),
+        (PoolKind.MAX, ("APC", "APC", "APC"), "lfsr"),
+    ])
+    def test_rows_match_fresh_single_request_engines(
+            self, tiny_trained_lenet, images, pooling, kinds, sng):
+        cfg = NetworkConfig.from_kinds(pooling, 64, kinds)
+        shared = Engine(tiny_trained_lenet, cfg, backend="exact", seed=11,
+                        sng=sng)
+        batched = shared.backend.forward_independent(
+            images.reshape(len(images), -1)[:3])
+        fresh = np.stack([
+            Engine(tiny_trained_lenet, cfg, backend="exact", seed=11,
+                   sng=sng).forward(img[None])[0]
+            for img in images.reshape(len(images), -1)[:3]
+        ])
+        np.testing.assert_array_equal(batched, fresh)
+
+    def test_does_not_perturb_stateful_forward(self, tiny_trained_lenet,
+                                               images):
+        """Interleaving forward_independent calls leaves the engine's own
+        stream sequence untouched."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        plain = Engine(tiny_trained_lenet, cfg, backend="exact",
+                       seed=7).forward(images)
+        interleaved = Engine(tiny_trained_lenet, cfg, backend="exact",
+                             seed=7)
+        interleaved.backend.forward_independent(
+            images.reshape(len(images), -1)[:2])
+        np.testing.assert_array_equal(plain, interleaved.forward(images))
+
+    def test_repeated_calls_are_identical(self, tiny_trained_lenet,
+                                          images):
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        backend = Engine(tiny_trained_lenet, cfg, backend="exact",
+                         seed=3).backend
+        flat = images.reshape(len(images), -1)[:3]
+        np.testing.assert_array_equal(backend.forward_independent(flat),
+                                      backend.forward_independent(flat))
+
+    def test_batch_composition_is_invisible(self, tiny_trained_lenet,
+                                            images):
+        """A request's row does not depend on its batch-mates."""
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
+                                       ("APC", "APC", "APC"))
+        backend = Engine(tiny_trained_lenet, cfg, backend="exact",
+                         seed=5).backend
+        flat = images.reshape(len(images), -1)
+        whole = backend.forward_independent(flat[:4])
+        np.testing.assert_array_equal(
+            whole[2], backend.forward_independent(flat[2:3])[0])
+        np.testing.assert_array_equal(
+            whole[1:3], backend.forward_independent(flat[1:3]))

@@ -150,3 +150,60 @@ class TestNormalizeWeightBits:
     def test_rejects_bad_tuple(self):
         with pytest.raises(ValueError, match="weight_bits"):
             normalize_weight_bits((7, 7))
+
+
+class TestCachedThreadSafety:
+    def test_concurrent_cached_calls_invoke_factory_once(
+            self, tiny_trained_lenet):
+        """Workers sharing a plan must not race the memoized artifacts."""
+        import threading
+        import time
+
+        from repro.core.config import NetworkConfig, PoolKind
+
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 32,
+                                       ("APC", "APC", "APC"))
+        plan = compile_plan(tiny_trained_lenet, cfg)
+        calls = []
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def slow_factory():
+            calls.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return object()
+
+        def hit(i):
+            barrier.wait()
+            results[i] = plan.cached("artifact", slow_factory)
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_reentrant_factory_does_not_deadlock(self, tiny_trained_lenet):
+        from repro.core.config import NetworkConfig, PoolKind
+
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 32,
+                                       ("APC", "APC", "APC"))
+        plan = compile_plan(tiny_trained_lenet, cfg)
+        value = plan.cached("outer",
+                            lambda: plan.cached("inner", lambda: 41) + 1)
+        assert value == 42
+
+    def test_with_length_starts_fresh_derived_store(
+            self, tiny_trained_lenet):
+        """Re-targeted plans share weights but never derived artifacts."""
+        from repro.core.config import NetworkConfig, PoolKind
+
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 32,
+                                       ("APC", "APC", "APC"))
+        plan = compile_plan(tiny_trained_lenet, cfg)
+        plan.cached("artifact", lambda: "at-32")
+        retargeted = plan.with_length(64)
+        assert retargeted.cached("artifact", lambda: "at-64") == "at-64"

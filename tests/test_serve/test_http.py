@@ -1,0 +1,148 @@
+"""HTTP round-trip tests: /predict, /healthz, /stats, error statuses.
+
+A real ``ThreadingHTTPServer`` on an ephemeral port, driven with
+``urllib`` — the same path a curl user takes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.synthetic_mnist import to_bipolar
+from repro.serve import InferenceService, create_server
+
+LENGTH = 32
+
+
+def _call(base, path, payload=None):
+    """GET (payload None) or POST JSON; returns (status, decoded body)."""
+    data = None if payload is None else json.dumps(payload).encode("utf8")
+    request = urllib.request.Request(
+        base + path, data=data, method="GET" if data is None else "POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="module")
+def http_service(tiny_trained_lenet):
+    service = InferenceService(tiny_trained_lenet, backend="exact",
+                               length=LENGTH, max_batch=8, max_wait_ms=10,
+                               warm=False)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def images(small_dataset):
+    _, _, x_test, _ = small_dataset
+    return to_bipolar(x_test)[:4].reshape(4, -1)
+
+
+class TestPredict:
+    def test_single_image_roundtrip(self, http_service, images):
+        base, service = http_service
+        status, reply = _call(base, "/predict",
+                              {"image": images[0].tolist()})
+        assert status == 200
+        assert reply["prediction"] == service.predict_one(images[0])
+        assert reply["backend"] == "exact"
+        assert reply["latency_ms"] > 0
+
+    def test_nested_28x28_accepted(self, http_service, images):
+        base, service = http_service
+        nested = images[1].reshape(28, 28).tolist()
+        status, reply = _call(base, "/predict", {"image": nested})
+        assert status == 200
+        assert reply["prediction"] == service.predict_one(images[1])
+
+    def test_batch_roundtrip(self, http_service, images):
+        base, service = http_service
+        status, reply = _call(
+            base, "/predict", {"images": [img.tolist() for img in images]})
+        assert status == 200
+        assert reply["predictions"] == \
+            [service.predict_one(img) for img in images]
+
+    def test_backend_and_seed_overrides(self, http_service, images):
+        base, service = http_service
+        status, reply = _call(base, "/predict",
+                              {"image": images[0].tolist(),
+                               "backend": "float", "seed": 5})
+        assert status == 200
+        assert reply["backend"] == "float"
+        assert reply["prediction"] == service.predict_one(
+            images[0], backend="float", seed=5)
+
+
+class TestErrors:
+    def test_unknown_backend_400(self, http_service, images):
+        base, _ = http_service
+        status, reply = _call(base, "/predict",
+                              {"image": images[0].tolist(),
+                               "backend": "warp"})
+        assert status == 400
+        assert "unknown backend" in reply["error"]
+
+    def test_missing_body_400(self, http_service):
+        base, _ = http_service
+        status, reply = _call(base, "/predict", {})
+        assert status == 400
+        assert "image" in reply["error"]
+
+    def test_image_and_images_together_400(self, http_service, images):
+        base, _ = http_service
+        status, reply = _call(base, "/predict",
+                              {"image": images[0].tolist(),
+                               "images": [images[1].tolist()]})
+        assert status == 400
+        assert "exactly one" in reply["error"]
+
+    def test_wrong_shape_400(self, http_service):
+        base, _ = http_service
+        status, reply = _call(base, "/predict", {"image": [0.0] * 100})
+        assert status == 400
+        assert "784" in reply["error"]
+
+    def test_unknown_field_400(self, http_service, images):
+        base, _ = http_service
+        status, reply = _call(base, "/predict",
+                              {"image": images[0].tolist(), "turbo": True})
+        assert status == 400
+        assert "unknown request fields" in reply["error"]
+
+    def test_unknown_path_404(self, http_service):
+        base, _ = http_service
+        assert _call(base, "/nope")[0] == 404
+        assert _call(base, "/nope", {"x": 1})[0] == 404
+
+
+class TestTelemetry:
+    def test_healthz(self, http_service):
+        base, _ = http_service
+        status, reply = _call(base, "/healthz")
+        assert status == 200
+        assert reply["status"] == "ok"
+        assert reply["requests"] >= 0
+
+    def test_stats_exposes_batching_telemetry(self, http_service, images):
+        base, _ = http_service
+        _call(base, "/predict", {"image": images[0].tolist()})
+        status, stats = _call(base, "/stats")
+        assert status == 200
+        assert stats["service"]["latency_ms"]["p95"] > 0
+        assert "batch_size_histogram" in stats["batcher"]
+        assert stats["pool"]["hit_rate"] is not None
+        assert stats["defaults"]["length"] == LENGTH
