@@ -147,6 +147,10 @@ EXPERIMENTS = {
 def _add_model_args(parser: argparse.ArgumentParser,
                     default_length: int) -> None:
     """Flags shared by ``infer`` and ``serve`` (design point + model)."""
+    from repro.nn.zoo import zoo_names
+    parser.add_argument("--model", default="lenet5", choices=zoo_names(),
+                        help="zoo architecture to train and run "
+                             "(default: lenet5)")
     parser.add_argument("--backend", default="exact",
                         help="engine backend (default: exact; see "
                              "'python -m repro list' for registered names)")
@@ -155,8 +159,10 @@ def _add_model_args(parser: argparse.ArgumentParser,
                              f"(default: {default_length})")
     parser.add_argument("--pooling", default="max", choices=("max", "avg"),
                         help="network-wide pooling (default: max)")
-    parser.add_argument("--kinds", default="APC,APC,APC",
-                        help="layer FEB kinds, e.g. MUX,APC,APC")
+    parser.add_argument("--kinds", default=None,
+                        help="layer FEB kinds, e.g. MUX,APC,APC (one per "
+                             "hidden layer; default: all APC at the "
+                             "model's depth)")
     parser.add_argument("--weight-bits", type=int, default=None,
                         help="weight storage precision (default: float)")
     parser.add_argument("--seed", type=int, default=0)
@@ -177,19 +183,37 @@ def _check_backend(parser: argparse.ArgumentParser, name: str) -> None:
 
 
 def _quick_model(train: int, epochs: int, n_test: int,
-                 pooling: str = "max"):
-    """Briefly-trained LeNet-5 + bipolar test split for CLI entry points."""
+                 pooling: str = "max", model_name: str = "lenet5"):
+    """A briefly-trained zoo model + bipolar test split for CLI entry
+    points."""
     from repro.data.synthetic_mnist import generate_dataset, to_bipolar
-    from repro.nn.lenet import build_lenet5
     from repro.nn.trainer import Trainer
+    from repro.nn.zoo import build_zoo_model, get_spec
 
-    print(f"training quick LeNet-5 ({train} images, {epochs} epochs)...")
+    print(f"training quick {model_name} ({train} images, "
+          f"{epochs} epochs)...")
     x_train, y_train, x_test, y_test = generate_dataset(
         n_train=train, n_test=n_test, seed=123)
-    model = build_lenet5(pooling, seed=0)
-    Trainer(model, lr=0.06, batch_size=64, seed=0).fit(
+    model = build_zoo_model(model_name, pooling, seed=0)
+    Trainer(model, lr=get_spec(model_name).lr, batch_size=64, seed=0).fit(
         to_bipolar(x_train), y_train, epochs=epochs)
     return model, to_bipolar(x_test), y_test
+
+
+def _resolve_kinds_arg(parser: argparse.ArgumentParser, kinds: str,
+                       model_name: str) -> tuple:
+    """Parse and validate ``--kinds`` (``None`` = all-APC at the model's
+    depth).  Bad values and depth mismatches exit cleanly *before* any
+    training runs, through the same validator the serving layer uses."""
+    from repro.core.config import resolve_kinds
+    from repro.nn.zoo import default_kinds, get_spec
+    if kinds is None:
+        return default_kinds(model_name)
+    try:
+        return resolve_kinds(
+            kinds, n_layers=get_spec(model_name).hidden_layers)
+    except ValueError as exc:
+        parser.error(f"--kinds for model {model_name!r}: {exc}")
 
 
 def _infer_parser() -> argparse.ArgumentParser:
@@ -212,25 +236,26 @@ def _infer(argv) -> int:
     args = parser.parse_args(argv)
     import numpy as np
 
-    from repro.core.config import NetworkConfig, PoolKind
+    from repro.core.config import NetworkConfig, resolve_pooling
 
     _check_backend(parser, args.backend)
     from repro.engine import Engine
 
     n_images = args.images if args.images is not None else args.batch
-    kinds = tuple(k.strip().upper() for k in args.kinds.split(","))
-    pooling = PoolKind.MAX if args.pooling == "max" else PoolKind.AVG
-    config = NetworkConfig.from_kinds(pooling, args.length, kinds,
-                                      name="infer")
+    kinds = _resolve_kinds_arg(parser, args.kinds, args.model)
+    config = NetworkConfig.from_kinds(resolve_pooling(args.pooling),
+                                      args.length, kinds, name="infer")
 
     model, x_test, y_test = _quick_model(args.train, args.epochs,
                                          n_test=max(n_images, 16),
-                                         pooling=args.pooling)
+                                         pooling=args.pooling,
+                                         model_name=args.model)
     engine = Engine(model, config, backend=args.backend, seed=args.seed,
                     weight_bits=args.weight_bits)
     images = x_test[:n_images]
     labels = y_test[:n_images]
-    print(f"backend={args.backend} config={config.describe()} "
+    print(f"model={args.model} backend={args.backend} "
+          f"config={config.describe()} "
           f"batch={args.batch} images={n_images}")
     start = time.perf_counter()
     preds = engine.predict(images, batch_size=args.batch)
@@ -282,16 +307,20 @@ def _serve(argv) -> int:
     _check_backend(parser, args.backend)
     from repro.serve import InferenceService, run_server
 
+    kinds = _resolve_kinds_arg(parser, args.kinds, args.model)
     model, _, _ = _quick_model(args.train, args.epochs, n_test=16,
-                               pooling=args.pooling)
+                               pooling=args.pooling,
+                               model_name=args.model)
     service = InferenceService(
-        model, backend=args.backend, length=args.length, kinds=args.kinds,
+        {args.model: model}, backend=args.backend, length=args.length,
+        kinds=kinds,
         pooling=args.pooling, weight_bits=args.weight_bits, seed=args.seed,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         workers=args.workers, max_queue=args.max_queue,
         max_engines=args.max_engines, warm=not args.no_warm)
-    print(f"service ready: backend={args.backend} L={args.length} "
-          f"kinds={args.kinds} max_batch={args.max_batch} "
+    print(f"service ready: model={args.model} backend={args.backend} "
+          f"L={args.length} kinds={','.join(kinds)} "
+          f"max_batch={args.max_batch} "
           f"max_wait_ms={args.max_wait_ms}")
     run_server(service, host=args.host, port=args.port,
                verbose=args.verbose)
@@ -325,8 +354,12 @@ def main(argv=None) -> int:
             [a for a in argv if a not in ("--", args.experiment)])
     if args.experiment == "list":
         from repro.engine import list_backends
+        from repro.nn.zoo import ZOO, zoo_names
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("registered backends:  ", ", ".join(list_backends()))
+        print("model zoo:")
+        for name in zoo_names():
+            print(f"  {name:10s} {ZOO[name].description}")
         print("engine inference:      python -m repro infer --help")
         print("inference service:     python -m repro serve --help")
         print("full suite: pytest benchmarks/ --benchmark-only")

@@ -1,11 +1,15 @@
 """Declarative SC-DCNN configurations (Table 6).
 
-A LeNet-5 SC-DCNN design is described by: the network-wide pooling
-strategy (max or average), the bit-stream length ``L``, and the inner
-product block kind (MUX or APC) of each of the three weight layers —
-Layer 0 (conv1+pool1), Layer 1 (conv2+pool2) and Layer 2 (the 500-unit
-fully-connected layer).  The output layer is always APC-based (a MUX
-inner product over 500 inputs would scale its output by 1/500).
+An SC-DCNN design is described by: the network-wide pooling strategy
+(max or average), the bit-stream length ``L``, and the inner product
+block kind (MUX or APC) of each *hidden* weight layer.  The output layer
+is always APC-based (a MUX inner product over hundreds of inputs would
+scale its output into the noise floor).  For the paper's LeNet-5 that
+means three layer configs — Layer 0 (conv1+pool1), Layer 1 (conv2+pool2)
+and Layer 2 (the 500-unit fully-connected layer) — but a configuration
+may carry any depth: the engine validates the count against the model it
+lowers (see :func:`repro.engine.graph.build_graph` and
+:mod:`repro.nn.zoo`).
 
 ``TABLE6_CONFIGS`` reproduces the twelve configurations of Table 6,
 together with the paper's reported numbers so harnesses can print
@@ -26,6 +30,8 @@ __all__ = [
     "NetworkConfig",
     "PaperRow",
     "TABLE6_CONFIGS",
+    "resolve_pooling",
+    "resolve_kinds",
 ]
 
 
@@ -83,7 +89,9 @@ class NetworkConfig:
     length:
         Bit-stream length ``L``.
     layers:
-        Layer configurations for Layer 0, Layer 1, Layer 2.
+        Layer configurations for the hidden weight layers (``Layer0`` …;
+        three entries for the paper's LeNet-5, any depth for zoo
+        models — the output layer is always APC and carries no config).
     name:
         Optional label (e.g. ``"No.11"``).
     """
@@ -95,10 +103,10 @@ class NetworkConfig:
 
     def __post_init__(self):
         check_stream_length(self.length)
-        if len(self.layers) != 3:
+        if not self.layers:
             raise ValueError(
-                f"expected 3 layer configs (Layer0..Layer2), got "
-                f"{len(self.layers)}"
+                "expected at least 1 layer config (one per hidden weight "
+                "layer), got 0"
             )
         for layer in self.layers:
             if not isinstance(layer, LayerConfig):
@@ -116,6 +124,41 @@ class NetworkConfig:
         kinds = "-".join(layer.ip_kind.value for layer in self.layers)
         label = f"{self.name} " if self.name else ""
         return f"{label}{self.pooling.value}/{self.length} {kinds}"
+
+
+def resolve_pooling(pooling) -> PoolKind:
+    """Parse a pooling spec (``"max"``/``"avg"`` or a PoolKind).
+
+    The shared parser for user-facing spec strings (the CLI and the
+    serving layer's request fields).
+    """
+    if isinstance(pooling, PoolKind):
+        return pooling
+    try:
+        return {"max": PoolKind.MAX, "avg": PoolKind.AVG,
+                "average": PoolKind.AVG}[str(pooling).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown pooling {pooling!r}; use 'max' or 'avg'") from None
+
+
+def resolve_kinds(kinds, n_layers: int = None) -> tuple:
+    """Parse a FEB-kind spec (``"APC,APC,APC"`` or a sequence).
+
+    ``n_layers`` pins the expected hidden-layer count (the served
+    model's depth); ``None`` accepts any non-empty assignment.
+    """
+    if isinstance(kinds, str):
+        kinds = [k.strip() for k in kinds.split(",")]
+    kinds = tuple(str(k).upper() for k in kinds)
+    if not kinds or not all(k in ("MUX", "APC") for k in kinds):
+        raise ValueError(
+            f"kinds must be MUX/APC entries, got {kinds!r}")
+    if n_layers is not None and len(kinds) != n_layers:
+        raise ValueError(
+            f"kinds carries {len(kinds)} entries but the model has "
+            f"{n_layers} hidden weight layers")
+    return kinds
 
 
 @dataclasses.dataclass(frozen=True)

@@ -16,8 +16,9 @@ import itertools
 
 from repro.core.config import FEBKind, LayerConfig, NetworkConfig, PoolKind
 from repro.engine.engine import Engine
+from repro.engine.graph import build_graph
 from repro.engine.plan import compile_plan
-from repro.hw.network_cost import NetworkCost, lenet_network_cost
+from repro.hw.network_cost import NetworkCost, graph_network_cost
 
 __all__ = ["DesignPoint", "HolisticOptimizer"]
 
@@ -59,8 +60,10 @@ class HolisticOptimizer:
         Evaluation seed.
     restrict_layer2_to_apc:
         A MUX inner product over 800 inputs scales its output by 1/800 —
-        hopeless; the paper's Table 6 always uses APC at Layer 2.  Set
-        False to let the accuracy filter demonstrate that itself.
+        hopeless; the paper's Table 6 always uses APC at Layer 2.  For
+        any model the restriction pins the *last hidden* layer (the
+        wide pre-logit stage) to APC.  Set False to let the accuracy
+        filter demonstrate that itself.
     evaluator:
         ``"noise"`` (default) — the paper's methodology: measured block
         inaccuracy injected as zero-mean noise
@@ -89,12 +92,19 @@ class HolisticOptimizer:
         self.weight_bits = weight_bits if weight_bits is not None else 8
         self.evaluator = evaluator
 
+    @property
+    def _hidden_layers(self) -> int:
+        """Configurable FEB layers of the trained model (ex output)."""
+        from repro.nn.zoo import hidden_layer_count
+        return hidden_layer_count(self.trained.model)
+
     def _candidate_kind_combos(self):
         kinds = (FEBKind.MUX, FEBKind.APC)
-        layer2_choices = ((FEBKind.APC,) if self.restrict_layer2_to_apc
-                          else kinds)
-        return [combo for combo in itertools.product(kinds, kinds,
-                                                     layer2_choices)]
+        hidden = self._hidden_layers
+        last_choices = ((FEBKind.APC,) if self.restrict_layer2_to_apc
+                        else kinds)
+        return [combo for combo in itertools.product(
+            *([kinds] * (hidden - 1) + [last_choices]))]
 
     #: engine backend per evaluator methodology.
     _BACKENDS = {"noise": "noise", "surrogate": "surrogate"}
@@ -121,11 +131,13 @@ class HolisticOptimizer:
         # 256-image chunks: the legacy evaluator classes' batching, kept
         # so sampled-noise draws reproduce pre-engine results exactly.
         error = engine.error_rate(x, y, batch_size=256)
+        graph = (plan.graph if plan is not None
+                 else build_graph(self.trained.model, config))
         return DesignPoint(
             config=config,
             error_pct=error,
             degradation_pct=error - self.trained.software_error_pct,
-            cost=lenet_network_cost(config, weight_bits=self.weight_bits),
+            cost=graph_network_cost(graph, weight_bits=self.weight_bits),
         )
 
     def run(self, max_length: int = MAX_STREAM_LENGTH,

@@ -16,6 +16,7 @@ from repro.data.cache import (
     cache_dir,
     get_dataset,
     get_trained_lenet,
+    get_trained_model,
     TrainedModel,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "cache_dir",
     "get_dataset",
     "get_trained_lenet",
+    "get_trained_model",
     "TrainedModel",
 ]

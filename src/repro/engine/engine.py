@@ -1,6 +1,6 @@
 """The unified inference engine: one dispatch point, pluggable backends.
 
-``Engine`` ties the subsystem together: it lowers a trained LeNet-5 and a
+``Engine`` ties the subsystem together: it lowers a trained model and a
 :class:`repro.core.config.NetworkConfig` into the layer-graph IR,
 compiles (or reuses) an immutable per-layer plan, instantiates the
 requested backend, and exposes batched ``forward`` / ``predict`` /
@@ -31,27 +31,34 @@ from repro.engine.plan import CompiledPlan, compile_plan
 
 __all__ = ["Engine", "as_image_batch"]
 
-IMAGE_PIXELS = 28 * 28
 
+def as_image_batch(images: np.ndarray, bipolar: bool = False,
+                   shape: tuple = (1, 28, 28)) -> np.ndarray:
+    """Normalize input to a float64 ``(B, pixels)`` batch.
 
-def as_image_batch(images: np.ndarray, bipolar: bool = False) -> np.ndarray:
-    """Normalize input to a float64 ``(B, 784)`` batch.
-
-    Accepts a flat 784-vector, a single ``(28, 28)`` image, or a batch
-    of either.  With ``bipolar=True`` values are additionally required
-    to lie in the bipolar range [-1, 1] (the bit-level backends and the
-    serving layer enforce this; the float-domain executors tolerate
-    out-of-range pre-activations).  The single normalization point for
-    the engine front-end, the exact backend and ``repro.serve``.
+    Accepts a flat pixel vector, a single 2-D image matching the
+    ``shape`` geometry, or a batch of either.  With ``bipolar=True``
+    values are additionally required to lie in the bipolar range [-1, 1]
+    (the bit-level backends and the serving layer enforce this; the
+    float-domain executors tolerate out-of-range pre-activations).  The
+    single normalization point for the engine front-end, the exact
+    backend and ``repro.serve``; ``shape`` is the target model's
+    ``(channels, height, width)`` input geometry, defaulting to the
+    1×28×28 synthetic-MNIST images every zoo model consumes.  A 2-D
+    input is treated as a single image only when its shape *is* the
+    spatial geometry — any other 2-D shape is validated as a batch, so
+    a wrongly-sized batch fails instead of being silently reinterpreted.
     """
+    channels, h, w = (int(s) for s in shape)
+    pixels = channels * h * w
     images = np.asarray(images, dtype=np.float64)
-    if images.ndim <= 1 or images.shape == (28, 28):
+    if images.ndim <= 1 or (channels == 1 and images.shape == (h, w)):
         flat = images.reshape(1, -1)
     else:
         flat = images.reshape(images.shape[0], -1)
-    if flat.shape[-1] != IMAGE_PIXELS:
+    if flat.shape[-1] != pixels:
         raise ValueError(
-            f"expected 28×28 images (784 pixels), got input of shape "
+            f"expected {pixels}-pixel images, got input of shape "
             f"{images.shape}")
     if bipolar and flat.size and np.max(np.abs(flat)) > 1.0:
         raise ValueError("image values must lie in [-1, 1] "
@@ -65,8 +72,9 @@ class Engine:
     Parameters
     ----------
     model:
-        The trained :class:`repro.nn.module.Sequential` LeNet-5 (ignored
-        when ``plan`` is given).
+        The trained :class:`repro.nn.module.Sequential` — any
+        conv/pool/dense stack the graph builder can lower (see
+        :mod:`repro.nn.zoo`); ignored when ``plan`` is given.
     config:
         The SC design point (ignored when ``plan`` is given).
     backend:
@@ -114,10 +122,9 @@ class Engine:
         self.serial_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _as_batch(images: np.ndarray) -> np.ndarray:
-        """Normalize input to a float64 ``(B, 784)`` batch."""
-        return as_image_batch(images)
+    def _as_batch(self, images: np.ndarray) -> np.ndarray:
+        """Normalize input to a float64 ``(B, pixels)`` batch."""
+        return as_image_batch(images, shape=self.plan.input_shape)
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Per-image logits ``(B, 10)`` (argmax-compatible across backends)."""

@@ -117,23 +117,34 @@ class ExactBackend:
     # batching
     # ------------------------------------------------------------------
     def _max_batch(self) -> int:
-        """How many images fit the count-tensor budget at once."""
+        """How many images fit the count-tensor budget at once.
+
+        Conv stages dominate whenever they exist (their count tensors
+        carry a per-position axis); the dense estimate is what keeps
+        conv-free stacks (the zoo's ``mlp``) memory-bounded too instead
+        of running any request in one unbounded chunk.
+        """
         per_image = 0
         for lp in self.plan.layers:
-            if lp.op != "conv":
-                continue
-            positions = lp.pool_windows.size  # W·4 conv outputs
             width = (lp.n_inputs + 7) // 8
             width += (-width) % 4
-            # counts + windowed copy (int16 each) + transposed input bank
-            per_image = max(per_image,
-                            lp.units * positions * self.length * 2 * 2
-                            + positions * self.length * width)
+            if lp.op == "conv":
+                _, _, (conv_h, conv_w) = lp.geometry
+                positions = conv_h * conv_w
+                # counts + windowed copy (int16 each) + transposed bank
+                per_image = max(per_image,
+                                lp.units * positions * self.length * 2 * 2
+                                + positions * self.length * width)
+            else:
+                # counts (int16) + transposed input bank, one row/image
+                per_image = max(per_image,
+                                lp.units * self.length * 2
+                                + self.length * width)
         return max(1, self.batch_budget // max(per_image, 1))
 
-    @staticmethod
-    def _validated(images: np.ndarray) -> np.ndarray:
-        return as_image_batch(images, bipolar=True)
+    def _validated(self, images: np.ndarray) -> np.ndarray:
+        return as_image_batch(images, bipolar=True,
+                              shape=self.plan.input_shape)
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Simulate a batch; returns ``(B, 10)`` decoded logits.
@@ -199,7 +210,7 @@ class ExactBackend:
                     continue
                 per["ip", i] = factory.select_signal(lp.n_inputs,
                                                      self.length)
-                if lp.op == "conv" and avg:
+                if lp.op == "conv" and lp.pooled and avg:
                     per["pool", i] = factory.select_signal(
                         4, self.length)
             draws.append(per)
@@ -299,7 +310,7 @@ class ExactBackend:
         return self._run_layers(x, selects)
 
     def _run_layers(self, x: np.ndarray, selects) -> np.ndarray:
-        """Execute the layer pipeline on an encoded ``(B, 784, nb)`` bank."""
+        """Execute the layer pipeline on an encoded ``(B, pixels, nb)`` bank."""
         for i, lp in enumerate(self.plan.layers):
             if lp.op == "conv":
                 x = self._conv_layer(i, lp, x, selects)
@@ -308,10 +319,12 @@ class ExactBackend:
         return x
 
     def _conv_layer(self, i, lp, x, selects):
-        """One conv+pool+activation stage on packed ``(B, S, nb)`` input.
+        """One conv(+pool)+activation stage on packed ``(B, S, nb)`` input.
 
         Returns the pooled/activated output streams ``(B, C·W, nb)`` in
-        channel-major row-major order per image.
+        channel-major row-major order per image (``W`` is the pooled
+        window count, or the full conv-position count for an unpooled
+        stage).
         """
         B = x.shape[0]
         L = self.length
@@ -327,13 +340,16 @@ class ExactBackend:
             counts = self._apc_counts(
                 i, patch.reshape(B * P, lp.n_inputs, patch.shape[-1]))
             counts = counts.reshape(lp.units, B, P, L)
-            grouped = counts[:, :, windows, :]          # (C, B, W, 4, L)
-            del counts
-            if avg:
-                pooled = apc_average_pool(grouped)
+            if lp.pooled:
+                grouped = counts[:, :, windows, :]      # (C, B, W, 4, L)
+                del counts
+                if avg:
+                    pooled = apc_average_pool(grouped)
+                else:
+                    pooled = apc_max_pool(grouped, self.segment)
+                del grouped
             else:
-                pooled = apc_max_pool(grouped, self.segment)
-            del grouped
+                pooled = counts                         # (C, B, P, L)
             out_bits = activation.btanh_counts(pooled, lp.n_inputs,
                                                lp.n_states)
             out = ops.pack_bits(out_bits)               # (C, B, W, nb)
@@ -342,19 +358,25 @@ class ExactBackend:
             for b in range(B):
                 ips[:, b] = self._mux_ip_streams(patch[b], w,
                                                  selects[b]["ip", i])
-            grouped = ips[:, :, windows, :]             # (C, B, W, 4, nb)
-            del ips
-            if avg:
-                pooled = np.empty(grouped.shape[:3] + grouped.shape[4:],
-                                  dtype=np.uint8)
-                for b in range(B):
-                    pooled[:, b] = average_pool(grouped[:, b],
-                                                selects[b]["pool", i], L)
-                threshold = None
+            if lp.pooled:
+                grouped = ips[:, :, windows, :]         # (C, B, W, 4, nb)
+                del ips
+                if avg:
+                    pooled = np.empty(grouped.shape[:3] + grouped.shape[4:],
+                                      dtype=np.uint8)
+                    for b in range(B):
+                        pooled[:, b] = average_pool(grouped[:, b],
+                                                    selects[b]["pool", i], L)
+                    threshold = None
+                else:
+                    pooled = hardware_max_pool(grouped, L, self.segment)
+                    threshold = max(int(round(lp.n_states / 5.0)), 1)
+                del grouped
             else:
-                pooled = hardware_max_pool(grouped, L, self.segment)
-                threshold = max(int(round(lp.n_states / 5.0)), 1)
-            del grouped
+                # No pooling block: the Stanh consumes the inner-product
+                # stream directly (the FC-stage wiring, kept per position).
+                pooled = ips
+                threshold = None
             out = activation.stanh_packed(pooled, L, lp.n_states,
                                           threshold=threshold)
         return np.ascontiguousarray(out.transpose(1, 0, 2, 3)).reshape(

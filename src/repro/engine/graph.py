@@ -1,17 +1,22 @@
 """Layer-graph IR: the backend-agnostic description of an SC-DCNN.
 
 The engine's intermediate representation is deliberately small: a trained
-LeNet-5 plus a :class:`repro.core.config.NetworkConfig` lower into a
-linear graph of :class:`LayerNode` records — one per weight layer — each
-carrying the layer's *structure* (operation, inner-product block kind,
+sequential conv/pool/dense model plus a
+:class:`repro.core.config.NetworkConfig` lower into a linear graph of
+:class:`LayerNode` records — one per weight layer — each carrying the
+layer's *structure* (operation, inner-product block kind,
 receptive-field geometry, whether a pooling block follows) and references
 to the raw trained parameters.  Nothing here is backend-specific: the
 same graph compiles into plans executed by the exact bit-level backend,
 the calibrated surrogate and the float reference.
 
-The graph is the single place the "three disjoint evaluators" of the
-pre-engine code base each re-derived independently; see DESIGN.md,
-"Layer-graph engine".
+Lowering is **topology-driven**: :func:`build_graph` walks the model's
+layer list in order, infers every intermediate shape (conv output grids,
+pooled grids, flattened feature counts) from the input geometry, and
+validates the stack as it goes — any conv/pool/dense sequence that is
+structurally sound lowers, not just the paper's LeNet-5.  See
+:mod:`repro.nn.zoo` for the stock architectures and DESIGN.md,
+"Model zoo and generalized lowering".
 """
 
 from __future__ import annotations
@@ -21,13 +26,19 @@ import dataclasses
 import numpy as np
 
 from repro.core.config import FEBKind, NetworkConfig
+from repro.nn.activations import Tanh
 from repro.nn.conv import Conv2D
 from repro.nn.dense import Dense
+from repro.nn.module import Flatten
+from repro.nn.pool import AvgPool2D, MaxPool2D
+from repro.nn.zoo import DEFAULT_INPUT_HW, input_geometry
 
 __all__ = ["LayerNode", "LayerGraph", "build_graph", "INPUT_HW"]
 
-INPUT_HW = (28, 28)
-"""Input image geometry the paper's LeNet-5 consumes."""
+INPUT_HW = DEFAULT_INPUT_HW
+"""Default input image geometry (the synthetic-MNIST data the zoo
+models train on); override per model via ``model.input_hw`` or the
+``input_hw`` argument of :func:`build_graph`."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,7 +48,7 @@ class LayerNode:
     Attributes
     ----------
     name:
-        The paper's layer label (``Layer0`` .. ``Output``).
+        The layer label (``Layer0`` .. ``Output``).
     op:
         ``"conv"`` or ``"dense"``.
     kind:
@@ -57,6 +68,8 @@ class LayerNode:
     weight, bias:
         References to the trained float parameters (not copied — the
         graph is a view onto the model).
+    kernel:
+        Convolution kernel size (0 for dense nodes).
     """
 
     name: str
@@ -69,6 +82,7 @@ class LayerNode:
     geometry: tuple
     weight: np.ndarray = dataclasses.field(repr=False)
     bias: np.ndarray = dataclasses.field(repr=False)
+    kernel: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,12 +91,19 @@ class LayerGraph:
 
     nodes: tuple
     config: NetworkConfig
+    input_shape: tuple = (1,) + INPUT_HW
 
     def __len__(self) -> int:
         return len(self.nodes)
 
     def __iter__(self):
         return iter(self.nodes)
+
+    @property
+    def input_pixels(self) -> int:
+        """Flat input size (channels × height × width)."""
+        c, h, w = self.input_shape
+        return c * h * w
 
     def describe(self) -> str:
         """One line per node, for logs and doctests."""
@@ -94,41 +115,156 @@ class LayerGraph:
         )
 
 
-def build_graph(model, config: NetworkConfig) -> LayerGraph:
-    """Lower a trained LeNet-5 onto a design point's layer graph.
+def _weight_layers(model):
+    return [l for l in model.layers if isinstance(l, (Conv2D, Dense))]
 
-    ``model`` is the :class:`repro.nn.module.Sequential` from
-    :func:`repro.nn.lenet.build_lenet5`; ``config`` assigns each weight
-    layer its inner-product kind (the output layer is always APC, as in
-    Table 6).  Raises ``ValueError`` for any other architecture.
+
+def build_graph(model, config: NetworkConfig,
+                input_hw: tuple | None = None) -> LayerGraph:
+    """Lower a trained sequential model onto a design point's layer graph.
+
+    ``model`` is any :class:`repro.nn.module.Sequential` stack of
+    ``Conv2D`` / 2×2 pooling / ``Tanh`` / ``Flatten`` / ``Dense`` layers
+    ending in a ``Dense`` logit layer (see :mod:`repro.nn.zoo` for stock
+    architectures); ``config`` assigns each *hidden* weight layer its
+    inner-product kind — the output layer is always APC, as in Table 6.
+
+    ``input_hw`` sets the input image geometry; when omitted it falls
+    back to ``model.input_hw`` and finally the 28×28 default.  Shapes are
+    inferred layer by layer, and any structural problem (layer-count
+    mismatch with ``config``, feature-size mismatch at a dense layer,
+    pooling that does not follow a convolution, odd conv grids feeding a
+    2×2 pooling block, anything after the logit layer) raises
+    ``ValueError`` with an actionable message.
     """
-    convs = [l for l in model.layers if isinstance(l, Conv2D)]
-    denses = [l for l in model.layers if isinstance(l, Dense)]
-    if len(convs) != 2 or len(denses) != 2:
+    weights = _weight_layers(model)
+    if not weights:
         raise ValueError(
-            "the engine expects the paper's LeNet-5 (2 conv + 2 dense "
-            f"layers); got {len(convs)} conv, {len(denses)} dense"
-        )
+            "the model has no Conv2D or Dense layers — nothing to lower")
+    if not isinstance(weights[-1], Dense):
+        raise ValueError(
+            "the last weight layer must be a Dense logit layer; got "
+            f"{type(weights[-1]).__name__}")
+    hidden = len(weights) - 1
+    if len(config.layers) != hidden:
+        raise ValueError(
+            f"config carries {len(config.layers)} layer kinds but the "
+            f"model has {hidden} hidden weight layers (plus the "
+            "always-APC output layer); pass one LayerConfig per hidden "
+            "conv/dense layer")
+    input_shape = input_geometry(model, input_hw)
+    channels, in_h, in_w = input_shape
+    in_hw = (in_h, in_w)
+
     kinds = [layer.ip_kind for layer in config.layers] + [FEBKind.APC]
-    names = ["Layer0", "Layer1", "Layer2", "Output"]
     nodes = []
-    in_hw = INPUT_HW
-    for stage, layer in enumerate(convs):
-        conv_hw = layer.output_hw(*in_hw)
-        nodes.append(LayerNode(
-            name=names[stage], op="conv", kind=kinds[stage],
-            n_inputs=layer.fan_in + 1, units=layer.out_channels,
-            pooled=True, final=False,
-            geometry=(layer.out_channels, in_hw, conv_hw),
-            weight=layer.weight.value, bias=layer.bias.value,
-        ))
-        in_hw = (conv_hw[0] // 2, conv_hw[1] // 2)
-    for stage, layer in enumerate(denses, start=len(convs)):
-        nodes.append(LayerNode(
-            name=names[stage], op="dense", kind=kinds[stage],
-            n_inputs=layer.in_features + 1, units=layer.out_features,
-            pooled=False, final=stage == 3,
-            geometry=None,
-            weight=layer.weight.value, bias=layer.bias.value,
-        ))
-    return LayerGraph(nodes=tuple(nodes), config=config)
+    stage = 0            # index into `weights` / `kinds`
+    flat = None          # feature count once the spatial grid is gone
+    layers = list(model.layers)
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if stage == len(weights) and isinstance(layer,
+                                                (Conv2D, Dense, Flatten)):
+            # Trailing Tanh and pooling layers get their own specific
+            # messages in their branches below.
+            raise ValueError(
+                f"layer {type(layer).__name__} follows the logit layer; "
+                "the output layer must be the last computational stage")
+        if isinstance(layer, Conv2D):
+            if flat is not None:
+                raise ValueError(
+                    f"{layer_name(stage, weights)}: Conv2D after the "
+                    "activations were flattened; convolutions must "
+                    "precede every Dense layer")
+            if layer.in_channels != channels:
+                raise ValueError(
+                    f"{layer_name(stage, weights)}: expects "
+                    f"{layer.in_channels} input channels but receives "
+                    f"{channels}")
+            if in_hw[0] < layer.kernel or in_hw[1] < layer.kernel:
+                raise ValueError(
+                    f"{layer_name(stage, weights)}: {layer.kernel}×"
+                    f"{layer.kernel} kernel does not fit the "
+                    f"{in_hw[0]}×{in_hw[1]} input grid")
+            conv_hw = layer.output_hw(*in_hw)
+            pooled = False
+            j = i + 1
+            if j < len(layers) and isinstance(layers[j],
+                                              (AvgPool2D, MaxPool2D)):
+                pool = layers[j]
+                if pool.size != 2:
+                    raise ValueError(
+                        f"{layer_name(stage, weights)}: only 2×2 pooling "
+                        f"blocks exist in hardware, got size {pool.size}")
+                if conv_hw[0] % 2 or conv_hw[1] % 2:
+                    raise ValueError(
+                        f"{layer_name(stage, weights)}: conv output grid "
+                        f"{conv_hw[0]}×{conv_hw[1]} is odd and cannot "
+                        "feed a 2×2 pooling block; adjust the kernel or "
+                        "drop the pool")
+                pooled = True
+                j += 1
+            nodes.append(LayerNode(
+                name=layer_name(stage, weights), op="conv",
+                kind=kinds[stage],
+                n_inputs=layer.fan_in + 1, units=layer.out_channels,
+                pooled=pooled, final=False,
+                geometry=(layer.out_channels, in_hw, conv_hw),
+                weight=layer.weight.value, bias=layer.bias.value,
+                kernel=layer.kernel,
+            ))
+            channels = layer.out_channels
+            in_hw = ((conv_hw[0] // 2, conv_hw[1] // 2) if pooled
+                     else conv_hw)
+            stage += 1
+            i = j
+        elif isinstance(layer, Dense):
+            features = flat if flat is not None else channels * in_hw[0] * in_hw[1]
+            if layer.in_features != features:
+                raise ValueError(
+                    f"{layer_name(stage, weights)}: expects "
+                    f"{layer.in_features} input features but the previous "
+                    f"stage produces {features}")
+            final = stage == len(weights) - 1
+            nodes.append(LayerNode(
+                name=layer_name(stage, weights), op="dense",
+                kind=kinds[stage],
+                n_inputs=layer.in_features + 1, units=layer.out_features,
+                pooled=False, final=final,
+                geometry=None,
+                weight=layer.weight.value, bias=layer.bias.value,
+            ))
+            flat = layer.out_features
+            stage += 1
+            i += 1
+        elif isinstance(layer, (AvgPool2D, MaxPool2D)):
+            raise ValueError(
+                "a pooling block must immediately follow a convolution "
+                "layer (the hardware FEB is inner-product → pool → "
+                "activation); found a stray pooling layer"
+                + (" after the final layer" if stage == len(weights)
+                   else ""))
+        elif isinstance(layer, Flatten):
+            if flat is None:
+                flat = channels * in_hw[0] * in_hw[1]
+            i += 1
+        elif isinstance(layer, Tanh):
+            if stage == len(weights):
+                raise ValueError(
+                    "a Tanh follows the logit layer; the output layer "
+                    "must produce raw logits (its activation is the "
+                    "decoded APC sum)")
+            i += 1
+        else:
+            raise ValueError(
+                f"unsupported layer {type(layer).__name__}; the engine "
+                "lowers Conv2D, Dense, AvgPool2D/MaxPool2D, Tanh and "
+                "Flatten stacks")
+    return LayerGraph(nodes=tuple(nodes), config=config,
+                      input_shape=input_shape)
+
+
+def layer_name(stage: int, weights) -> str:
+    """The paper's layer labels: ``Layer0`` … then ``Output`` last."""
+    return "Output" if stage == len(weights) - 1 else f"Layer{stage}"

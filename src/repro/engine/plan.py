@@ -137,23 +137,27 @@ def conv_patch_index(channels_in: int, in_h: int, in_w: int,
     return index
 
 
-def normalize_weight_bits(weight_bits):
-    """Normalize the weight-storage precision spec to a 4-tuple.
+def normalize_weight_bits(weight_bits, n_layers: int = 4):
+    """Normalize the weight-storage precision spec to an ``n_layers``-tuple.
 
-    ``None`` keeps float weights everywhere; an int applies to all four
-    layers; a 3-tuple (the paper's per-layer w1-w3) reuses the last entry
-    for the output layer.
+    ``None`` keeps float weights everywhere; an int applies to all
+    layers; an ``(n_layers - 1)``-tuple (the paper's per-layer w1-w3 for
+    LeNet-5) reuses the last entry for the output layer.  ``n_layers``
+    is the model's total weight-layer count including the output layer
+    (4 for the paper's LeNet-5).
     """
     if weight_bits is None:
-        return (None, None, None, None)
+        return (None,) * n_layers
     if isinstance(weight_bits, int):
-        return (weight_bits,) * 4
+        return (weight_bits,) * n_layers
     # idempotent: normalized tuples (possibly holding None) pass through
     bits = tuple(None if b is None else int(b) for b in weight_bits)
-    if len(bits) == 3:
+    if len(bits) == n_layers - 1:
         return bits + (bits[-1],)
-    if len(bits) != 4:
-        raise ValueError("weight_bits must be an int, 3- or 4-tuple")
+    if len(bits) != n_layers:
+        raise ValueError(
+            f"weight_bits must be an int, {n_layers - 1}- or "
+            f"{n_layers}-tuple for this {n_layers}-layer model")
     return bits
 
 
@@ -195,13 +199,16 @@ class LayerPlan:
             raw_cache[key] = (_quantize(node.weight, bits),
                               _quantize(node.bias, bits))
         self.raw_weights, self.raw_bias = raw_cache[key]
+        self.kernel = node.kernel
         if node.op == "conv":
             channels_out, (in_h, in_w), (conv_h, conv_w) = node.geometry
-            kernel = 5
+            kernel = node.kernel
             channels_in = (node.n_inputs - 1) // (kernel * kernel)
             self.patch_index = conv_patch_index(channels_in, in_h, in_w,
                                                 kernel)
-            self.pool_windows = pool_window_indices(conv_h // 2, conv_w // 2)
+            self.pool_windows = (
+                pool_window_indices(conv_h // 2, conv_w // 2)
+                if node.pooled else None)
         else:
             self.patch_index = None
             self.pool_windows = None
@@ -240,6 +247,16 @@ class CompiledPlan:
     @property
     def length(self) -> int:
         return self.config.length
+
+    @property
+    def input_shape(self) -> tuple:
+        """Input geometry ``(channels, height, width)`` the plan consumes."""
+        return self.graph.input_shape
+
+    @property
+    def input_pixels(self) -> int:
+        """Flat input size (channels × height × width)."""
+        return self.graph.input_pixels
 
     @property
     def gain_deficits(self):
@@ -305,7 +322,7 @@ def _state_numbers(graph: LayerGraph):
 
 def _compile(graph: LayerGraph, weight_bits, raw_cache: dict
              ) -> CompiledPlan:
-    bits = normalize_weight_bits(weight_bits)
+    bits = normalize_weight_bits(weight_bits, n_layers=len(graph.nodes))
     states = _state_numbers(graph)
     layers = []
     deficit = 1.0

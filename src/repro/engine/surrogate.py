@@ -56,7 +56,13 @@ def _feb_key(kind: FEBKind, pooled: bool, pooling: PoolKind) -> str:
 
 
 class _FloatGraphExecutor:
-    """Shared conv/pool plumbing for the float-domain backends."""
+    """Shared conv/pool plumbing for the float-domain backends.
+
+    The executor is topology-driven: each backend's ``forward`` walks
+    ``plan.layers`` in order, so any graph the IR can describe (arbitrary
+    conv stacks, pooled or not, any dense depth) executes without
+    LeNet-specific wiring.
+    """
 
     def __init__(self, plan):
         self.plan = plan
@@ -64,16 +70,27 @@ class _FloatGraphExecutor:
     def _stage_weights(self, lp):  # pragma: no cover - interface
         raise NotImplementedError
 
+    def _as_nchw(self, images: np.ndarray) -> np.ndarray:
+        """Reshape a request batch to the plan's NCHW input geometry."""
+        c, h, w = self.plan.input_shape
+        return np.asarray(images, dtype=np.float64).reshape(-1, c, h, w)
+
+    @staticmethod
+    def _as_flat(x: np.ndarray) -> np.ndarray:
+        """Flatten spatial activations once the dense stages begin."""
+        return x.reshape(x.shape[0], -1) if x.ndim > 2 else x
+
     def _conv_pre(self, x: np.ndarray, lp) -> np.ndarray:
-        """conv → pool on NCHW float input; returns pooled pre-activations."""
+        """conv (→ pool) on NCHW float input; returns pre-activations."""
         w, b = self._stage_weights(lp)
         n_img = x.shape[0]
-        cols = im2col(x, 5)                       # (N, P, fan_in)
+        cols = im2col(x, lp.kernel)               # (N, P, fan_in)
         pre = cols @ w.T + b                      # (N, P, C)
-        grid = int(np.sqrt(pre.shape[1]))
-        pre = pre.transpose(0, 2, 1).reshape(n_img, -1, grid, grid)
-        out_hw = grid // 2
-        view = pre.reshape(n_img, pre.shape[1], out_hw, 2, out_hw, 2)
+        channels, _, (conv_h, conv_w) = lp.geometry
+        pre = pre.transpose(0, 2, 1).reshape(n_img, channels, conv_h, conv_w)
+        if not lp.pooled:
+            return pre
+        view = pre.reshape(n_img, channels, conv_h // 2, 2, conv_w // 2, 2)
         if self.plan.config.pooling is PoolKind.AVG:
             return view.mean(axis=(3, 5))
         return view.max(axis=(3, 5))
@@ -129,22 +146,24 @@ class SurrogateBackend(_FloatGraphExecutor):
         return lp.dense_weights, lp.dense_bias
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        """Surrogate logits for a batch of ``(N, 1, 28, 28)`` images."""
-        x = np.asarray(images, dtype=np.float64).reshape(-1, 1, 28, 28)
+        """Surrogate logits for a batch of images."""
+        x = self._as_nchw(images)
         rng = self._rng if self.noisy else None
-        layers = self.plan.layers
-        x = self.calibrations[0].apply(self._conv_pre(x, layers[0]), rng)
-        x = self.calibrations[1].apply(self._conv_pre(x, layers[1]), rng)
-        x = x.reshape(x.shape[0], -1)
-        w, b = self._stage_weights(layers[2])
-        x = self.calibrations[2].apply(x @ w.T + b, rng)
-        w, b = self._stage_weights(layers[3])
-        logits = (x @ w.T + b) / (w.shape[1] + 1)
-        if self.noisy:
-            logits = logits + self._rng.normal(
-                0.0, self.output_sigma, logits.shape
-            )
-        return logits
+        for i, lp in enumerate(self.plan.layers):
+            if lp.op == "conv":
+                x = self.calibrations[i].apply(self._conv_pre(x, lp), rng)
+                continue
+            x = self._as_flat(x)
+            w, b = self._stage_weights(lp)
+            pre = x @ w.T + b
+            if lp.final:
+                logits = pre / lp.n_inputs
+                if self.noisy:
+                    logits = logits + self._rng.normal(
+                        0.0, self.output_sigma, logits.shape
+                    )
+                return logits
+            x = self.calibrations[i].apply(pre, rng)
 
 
 @register_backend
@@ -181,23 +200,22 @@ class NoiseBackend(_FloatGraphExecutor):
         return lp.raw_weights, lp.raw_bias
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        """Noise-injected logits for a batch of ``(N, 1, 28, 28)`` images."""
-        x = np.asarray(images, dtype=np.float64).reshape(-1, 1, 28, 28)
-        layers = self.plan.layers
-        for stage in (0, 1):
-            out = np.tanh(self._conv_pre(x, layers[stage]))
-            noise = self._rng.normal(0.0, self.stage_sigmas[stage],
-                                     out.shape)
+        """Noise-injected logits for a batch of images."""
+        x = self._as_nchw(images)
+        for i, lp in enumerate(self.plan.layers):
+            if lp.op == "conv":
+                pre = self._conv_pre(x, lp)
+            else:
+                x = self._as_flat(x)
+                w, b = self._stage_weights(lp)
+                pre = x @ w.T + b
+                if lp.final:
+                    logits = pre / lp.n_inputs
+                    return logits + self._rng.normal(0.0, self.output_sigma,
+                                                     logits.shape)
+            out = np.tanh(pre)
+            noise = self._rng.normal(0.0, self.stage_sigmas[i], out.shape)
             x = np.clip(out + noise, -1.0, 1.0)
-        x = x.reshape(x.shape[0], -1)
-        w, b = self._stage_weights(layers[2])
-        out = np.tanh(x @ w.T + b)
-        noise = self._rng.normal(0.0, self.stage_sigmas[2], out.shape)
-        x = np.clip(out + noise, -1.0, 1.0)
-        w, b = self._stage_weights(layers[3])
-        logits = (x @ w.T + b) / (w.shape[1] + 1)
-        return logits + self._rng.normal(0.0, self.output_sigma,
-                                         logits.shape)
 
 
 @register_backend
@@ -218,12 +236,18 @@ class FloatBackend(_FloatGraphExecutor):
         return lp.raw_weights, lp.raw_bias
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        x = np.asarray(images, dtype=np.float64).reshape(-1, 1, 28, 28)
-        layers = self.plan.layers
-        x = np.tanh(self._conv_pre(x, layers[0]))
-        x = np.tanh(self._conv_pre(x, layers[1]))
-        x = x.reshape(x.shape[0], -1)
-        w, b = self._stage_weights(layers[2])
-        x = np.tanh(x @ w.T + b)
-        w, b = self._stage_weights(layers[3])
-        return x @ w.T + b
+        x = self._as_nchw(images)
+        for lp in self.plan.layers:
+            if lp.op == "conv":
+                x = np.tanh(self._conv_pre(x, lp))
+                continue
+            x = self._as_flat(x)
+            w, b = self._stage_weights(lp)
+            if lp.final:
+                return x @ w.T + b
+            x = np.tanh(x @ w.T + b)
+
+    #: stateless and deterministic, so batching can never perturb a
+    #: response — the serving layer may run it lock-free and coalesced
+    #: exactly like the exact backend's per-request-forked path.
+    forward_independent = forward

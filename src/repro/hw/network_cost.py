@@ -31,7 +31,7 @@ from repro.hw.sram import SramBlockSpec, sram_cost
 from repro.utils.validation import check_positive_int
 
 __all__ = ["LayerGeometry", "LENET_GEOMETRY", "NetworkCost",
-           "lenet_network_cost"]
+           "lenet_network_cost", "graph_geometry", "graph_network_cost"]
 
 #: Calibration multipliers absorbing interconnect/placement overhead and
 #: clock-tree/IO power that a pure standard-cell inventory cannot see.
@@ -93,12 +93,15 @@ class NetworkCost:
 
 
 def _layer_cost(geometry: LayerGeometry, ip_kind: FEBKind,
-                pooling: PoolKind, length: int) -> CostBreakdown:
+                pooling: PoolKind, length: int,
+                final: bool | None = None) -> CostBreakdown:
+    if final is None:
+        final = geometry.name == "Output"
     ip = "mux" if ip_kind is FEBKind.MUX else "apc"
     if geometry.has_pool:
         pool = "avg" if pooling is PoolKind.AVG else "max"
         unit = feb_cost(f"{ip}-{pool}", geometry.n, length)
-    elif geometry.name == "Output":
+    elif final:
         # The output stage decodes APC counts with accumulators; no
         # activation FSM.
         unit = inner_product_cost(ip, geometry.n).chain(comp.accumulator(16))
@@ -109,38 +112,71 @@ def _layer_cost(geometry: LayerGeometry, ip_kind: FEBKind,
     return unit.scale(geometry.units)
 
 
-def _sram_total(weight_bits) -> CostBreakdown:
+def _sram_total(weight_bits, geometries=LENET_GEOMETRY) -> CostBreakdown:
     total = CostBreakdown()
-    for geometry, bits in zip(LENET_GEOMETRY, weight_bits):
+    for geometry, bits in zip(geometries, weight_bits):
         spec = SramBlockSpec(words=geometry.words_per_block, word_bits=bits,
                              readers=geometry.units)
         total = total + sram_cost(spec).scale(geometry.sram_blocks)
     return total
 
 
-def _sng_total(weight_bits) -> CostBreakdown:
+def _sng_total(weight_bits, geometries=LENET_GEOMETRY,
+               pixels: int = INPUT_PIXELS) -> CostBreakdown:
     one = comp.sng(SNG_WIDTH)
-    count = INPUT_PIXELS
-    for geometry, bits in zip(LENET_GEOMETRY, weight_bits):
+    count = pixels
+    for geometry, bits in zip(geometries, weight_bits):
         count += min(geometry.weight_count, 2 ** bits)
     return one.scale(count)
 
 
-def _normalize_weight_bits(weight_bits):
+def _normalize_weight_bits(weight_bits, n_layers: int = len(LENET_GEOMETRY)):
+    # Deliberately NOT repro.engine.plan.normalize_weight_bits: the
+    # simulator treats None as "keep float weights", but a hardware
+    # cost roll-up has no float storage — every layer must carry a
+    # positive SRAM word width here.
     if isinstance(weight_bits, int):
-        weight_bits = (weight_bits,) * len(LENET_GEOMETRY)
+        weight_bits = (weight_bits,) * n_layers
     weight_bits = tuple(int(b) for b in weight_bits)
-    if len(weight_bits) == 3:
-        # Section 5.3 quotes three weight layers; the output layer
-        # inherits Layer2's precision.
+    if len(weight_bits) == n_layers - 1:
+        # Section 5.3 quotes the hidden weight layers only; the output
+        # layer inherits the last hidden layer's precision.
         weight_bits = weight_bits + (weight_bits[-1],)
-    if len(weight_bits) != len(LENET_GEOMETRY):
+    if len(weight_bits) != n_layers:
         raise ValueError(
-            f"weight_bits must have 1, 3 or {len(LENET_GEOMETRY)} entries"
+            f"weight_bits must have 1, {n_layers - 1} or {n_layers} entries"
         )
     for b in weight_bits:
         check_positive_int(b, "weight_bits")
     return weight_bits
+
+
+def _roll_up(geometries, kinds, finals, pooling: PoolKind, length: int,
+             weight_bits, pixels: int) -> NetworkCost:
+    """Shared Table 6 roll-up over an arbitrary layer-geometry list."""
+    breakdown = {}
+    for geometry, kind, final in zip(geometries, kinds, finals):
+        breakdown[geometry.name] = _layer_cost(geometry, kind, pooling,
+                                               length, final=final)
+    breakdown["SRAM"] = _sram_total(weight_bits, geometries)
+    breakdown["SNG"] = _sng_total(weight_bits, geometries, pixels)
+
+    total = sum(breakdown.values(), CostBreakdown())
+    area_mm2 = total.area_um2 * 1e-6 * AREA_CALIBRATION
+    power_w = total.power_uw() * 1e-6 * POWER_CALIBRATION
+    delay_ns = length * CLOCK_NS
+    energy_uj = power_w * delay_ns * 1e-3  # W · ns = 1e-9 J = 1e-3 µJ
+    throughput = 1e9 / delay_ns
+    return NetworkCost(
+        area_mm2=area_mm2,
+        power_w=power_w,
+        delay_ns=delay_ns,
+        energy_uj=energy_uj,
+        throughput_ips=throughput,
+        area_efficiency=throughput / area_mm2,
+        energy_efficiency=1.0 / (energy_uj * 1e-6),
+        breakdown=breakdown,
+    )
 
 
 def lenet_network_cost(config: NetworkConfig,
@@ -156,30 +192,65 @@ def lenet_network_cost(config: NetworkConfig,
         Weight storage precision — an int for all layers, or a 3-tuple
         (Layer0, Layer1, Layer2) per the Section 5.3 layer-wise scheme.
     """
+    if len(config.layers) != 3:
+        # NetworkConfig itself accepts any depth since the model zoo;
+        # this roll-up is hard-wired to the LeNet-5 geometry.  Anything
+        # else silently zip-truncates, so refuse it — use
+        # :func:`graph_network_cost` for arbitrary architectures.
+        raise ValueError(
+            f"lenet_network_cost needs the paper's 3-hidden-layer "
+            f"configuration, got {len(config.layers)} layer configs; "
+            "cost other architectures with graph_network_cost")
     weight_bits = _normalize_weight_bits(weight_bits)
-    breakdown = {}
     # Layer kinds: config covers Layer0..Layer2; the output stage is
     # always APC-based (Section 6.3 configurations).
     kinds = [layer.ip_kind for layer in config.layers] + [FEBKind.APC]
-    for geometry, kind in zip(LENET_GEOMETRY, kinds):
-        breakdown[geometry.name] = _layer_cost(geometry, kind,
-                                               config.pooling, config.length)
-    breakdown["SRAM"] = _sram_total(weight_bits)
-    breakdown["SNG"] = _sng_total(weight_bits)
+    finals = [geometry.name == "Output" for geometry in LENET_GEOMETRY]
+    return _roll_up(LENET_GEOMETRY, kinds, finals, config.pooling,
+                    config.length, weight_bits, INPUT_PIXELS)
 
-    total = sum(breakdown.values(), CostBreakdown())
-    area_mm2 = total.area_um2 * 1e-6 * AREA_CALIBRATION
-    power_w = total.power_uw() * 1e-6 * POWER_CALIBRATION
-    delay_ns = config.length * CLOCK_NS
-    energy_uj = power_w * delay_ns * 1e-3  # W · ns = 1e-9 J = 1e-3 µJ
-    throughput = 1e9 / delay_ns
-    return NetworkCost(
-        area_mm2=area_mm2,
-        power_w=power_w,
-        delay_ns=delay_ns,
-        energy_uj=energy_uj,
-        throughput_ips=throughput,
-        area_efficiency=throughput / area_mm2,
-        energy_efficiency=1.0 / (energy_uj * 1e-6),
-        breakdown=breakdown,
-    )
+
+def graph_geometry(graph) -> tuple:
+    """Derive per-layer hardware geometry from a lowered layer graph.
+
+    The same filter-aware SRAM sharing as ``LENET_GEOMETRY``: one block
+    per conv filter (readers = FEBs), one block per dense neuron.  A
+    pooled conv stage has one FEB per pooling window; an unpooled one,
+    one per conv output position.  For the paper's LeNet-5 graph this
+    reproduces ``LENET_GEOMETRY`` exactly.
+    """
+    geometries = []
+    for node in graph.nodes:
+        n = node.n_inputs - 1   # hardware n excludes the folded bias
+        if node.op == "conv":
+            _, _, (conv_h, conv_w) = node.geometry
+            positions = conv_h * conv_w
+            units = node.units * (positions // 4 if node.pooled
+                                  else positions)
+            geometries.append(LayerGeometry(
+                node.name, "conv", n, units,
+                sram_blocks=node.units, words_per_block=n,
+                has_pool=node.pooled))
+        else:
+            geometries.append(LayerGeometry(
+                node.name, "fc", n, node.units,
+                sram_blocks=node.units, words_per_block=n,
+                has_pool=False))
+    return tuple(geometries)
+
+
+def graph_network_cost(graph, weight_bits=7) -> NetworkCost:
+    """Roll up the hardware cost of any lowered layer graph.
+
+    Byte-identical to :func:`lenet_network_cost` when ``graph`` is the
+    paper's LeNet-5 (asserted by ``tests/test_hw``); for other
+    architectures the same component inventory, SRAM sharing and SNG
+    accounting apply to the graph-derived geometry.
+    """
+    geometries = graph_geometry(graph)
+    weight_bits = _normalize_weight_bits(weight_bits,
+                                         n_layers=len(geometries))
+    kinds = [node.kind for node in graph.nodes]
+    finals = [node.final for node in graph.nodes]
+    return _roll_up(geometries, kinds, finals, graph.config.pooling,
+                    graph.config.length, weight_bits, graph.input_pixels)

@@ -23,6 +23,15 @@ from repro.nn.loss import SoftmaxCrossEntropy, MSELoss
 from repro.nn.optim import SGD, Adam
 from repro.nn.trainer import Trainer, evaluate_accuracy
 from repro.nn.lenet import build_lenet5, LENET5_LAYER_SIZES
+from repro.nn.zoo import (
+    ZOO,
+    ZooSpec,
+    build_zoo_model,
+    default_kinds,
+    hidden_layer_count,
+    model_digest,
+    zoo_names,
+)
 
 __all__ = [
     "Layer",
@@ -44,4 +53,11 @@ __all__ = [
     "evaluate_accuracy",
     "build_lenet5",
     "LENET5_LAYER_SIZES",
+    "ZOO",
+    "ZooSpec",
+    "build_zoo_model",
+    "default_kinds",
+    "hidden_layer_count",
+    "model_digest",
+    "zoo_names",
 ]

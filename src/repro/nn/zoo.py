@@ -1,0 +1,236 @@
+"""The model zoo: stock architectures the engine can lower and serve.
+
+Every entry is a sequential conv/pool/dense stack over 28×28 bipolar
+images that (a) the layer-graph engine lowers without special-casing
+(see :func:`repro.engine.graph.build_graph`) and (b) trains to clearly
+better-than-chance accuracy on the synthetic-MNIST data in seconds —
+small enough for CI, structurally diverse enough to exercise every
+lowering path:
+
+======== ======================================== =====================
+Name     Stack                                     Exercises
+======== ======================================== =====================
+lenet5   2×(conv5+pool) + 2 dense (the paper's)    the Table 6 baseline
+lenet_s  narrow 2×(conv5+pool) + 2 dense           cheap conv topology
+mlp      3 dense layers, conv-free                 pure-FC lowering
+conv3    3 conv (last unpooled) + 2 dense          depth-5 stacks and
+                                                   pool-free conv FEBs
+======== ======================================== =====================
+
+``model_digest`` fingerprints a model's *structure and trained
+parameters*; the serving layer keys plans and engines on it so two
+models never share quantized weights (see :mod:`repro.serve.pool`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.nn.activations import Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.lenet import build_lenet5
+from repro.nn.module import Flatten, Sequential
+from repro.nn.pool import AvgPool2D, MaxPool2D
+
+__all__ = [
+    "ZooSpec",
+    "ZOO",
+    "zoo_names",
+    "get_spec",
+    "build_zoo_model",
+    "hidden_layer_count",
+    "weight_layer_count",
+    "input_geometry",
+    "default_kinds",
+    "model_digest",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ZooSpec:
+    """One zoo architecture.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--model`` value).
+    description:
+        One-line summary for ``python -m repro list``.
+    builder:
+        ``(pooling: str, seed: int) -> Sequential``.
+    hidden_layers:
+        Number of configurable FEB layers — the length a
+        :class:`repro.core.config.NetworkConfig` ``layers`` tuple must
+        have for this model (the output layer is always APC on top).
+    lr:
+        Quick-training learning rate that converges for this
+        architecture (the conv-free MLP diverges at the conv models'
+        0.06).
+    """
+
+    name: str
+    description: str
+    builder: callable
+    hidden_layers: int
+    lr: float = 0.06
+
+
+def _pool_cls(pooling: str):
+    if pooling not in ("max", "avg"):
+        raise ValueError(f"pooling must be 'max' or 'avg', got {pooling!r}")
+    return MaxPool2D if pooling == "max" else AvgPool2D
+
+
+def build_lenet_s(pooling: str = "max", seed: int = 0) -> Sequential:
+    """A narrow LeNet: 8/16 conv channels, 64-unit hidden dense."""
+    pool = _pool_cls(pooling)
+    return Sequential([
+        Conv2D(1, 8, 5, seed=seed),          # 28 → 24, pool → 12
+        pool(2),
+        Tanh(),
+        Conv2D(8, 16, 5, seed=seed + 1),     # 12 → 8, pool → 4
+        pool(2),
+        Tanh(),
+        Flatten(),                           # 16·4·4 = 256
+        Dense(256, 64, seed=seed + 2),
+        Tanh(),
+        Dense(64, 10, seed=seed + 3),
+    ])
+
+
+def build_mlp(pooling: str = "max", seed: int = 0) -> Sequential:
+    """A conv-free 784-128-32-10 multi-layer perceptron.
+
+    ``pooling`` is accepted for interface uniformity (the SC design
+    point still carries a network-wide pooling strategy, it just never
+    fires — no layer of this model feeds a pooling block).
+    """
+    _pool_cls(pooling)  # validate for a consistent error surface
+    return Sequential([
+        Flatten(),
+        Dense(784, 128, seed=seed),
+        Tanh(),
+        Dense(128, 32, seed=seed + 1),
+        Tanh(),
+        Dense(32, 10, seed=seed + 2),
+    ])
+
+
+def build_conv3(pooling: str = "max", seed: int = 0) -> Sequential:
+    """A deeper 3-conv stack whose last conv stage has no pooling block."""
+    pool = _pool_cls(pooling)
+    return Sequential([
+        Conv2D(1, 6, 5, seed=seed),          # 28 → 24, pool → 12
+        pool(2),
+        Tanh(),
+        Conv2D(6, 12, 5, seed=seed + 1),     # 12 → 8, pool → 4
+        pool(2),
+        Tanh(),
+        Conv2D(12, 24, 3, seed=seed + 2),    # 4 → 2, unpooled
+        Tanh(),
+        Flatten(),                           # 24·2·2 = 96
+        Dense(96, 32, seed=seed + 3),
+        Tanh(),
+        Dense(32, 10, seed=seed + 4),
+    ])
+
+
+ZOO = {
+    "lenet5": ZooSpec(
+        "lenet5",
+        "the paper's 784-11520-2880-3200-800-500-10 LeNet-5",
+        build_lenet5, hidden_layers=3),
+    "lenet_s": ZooSpec(
+        "lenet_s",
+        "narrow LeNet (8/16 conv channels, 64-unit dense)",
+        build_lenet_s, hidden_layers=3),
+    "mlp": ZooSpec(
+        "mlp",
+        "conv-free 784-128-32-10 perceptron",
+        build_mlp, hidden_layers=2, lr=0.02),
+    "conv3": ZooSpec(
+        "conv3",
+        "3-conv stack (last stage unpooled) + 2 dense",
+        build_conv3, hidden_layers=4),
+}
+
+
+def zoo_names() -> list:
+    """Sorted registry names."""
+    return sorted(ZOO)
+
+
+def get_spec(name: str) -> ZooSpec:
+    """Look up a zoo entry; unknown names list what exists."""
+    try:
+        return ZOO[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown zoo model {name!r}; available: "
+            f"{', '.join(zoo_names())}"
+        ) from None
+
+
+def build_zoo_model(name: str, pooling: str = "max",
+                    seed: int = 0) -> Sequential:
+    """Build (untrained) the named zoo architecture."""
+    return get_spec(name).builder(pooling, seed)
+
+
+def weight_layer_count(model) -> int:
+    """Total weight layers (conv + dense, including the output layer)."""
+    return sum(1 for l in model.layers if isinstance(l, (Conv2D, Dense)))
+
+
+DEFAULT_INPUT_HW = (28, 28)
+"""Default input grid (the synthetic-MNIST geometry); re-exported as
+:data:`repro.engine.graph.INPUT_HW`."""
+
+
+def input_geometry(model, input_hw: tuple | None = None) -> tuple:
+    """A model's input geometry ``(channels, height, width)``.
+
+    The single derivation rule shared by the graph builder (which lowers
+    onto this geometry) and the serving layer (which validates request
+    payloads against it): the spatial grid comes from ``input_hw``,
+    falling back to ``model.input_hw`` and finally the 28×28 default;
+    the channel count from the first Conv2D (1 for conv-free stacks).
+    """
+    if input_hw is None:
+        input_hw = getattr(model, "input_hw", DEFAULT_INPUT_HW)
+    first_conv = next((l for l in model.layers if isinstance(l, Conv2D)),
+                      None)
+    channels = first_conv.in_channels if first_conv is not None else 1
+    return (channels, int(input_hw[0]), int(input_hw[1]))
+
+
+def hidden_layer_count(model) -> int:
+    """Configurable FEB layers of a model (weight layers minus output)."""
+    return weight_layer_count(model) - 1
+
+
+def default_kinds(model_or_name) -> tuple:
+    """The safe all-APC kind assignment for a model (or zoo name)."""
+    hidden = (get_spec(model_or_name).hidden_layers
+              if isinstance(model_or_name, str)
+              else hidden_layer_count(model_or_name))
+    return ("APC",) * hidden
+
+
+def model_digest(model) -> str:
+    """Stable fingerprint of a model's structure and trained parameters.
+
+    Two models share a digest only if their layer stack *and* every
+    parameter value agree — retraining, re-seeding or swapping
+    architectures all change it.  The serving layer keys compiled plans
+    and pooled engines on this, so distinct models can never share
+    quantized weights or weight streams.
+    """
+    h = hashlib.sha1()
+    h.update(",".join(type(l).__name__ for l in model.layers).encode())
+    for p in model.params:
+        h.update(str(p.value.shape).encode())
+        h.update(p.value.tobytes())
+    return h.hexdigest()[:16]

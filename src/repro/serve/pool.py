@@ -1,21 +1,27 @@
 """Thread-safe engine pool: hot compiled plans shared across workers.
 
-Serving traffic must not pay per-request compilation: quantizing three
-stored-weight variants and drawing four layers' weight streams costs
+Serving traffic must not pay per-request compilation: quantizing the
+stored-weight variants and drawing every layer's weight streams costs
 orders of magnitude more than one micro-batched inference.  The pool
 therefore caches two tiers behind one lock:
 
 * **plans** — :class:`repro.engine.plan.CompiledPlan` keyed by
-  ``(config digest, weight_bits)`` per stream length.  A request for a
-  new length first tries :meth:`CompiledPlan.with_length` on a cached
-  sibling, so length variants of one design point share quantized
-  weights (all-APC configurations even share whole layer plans);
+  ``(model digest, config digest, weight_bits)`` per stream length.  A
+  request for a new length first tries :meth:`CompiledPlan.with_length`
+  on a cached sibling, so length variants of one design point share
+  quantized weights (all-APC configurations even share whole layer
+  plans);
 * **engines** — constructed :class:`repro.engine.engine.Engine`
-  instances keyed by ``(backend, config digest, stream length,
-  weight_bits, seed, opts)``, with LRU eviction bounded by
+  instances keyed by ``(backend, model digest, config digest, stream
+  length, weight_bits, seed, opts)``, with LRU eviction bounded by
   ``max_engines`` (an exact engine's weight streams dominate the pool's
   memory; the plan tier underneath stays warm so a re-admitted engine
   only re-draws streams, never re-quantizes).
+
+Every key includes the **model digest** (structure + trained parameter
+fingerprint, :func:`repro.nn.zoo.model_digest`): a pool may hold several
+zoo models, and two models with identical configs-ex-length must never
+share quantized weights or weight streams.
 
 The pool holds the lock across misses: constructing an engine twice
 because two workers raced would cost more than briefly serializing them,
@@ -31,8 +37,11 @@ from collections import OrderedDict
 from repro.core.config import NetworkConfig
 from repro.engine import Engine, build_graph, compile_plan
 from repro.engine.plan import normalize_weight_bits
+from repro.nn.zoo import model_digest, weight_layer_count
 
-__all__ = ["EnginePool"]
+__all__ = ["EnginePool", "config_digest"]
+
+DEFAULT_MODEL = "default"
 
 
 def config_digest(config: NetworkConfig) -> str:
@@ -40,7 +49,10 @@ def config_digest(config: NetworkConfig) -> str:
 
     Two configurations that differ only in ``length`` (or the cosmetic
     ``name`` label) share a digest — that is what lets the pool re-target
-    a cached plan via ``with_length`` instead of recompiling.
+    a cached plan via ``with_length`` instead of recompiling.  The digest
+    deliberately excludes the *model*: pair it with
+    :func:`repro.nn.zoo.model_digest` wherever compiled artifacts are
+    keyed.
     """
     spec = (config.pooling.value,
             tuple((layer.ip_kind.value, layer.n_states)
@@ -49,13 +61,14 @@ def config_digest(config: NetworkConfig) -> str:
 
 
 class EnginePool:
-    """LRU cache of compiled plans and constructed engines over one model.
+    """LRU cache of compiled plans and constructed engines over a model set.
 
     Parameters
     ----------
     model:
-        The trained :class:`repro.nn.module.Sequential` LeNet-5 every
-        pooled engine executes.
+        A trained :class:`repro.nn.module.Sequential` (registered under
+        the name ``"default"``) or a ``{name: model}`` mapping for
+        multi-model serving.
     max_engines:
         Engine-tier capacity; least-recently-used engines are evicted
         beyond it.
@@ -67,11 +80,19 @@ class EnginePool:
     def __init__(self, model, max_engines: int = 8, max_plans: int = 32):
         if max_engines < 1 or max_plans < 1:
             raise ValueError("max_engines and max_plans must be >= 1")
-        self.model = model
+        if isinstance(model, dict):
+            if not model:
+                raise ValueError("the model mapping must not be empty")
+            self.models = dict(model)
+        else:
+            self.models = {DEFAULT_MODEL: model}
+        self.default_model = next(iter(self.models))
+        self._digests = {name: model_digest(m)
+                         for name, m in self.models.items()}
         self.max_engines = int(max_engines)
         self.max_plans = int(max_plans)
         self._lock = threading.RLock()
-        self._plans = OrderedDict()    # (digest, bits, length) -> plan
+        self._plans = OrderedDict()    # (mdigest, cdigest, bits, length)
         self._engines = OrderedDict()  # engine key -> Engine
         self._hits = 0
         self._misses = 0
@@ -80,34 +101,56 @@ class EnginePool:
         self._plans_rederived = 0
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def engine_key(config: NetworkConfig, backend: str = "exact",
-                   weight_bits=None, seed: int = 0, **backend_opts):
-        """The pool key an engine for this request would live under."""
-        return (backend, config_digest(config), config.length,
-                normalize_weight_bits(weight_bits), int(seed),
-                tuple(sorted(backend_opts.items())))
+    @property
+    def model(self):
+        """The default model (single-model construction compatibility)."""
+        return self.models[self.default_model]
 
-    def _plan_for(self, config: NetworkConfig, bits):
-        """Cached plan for (digest, bits, length); compiles on miss.
+    def _resolve_model(self, model):
+        """Map a model spec (``None`` / registered name) to (name, model)."""
+        if model is None:
+            model = self.default_model
+        if model not in self.models:
+            raise ValueError(
+                f"unknown model {model!r}; this pool serves: "
+                f"{', '.join(sorted(self.models))}")
+        return model, self.models[model]
+
+    def _bits(self, model_obj, weight_bits):
+        return normalize_weight_bits(
+            weight_bits, n_layers=weight_layer_count(model_obj))
+
+    def engine_key(self, config: NetworkConfig, backend: str = "exact",
+                   weight_bits=None, seed: int = 0, model=None,
+                   **backend_opts):
+        """The pool key an engine for this request would live under."""
+        name, model_obj = self._resolve_model(model)
+        return (backend, self._digests[name], config_digest(config),
+                config.length, self._bits(model_obj, weight_bits),
+                int(seed), tuple(sorted(backend_opts.items())))
+
+    def _plan_for(self, name: str, config: NetworkConfig, bits):
+        """Cached plan for (model, digest, bits, length); compiles on miss.
 
         Misses prefer re-targeting a cached sibling length via
         ``with_length`` (shares raw-quantized weights, and whole layer
         plans when no state number changes) over compiling from scratch.
         """
+        mdigest = self._digests[name]
         digest = config_digest(config)
-        key = (digest, bits, config.length)
+        key = (mdigest, digest, bits, config.length)
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             return plan
-        sibling = next((p for (d, b, _), p in reversed(self._plans.items())
-                        if (d, b) == (digest, bits)), None)
+        sibling = next(
+            (p for (m, d, b, _), p in reversed(self._plans.items())
+             if (m, d, b) == (mdigest, digest, bits)), None)
         if sibling is not None:
             plan = sibling.with_length(config.length, name=config.name)
             self._plans_rederived += 1
         else:
-            plan = compile_plan(build_graph(self.model, config),
+            plan = compile_plan(build_graph(self.models[name], config),
                                 weight_bits=bits)
             self._plans_compiled += 1
         self._plans[key] = plan
@@ -116,10 +159,17 @@ class EnginePool:
         return plan
 
     def get(self, config: NetworkConfig, backend: str = "exact",
-            weight_bits=None, seed: int = 0, **backend_opts) -> Engine:
-        """The pooled engine for a request spec (constructed on miss)."""
-        bits = normalize_weight_bits(weight_bits)
-        key = self.engine_key(config, backend, bits, seed, **backend_opts)
+            weight_bits=None, seed: int = 0, model=None,
+            **backend_opts) -> Engine:
+        """The pooled engine for a request spec (constructed on miss).
+
+        ``model`` selects a registered model by name (``None`` = the
+        pool's default).
+        """
+        name, model_obj = self._resolve_model(model)
+        bits = self._bits(model_obj, weight_bits)
+        key = self.engine_key(config, backend, bits, seed, model=name,
+                              **backend_opts)
         with self._lock:
             engine = self._engines.get(key)
             if engine is not None:
@@ -127,7 +177,7 @@ class EnginePool:
                 self._hits += 1
                 return engine
             self._misses += 1
-            plan = self._plan_for(config, bits)
+            plan = self._plan_for(name, config, bits)
             engine = Engine(backend=backend, seed=seed, plan=plan,
                             **backend_opts)
             self._engines[key] = engine
@@ -160,6 +210,7 @@ class EnginePool:
         with self._lock:
             lookups = self._hits + self._misses
             return {
+                "models": sorted(self.models),
                 "engines": len(self._engines),
                 "plans": len(self._plans),
                 "hits": self._hits,

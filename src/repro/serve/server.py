@@ -5,9 +5,10 @@ Endpoints:
 ``POST /predict``
     Body: ``{"image": [...784 floats...]}`` (or 28×28 nested) for one
     image, or ``{"images": [[...], ...]}`` for many.  Optional spec
-    overrides ride alongside: ``backend``, ``length``, ``kinds``
-    (``"APC,APC,APC"``), ``pooling`` (``"max"``/``"avg"``),
-    ``weight_bits`` (int or 3-/4-list), ``seed``.  Pixels are bipolar
+    overrides ride alongside: ``model`` (a registered zoo entry),
+    ``backend``, ``length``, ``kinds`` (``"APC,APC,APC"``), ``pooling``
+    (``"max"``/``"avg"``),
+    ``weight_bits`` (int or per-layer list), ``seed``.  Pixels are bipolar
     floats in [-1, 1].  Response: ``{"prediction": k}`` (single) or
     ``{"predictions": [...]}`` (batch), plus the resolved backend and
     the server-side latency.
@@ -115,13 +116,18 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "(batch)")
         images = request.pop("image") if single else request.pop("images")
         if single:
+            # Validate against the *target model's* geometry (the zoo
+            # generalized it away from a hardcoded 28×28).
+            channels, h, w = service.input_shape(request.get("model"))
+            pixels = channels * h * w
             shape = np.asarray(images, dtype=np.float64).shape
-            if shape not in ((784,), (28, 28)):
+            allowed = ((pixels,),) + (((h, w),) if channels == 1 else ())
+            if shape not in allowed:
                 raise ValueError(
-                    "'image' must be a single 28×28 image (784 pixels); "
-                    "use 'images' for batches")
+                    f"'image' must be a single {h}×{w} image "
+                    f"({pixels} pixels); use 'images' for batches")
         overrides = {k: request[k] for k in
-                     ("backend", "length", "kinds", "pooling",
+                     ("model", "backend", "length", "kinds", "pooling",
                       "weight_bits", "seed") if k in request}
         leftover = set(request) - set(overrides)
         if leftover:

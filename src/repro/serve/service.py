@@ -3,8 +3,8 @@
 :class:`InferenceService` is the embeddable core the HTTP server wraps
 (and the right entry point for Python callers — tests and the load
 generator drive it directly).  A request is a single 28×28 bipolar image
-plus an optional spec override (backend, stream length, FEB kinds,
-pooling, weight bits, seed); the service:
+plus an optional spec override (model, backend, stream length, FEB
+kinds, pooling, weight bits, seed); the service:
 
 1. resolves the spec against its defaults into a canonical
    :class:`repro.core.config.NetworkConfig` and a hashable *group key* —
@@ -31,49 +31,39 @@ import time
 
 import numpy as np
 
-from repro.core.config import NetworkConfig, PoolKind
+from repro.core.config import (
+    NetworkConfig,
+    resolve_kinds,
+    resolve_pooling,
+)
 from repro.engine import get_backend
 from repro.engine.engine import as_image_batch
 from repro.engine.plan import normalize_weight_bits
+from repro.nn.zoo import hidden_layer_count, input_geometry
 from repro.serve.batcher import MicroBatcher
 from repro.serve.pool import EnginePool
 from repro.serve.stats import LatencyTracker
 
+# re-exported for serving callers; the parsers live with the config
+# domain in repro.core.config
 __all__ = ["InferenceService", "resolve_pooling", "resolve_kinds"]
 
 
-def resolve_pooling(pooling) -> PoolKind:
-    """Parse a pooling spec (``"max"``/``"avg"`` or a PoolKind)."""
-    if isinstance(pooling, PoolKind):
-        return pooling
-    try:
-        return {"max": PoolKind.MAX, "avg": PoolKind.AVG,
-                "average": PoolKind.AVG}[str(pooling).lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown pooling {pooling!r}; use 'max' or 'avg'") from None
-
-
-def resolve_kinds(kinds) -> tuple:
-    """Parse a FEB-kind spec (``"APC,APC,APC"`` or a 3-sequence)."""
-    if isinstance(kinds, str):
-        kinds = [k.strip() for k in kinds.split(",")]
-    kinds = tuple(str(k).upper() for k in kinds)
-    if len(kinds) != 3 or not all(k in ("MUX", "APC") for k in kinds):
-        raise ValueError(
-            f"kinds must be three of MUX/APC, got {kinds!r}")
-    return kinds
-
-
 class InferenceService:
-    """Micro-batched inference over pooled engines for one trained model.
+    """Micro-batched inference over pooled engines for a trained model set.
 
     Parameters
     ----------
     model:
-        The trained LeNet-5 every request is served from.
+        The trained model every request is served from — a single
+        :class:`repro.nn.module.Sequential` (named ``"default"``) or a
+        ``{name: model}`` mapping for multi-model serving; per-request
+        ``model=<name>`` overrides pick among the registered entries.
     backend, length, kinds, pooling, weight_bits, seed:
         Default request spec; any field can be overridden per request.
+        ``kinds=None`` means "all-APC at the target model's depth",
+        resolved per request — the right default when models of
+        different depths share the service.
     max_batch, max_wait_ms, workers, max_queue:
         Micro-batching policy (see :class:`MicroBatcher`); ``max_queue``
         is the backpressure bound (full queue → :class:`QueueFull`,
@@ -86,21 +76,27 @@ class InferenceService:
     """
 
     def __init__(self, model, *, backend: str = "exact", length: int = 64,
-                 kinds=("APC", "APC", "APC"), pooling="max",
+                 kinds=None, pooling="max",
                  weight_bits=None, seed: int = 0, max_batch: int = 16,
                  max_wait_ms: float = 2.0, workers: int = 1,
                  max_queue: int = 1024, max_engines: int = 8,
                  warm: bool = True):
+        self.pool = EnginePool(model, max_engines=max_engines)
+        #: per-model (hidden layer count, input shape) — the request
+        #: facts the service validates against before touching an engine
+        self._models_meta = {
+            name: (hidden_layer_count(m), input_geometry(m))
+            for name, m in self.pool.models.items()}
         self.defaults = {
+            "model": self.pool.default_model,
             "backend": backend,
             "length": int(length),
-            "kinds": resolve_kinds(kinds),
+            "kinds": None if kinds is None else resolve_kinds(kinds),
             "pooling": resolve_pooling(pooling),
             "weight_bits": weight_bits,
             "seed": int(seed),
         }
         get_backend(backend)  # fail fast on an unknown default
-        self.pool = EnginePool(model, max_engines=max_engines)
         self.batcher = MicroBatcher(self._run_batch, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
                                     workers=workers, max_queue=max_queue)
@@ -108,7 +104,8 @@ class InferenceService:
         self._closed = False
         if warm:
             self.pool.get(self._resolve({})[1], backend=backend,
-                          weight_bits=weight_bits, seed=self.defaults["seed"])
+                          weight_bits=weight_bits, seed=self.defaults["seed"],
+                          model=self.pool.default_model)
 
     # ------------------------------------------------------------------
     # request resolution
@@ -128,31 +125,58 @@ class InferenceService:
         spec.update(overrides)
         backend = str(spec["backend"])
         get_backend(backend)
+        model = str(spec["model"])
+        hidden, _ = self._model_meta(model)
         try:
+            kinds = (("APC",) * hidden if spec["kinds"] is None
+                     else resolve_kinds(spec["kinds"], n_layers=hidden))
             config = NetworkConfig.from_kinds(
                 resolve_pooling(spec["pooling"]), int(spec["length"]),
-                resolve_kinds(spec["kinds"]))
-            bits = normalize_weight_bits(spec["weight_bits"])
+                kinds)
+            bits = normalize_weight_bits(spec["weight_bits"],
+                                         n_layers=hidden + 1)
             seed = int(spec["seed"])
         except TypeError as exc:
             # e.g. length=None or weight_bits=1.5 — a caller error, not
             # an internal one; keep the ValueError contract of _resolve
             raise ValueError(f"malformed request field: {exc}") from exc
-        key = (backend, config, bits, seed)
+        key = (model, backend, config, bits, seed)
         return key, config, spec
 
-    @staticmethod
-    def _as_images(images) -> np.ndarray:
-        """Normalize request payload to a float ``(N, 784)`` batch."""
-        return as_image_batch(images, bipolar=True)
+    def _model_meta(self, model: str) -> tuple:
+        """(hidden layer count, input shape) for a hosted model name.
+
+        The single unknown-model check of the service layer; raises
+        ``ValueError`` (→ HTTP 400) listing what is hosted.
+        """
+        try:
+            return self._models_meta[model]
+        except KeyError:
+            raise ValueError(
+                f"unknown model {model!r}; this service hosts: "
+                f"{', '.join(sorted(self._models_meta))}") from None
+
+    def input_shape(self, model=None) -> tuple:
+        """A hosted model's ``(channels, height, width)`` input geometry.
+
+        Raises ``ValueError`` for unregistered names (the HTTP layer maps
+        that to a 400, same as :meth:`predict` would).
+        """
+        model = self.defaults["model"] if model is None else str(model)
+        return self._model_meta(model)[1]
+
+    def _as_images(self, images, model: str) -> np.ndarray:
+        """Normalize request payload to the target model's pixel batch."""
+        return as_image_batch(images, bipolar=True,
+                              shape=self._model_meta(model)[1])
 
     # ------------------------------------------------------------------
     # batched execution (called by batcher workers)
     # ------------------------------------------------------------------
     def _run_batch(self, key, payloads):
-        backend_name, config, bits, seed = key
+        model, backend_name, config, bits, seed = key
         engine = self.pool.get(config, backend=backend_name,
-                               weight_bits=bits, seed=seed)
+                               weight_bits=bits, seed=seed, model=model)
         batch = np.stack(payloads)
         backend = engine.backend
         if hasattr(backend, "forward_independent"):
@@ -175,9 +199,10 @@ class InferenceService:
         """Class predictions for one or many images (blocking).
 
         Accepts a single image (``(784,)`` or ``(28, 28)``) or a batch;
-        returns an ``(N,)`` int array.  Keyword overrides (``backend``,
-        ``length``, ``kinds``, ``pooling``, ``weight_bits``, ``seed``)
-        replace the service defaults for this request only.  Every image
+        returns an ``(N,)`` int array.  Keyword overrides (``model``,
+        ``backend``, ``length``, ``kinds``, ``pooling``, ``weight_bits``,
+        ``seed``) replace the service defaults for this request only —
+        ``model`` selects among the registered zoo entries.  Every image
         goes through the micro-batcher, so concurrent callers coalesce.
         ``timeout`` bounds the *whole* request, not each image.
         """
@@ -187,7 +212,7 @@ class InferenceService:
         deadline = None if timeout is None else start + timeout
         try:
             key, _, _ = self._resolve(overrides)
-            batch = self._as_images(images)
+            batch = self._as_images(images, model=key[0])
             tickets = [self.batcher.submit(key, image) for image in batch]
             preds = np.array(
                 [t.result(None if deadline is None
@@ -211,9 +236,11 @@ class InferenceService:
             "batcher": self.batcher.stats(),
             "pool": self.pool.stats(),
             "defaults": {
+                "model": self.defaults["model"],
                 "backend": self.defaults["backend"],
                 "length": self.defaults["length"],
-                "kinds": ",".join(self.defaults["kinds"]),
+                "kinds": (None if self.defaults["kinds"] is None
+                          else ",".join(self.defaults["kinds"])),
                 "pooling": self.defaults["pooling"].value.lower(),
                 "weight_bits": self.defaults["weight_bits"],
                 "seed": self.defaults["seed"],

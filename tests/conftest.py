@@ -12,6 +12,13 @@ from repro.nn.lenet import build_lenet5
 from repro.nn.trainer import Trainer
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-stream exact-backend runs (deselect with -m 'not slow' "
+        "for the fast CI tier)")
+
+
 @pytest.fixture(scope="session")
 def small_dataset():
     """A small synthetic digit dataset: (x_train, y_train, x_test, y_test)."""
@@ -27,6 +34,29 @@ def tiny_trained_lenet(small_dataset):
     trainer = Trainer(model, lr=0.06, batch_size=64, seed=0)
     trainer.fit(to_bipolar(x_train), y_train, epochs=3)
     return model
+
+
+@pytest.fixture(scope="session")
+def zoo_trained(small_dataset):
+    """Briefly-trained small zoo models: {name: Sequential}.
+
+    Covers the non-LeNet architectures (lenet_s / mlp / conv3) — the
+    paper's LeNet-5 is the separate ``tiny_trained_lenet`` fixture.
+    Each model trains on the shared 600-image split in a few seconds
+    and beats chance decisively; conformance tests compare *backends
+    against each other*, so absolute accuracy only needs to clear that
+    bar.
+    """
+    from repro.nn.zoo import build_zoo_model, get_spec
+    x_train, y_train, _, _ = small_dataset
+    epochs = {"lenet_s": 3, "mlp": 10, "conv3": 3}
+    models = {}
+    for name, n_epochs in epochs.items():
+        model = build_zoo_model(name, "max", seed=0)
+        Trainer(model, lr=get_spec(name).lr, batch_size=64, seed=0).fit(
+            to_bipolar(x_train), y_train, epochs=n_epochs)
+        models[name] = model
+    return models
 
 
 @pytest.fixture()

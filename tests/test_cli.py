@@ -71,6 +71,39 @@ class TestInferCli:
         assert main(["list"]) == 0
         assert "infer" in capsys.readouterr().out
 
+    def test_infer_zoo_model(self, capsys):
+        """--model routes a non-LeNet zoo architecture through the
+        engine (the conv-free MLP: the cheapest end-to-end path)."""
+        assert main(["infer", "--model", "mlp", "--backend", "exact",
+                     "--batch", "4", "--images", "4", "--length", "64",
+                     "--train", "200", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "model=mlp" in out
+        assert "Max/64 APC-APC" in out  # default kinds follow model depth
+
+    def test_infer_rejects_unknown_model(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer", "--model", "resnet"])
+        assert excinfo.value.code != 0
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_infer_rejects_kinds_depth_mismatch_before_training(self,
+                                                                capsys):
+        """A --kinds/--model depth mismatch exits cleanly without
+        wasting the training run."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer", "--model", "mlp", "--kinds", "APC,APC,APC"])
+        assert excinfo.value.code != 0
+        captured = capsys.readouterr()
+        assert "hidden weight layers" in captured.err
+        assert "training" not in captured.out  # no quick model trained
+
+    def test_list_shows_zoo(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lenet5", "lenet_s", "mlp", "conv3"):
+            assert name in out
+
 
 class TestServeCli:
     def test_serve_rejects_unknown_backend(self, capsys):

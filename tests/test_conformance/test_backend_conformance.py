@@ -1,0 +1,210 @@
+"""Cross-backend differential conformance over the model zoo.
+
+Every cell runs one zoo architecture under one SC design point through
+the registered backends and checks they tell a consistent story:
+
+* ``float`` must match the trained model's own ``predict`` **exactly**
+  (argmax) whenever the config's pooling matches the pooling the model
+  was trained with — the float backend is a re-execution of the same
+  network over the layer-graph IR, so any disagreement is a lowering
+  bug, not noise;
+* ``surrogate`` (deterministic transfer-curve mode) and ``noise`` logits
+  must correlate with the float logits above a *calibrated* floor — the
+  measured values sit 2× or more above every floor, so a failure means a
+  broken executor, not unlucky sampling;
+* ``exact`` logits, averaged over a few stream seeds to suppress the
+  stochastic component, must correlate with the float logits above a
+  per-cell calibrated floor.  Briefly-trained models have tiny logit
+  margins, so raw per-seed agreement is noise-dominated at short ``L``
+  (true for the paper's LeNet-5 too, pre-dating the zoo); the
+  seed-averaged correlation is the discriminating statistic — a wrong
+  patch index, pooling window or weight variant drives it to ~0.
+
+The exact backend additionally stays **bit-identical** to the frozen
+pre-engine oracle (:mod:`repro.engine.reference`) for the paper's
+LeNet-5 — the regression anchor that generalizing the lowering must not
+move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkConfig, PoolKind
+from repro.engine import Engine
+from repro.engine.reference import ReferenceSCNetwork
+from repro.nn.zoo import default_kinds
+
+N_IMAGES = 10
+EXACT_SEEDS = 4
+EXACT_LENGTH = 256
+FLOAT_LENGTH = 128
+
+#: (model, kinds, pooling, calibrated exact-corr floor).  Floors are
+#: ~half the locally measured seed-averaged correlation (0.35-0.69),
+#: leaving headroom for training-numerics drift across numpy versions
+#: while still failing hard on structural lowering bugs (corr ≈ 0).
+EXACT_CELLS = [
+    ("lenet_s", None, PoolKind.MAX, 0.30),
+    ("lenet_s", None, PoolKind.AVG, 0.15),
+    ("mlp", None, PoolKind.MAX, 0.30),
+    ("mlp", None, PoolKind.AVG, 0.30),
+    ("conv3", None, PoolKind.MAX, 0.30),
+    ("conv3", None, PoolKind.AVG, 0.30),
+    ("lenet_s", ("MUX", "APC", "APC"), PoolKind.MAX, 0.20),
+    ("lenet_s", ("MUX", "APC", "APC"), PoolKind.AVG, 0.30),
+    ("conv3", ("APC", "APC", "MUX", "APC"), PoolKind.MAX, 0.20),
+]
+
+FLOAT_CELLS = [(m, k, p) for (m, k, p, _) in EXACT_CELLS]
+
+
+def _cfg(model_name, kinds, pooling, length):
+    kinds = default_kinds(model_name) if kinds is None else kinds
+    return NetworkConfig.from_kinds(pooling, length, kinds,
+                                    name=f"conf-{model_name}")
+
+
+def _mean_logit_corr(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean per-image Pearson correlation between two logit banks."""
+    return float(np.mean([np.corrcoef(a[i], b[i])[0, 1]
+                          for i in range(a.shape[0])]))
+
+
+@pytest.fixture(scope="module")
+def images(small_dataset):
+    from repro.data.synthetic_mnist import to_bipolar
+    _, _, x_test, _ = small_dataset
+    return to_bipolar(x_test)[:N_IMAGES].reshape(N_IMAGES, -1)
+
+
+class TestFloatMatchesModel:
+    """The float backend re-executes the trained net over the IR."""
+
+    @pytest.mark.parametrize("model_name", ["lenet_s", "mlp", "conv3"])
+    def test_zoo_float_argmax_equals_model_predict(self, zoo_trained,
+                                                   images, model_name):
+        model = zoo_trained[model_name]
+        cfg = _cfg(model_name, None, PoolKind.MAX, FLOAT_LENGTH)
+        engine = Engine(model, cfg, backend="float", seed=0)
+        direct = model.predict(images.reshape(-1, 1, 28, 28))
+        assert np.array_equal(engine.predict(images), direct)
+
+    def test_lenet5_float_argmax_equals_model_predict(self,
+                                                      tiny_trained_lenet,
+                                                      images):
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, FLOAT_LENGTH,
+                                       ("APC", "APC", "APC"))
+        engine = Engine(tiny_trained_lenet, cfg, backend="float", seed=0)
+        direct = tiny_trained_lenet.predict(images.reshape(-1, 1, 28, 28))
+        assert np.array_equal(engine.predict(images), direct)
+
+
+class TestFloatDomainBackends:
+    """Surrogate / noise logits track the float reference per cell."""
+
+    @pytest.mark.parametrize("model_name,kinds,pooling", FLOAT_CELLS)
+    def test_surrogate_correlates_with_float(self, zoo_trained, images,
+                                             model_name, kinds, pooling):
+        model = zoo_trained[model_name]
+        cfg = _cfg(model_name, kinds, pooling, FLOAT_LENGTH)
+        ref = Engine(model, cfg, backend="float", seed=0).forward(images)
+        sur = Engine(model, cfg, backend="surrogate", seed=0,
+                     noisy=False, samples=120).forward(images)
+        assert _mean_logit_corr(ref, sur) > 0.5   # measured 0.79-0.96
+
+    @pytest.mark.parametrize("model_name,kinds,pooling", FLOAT_CELLS)
+    def test_noise_correlates_with_float(self, zoo_trained, images,
+                                         model_name, kinds, pooling):
+        model = zoo_trained[model_name]
+        cfg = _cfg(model_name, kinds, pooling, FLOAT_LENGTH)
+        ref = Engine(model, cfg, backend="float", seed=0).forward(images)
+        noi = Engine(model, cfg, backend="noise", seed=0,
+                     samples=60).forward(images)
+        assert _mean_logit_corr(ref, noi) > 0.25  # measured 0.55-0.87
+
+
+class TestExactConformance:
+    """Seed-averaged exact logits track the float reference per cell."""
+
+    @pytest.mark.parametrize("model_name,kinds,pooling,floor", EXACT_CELLS)
+    def test_exact_correlates_with_float(self, zoo_trained, images,
+                                         model_name, kinds, pooling,
+                                         floor):
+        model = zoo_trained[model_name]
+        cfg = _cfg(model_name, kinds, pooling, EXACT_LENGTH)
+        ref = Engine(model, cfg, backend="float", seed=0).forward(images)
+        avg = np.mean([
+            Engine(model, cfg, backend="exact", seed=s).forward(images)
+            for s in range(EXACT_SEEDS)
+        ], axis=0)
+        assert _mean_logit_corr(ref, avg) > floor
+
+    @pytest.mark.parametrize("model_name", ["lenet_s", "mlp", "conv3"])
+    def test_exact_deterministic_per_seed(self, zoo_trained, images,
+                                          model_name):
+        """Same seed → byte-identical logits, any topology."""
+        model = zoo_trained[model_name]
+        cfg = _cfg(model_name, None, PoolKind.MAX, 64)
+        a = Engine(model, cfg, backend="exact", seed=3).forward(images[:3])
+        b = Engine(model, cfg, backend="exact", seed=3).forward(images[:3])
+        assert np.array_equal(a, b)
+
+    def test_conv_free_model_keeps_memory_bounded_batching(self,
+                                                           zoo_trained):
+        """_max_batch must stay finite for conv-free stacks — dense
+        working sets count too (regression: per_image was 0 for mlp and
+        the whole request ran as one unbounded chunk)."""
+        model = zoo_trained["mlp"]
+        cfg = _cfg("mlp", None, PoolKind.MAX, 64)
+        backend = Engine(model, cfg, backend="exact", seed=0).backend
+        assert backend._max_batch() < backend.batch_budget
+
+    def test_unpooled_mux_conv_under_avg_pooling(self, zoo_trained,
+                                                 images):
+        """conv3's pool-free MUX conv stage under network-wide average
+        pooling: no pooling select exists for that stage (regression:
+        a phantom select used to be drawn and silently discarded)."""
+        model = zoo_trained["conv3"]
+        cfg = _cfg("conv3", ("APC", "APC", "MUX", "APC"), PoolKind.AVG, 64)
+        # drawing selects advances the stream factory, so introspect on
+        # a throwaway engine, not the ones under comparison
+        probe = Engine(model, cfg, backend="exact", seed=3)
+        selects = probe.backend._draw_selects(1)[0]
+        assert ("ip", 2) in selects        # the MUX stage's own select
+        assert ("pool", 2) not in selects  # ... but no pooling select
+        a = Engine(model, cfg, backend="exact", seed=3).forward(images[:2])
+        b = Engine(model, cfg, backend="exact", seed=3).forward(images[:2])
+        assert np.array_equal(a, b)
+
+    @pytest.mark.slow
+    def test_long_stream_exact_agreement(self, zoo_trained, images):
+        """At L=1024 a single stream seed already tracks float closely
+        (measured: agreement 0.6, corr 0.83)."""
+        model = zoo_trained["lenet_s"]
+        cfg = _cfg("lenet_s", None, PoolKind.MAX, 1024)
+        ref = Engine(model, cfg, backend="float", seed=0)
+        exact = Engine(model, cfg, backend="exact", seed=0)
+        assert _mean_logit_corr(ref.forward(images),
+                                exact.forward(images)) > 0.55
+        agreement = float((ref.predict(images)
+                           == exact.predict(images)).mean())
+        assert agreement >= 0.3
+
+
+class TestFrozenOracle:
+    """Generalized lowering must not move the paper's LeNet-5 by a bit."""
+
+    @pytest.mark.parametrize("kinds,pooling", [
+        (("MUX", "APC", "APC"), PoolKind.MAX),
+        (("APC", "APC", "APC"), PoolKind.AVG),
+    ])
+    def test_lenet5_exact_bit_identical_to_reference(self,
+                                                     tiny_trained_lenet,
+                                                     images, kinds,
+                                                     pooling):
+        cfg = NetworkConfig.from_kinds(pooling, 64, kinds)
+        engine = Engine(tiny_trained_lenet, cfg, backend="exact", seed=0)
+        oracle = ReferenceSCNetwork(tiny_trained_lenet, cfg, seed=0)
+        got = engine.forward(images[:2])
+        want = np.stack([oracle.forward_image(img) for img in images[:2]])
+        assert np.array_equal(got, want)

@@ -1,0 +1,287 @@
+"""Property tests for the generalized lowering over randomized topologies.
+
+Hypothesis draws random-but-valid conv/pool/dense stacks (varying input
+geometry, kernel sizes, channel counts, pooling placement, dense depth)
+and asserts the structural invariants of :func:`repro.engine.graph.
+build_graph` and :func:`repro.engine.plan.compile_plan` hold for every
+one of them — shape inference round-trips, the gain-compensation cascade
+stays inside the SRAM range, and ``with_length`` reuses exactly what it
+may.  Invalid stacks are enumerated explicitly and must fail with
+actionable ``ValueError`` messages.
+
+Models here are *untrained* (initialization only): lowering and
+compilation never look at accuracy, so randomized structure is the whole
+point and training would only slow the suite down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FEBKind, LayerConfig, NetworkConfig, PoolKind
+from repro.engine.graph import build_graph
+from repro.engine.plan import compile_plan
+from repro.nn.activations import Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.module import Flatten, Layer, Sequential
+from repro.nn.pool import AvgPool2D, MaxPool2D
+
+
+@st.composite
+def random_stack(draw):
+    """A random valid (model, config, input_hw, expected-structure) tuple."""
+    input_hw = draw(st.sampled_from([(10, 10), (12, 12), (16, 16),
+                                     (14, 10)]))
+    pooling = draw(st.sampled_from([PoolKind.MAX, PoolKind.AVG]))
+    pool_cls = MaxPool2D if pooling is PoolKind.MAX else AvgPool2D
+    layers = []
+    expected = []          # (op, n_inputs, units, pooled, geometry)
+    channels, (h, w) = 1, input_hw
+    for _ in range(draw(st.integers(0, 2))):
+        kernel = draw(st.sampled_from([2, 3, 5]))
+        if h < kernel or w < kernel:
+            break
+        out_channels = draw(st.integers(1, 4))
+        conv_h, conv_w = h - kernel + 1, w - kernel + 1
+        want_pool = draw(st.booleans())
+        pooled = want_pool and conv_h % 2 == 0 and conv_w % 2 == 0
+        layers.append(Conv2D(channels, out_channels, kernel, seed=len(layers)))
+        if pooled:
+            layers.append(pool_cls(2))
+        layers.append(Tanh())
+        n = channels * kernel * kernel + 1
+        expected.append(("conv", n, out_channels, pooled,
+                         (out_channels, (h, w), (conv_h, conv_w))))
+        channels = out_channels
+        h, w = (conv_h // 2, conv_w // 2) if pooled else (conv_h, conv_w)
+    layers.append(Flatten())
+    features = channels * h * w
+    # at least one hidden layer overall: a bare logit layer has no
+    # configurable FEB stage for a NetworkConfig to describe
+    min_dense = 0 if expected else 1
+    for _ in range(draw(st.integers(min_dense, 2))):
+        units = draw(st.integers(2, 12))
+        layers.append(Dense(features, units, seed=len(layers)))
+        layers.append(Tanh())
+        expected.append(("dense", features + 1, units, False, None))
+        features = units
+    out_units = draw(st.integers(2, 10))
+    layers.append(Dense(features, out_units, seed=len(layers)))
+    expected.append(("dense", features + 1, out_units, False, None))
+    model = Sequential(layers)
+    kinds = tuple(draw(st.sampled_from(["MUX", "APC"]))
+                  for _ in range(len(expected) - 1))
+    length = draw(st.sampled_from([16, 64, 256]))
+    config = NetworkConfig.from_kinds(pooling, length, kinds)
+    return model, config, input_hw, expected
+
+
+class TestShapeInferenceRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(random_stack())
+    def test_graph_matches_manual_shape_chain(self, stack):
+        model, config, input_hw, expected = stack
+        graph = build_graph(model, config, input_hw=input_hw)
+        assert len(graph) == len(expected)
+        assert graph.input_shape == (1, input_hw[0], input_hw[1])
+        for node, (op, n, units, pooled, geometry) in zip(graph, expected):
+            assert node.op == op
+            assert node.n_inputs == n
+            assert node.units == units
+            assert node.pooled == pooled
+            assert node.geometry == geometry
+        assert [n.final for n in graph] == \
+            [False] * (len(expected) - 1) + [True]
+        assert graph.nodes[-1].kind is FEBKind.APC
+        assert graph.nodes[-1].name == "Output"
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_stack())
+    def test_weights_are_views(self, stack):
+        model, config, input_hw, _ = stack
+        graph = build_graph(model, config, input_hw=input_hw)
+        weight_layers = [l for l in model.layers
+                         if isinstance(l, (Conv2D, Dense))]
+        for node, layer in zip(graph, weight_layers):
+            assert node.weight is layer.weight.value
+
+
+class TestCompileInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(random_stack(), st.sampled_from([None, 6, 8]))
+    def test_gain_cascade_stays_in_sram_range(self, stack, bits):
+        model, config, input_hw, _ = stack
+        plan = compile_plan(build_graph(model, config, input_hw=input_hw),
+                            weight_bits=bits)
+        for lp in plan.layers:
+            # every stored variant must fit the [-1, 1] SRAM word range
+            # (the cascade's alpha back-off plus quantization guarantee it
+            # up to the 0.97 headroom)
+            assert np.max(np.abs(lp.weights)) <= 1.0
+            assert lp.deficit >= 1.0 - 1e-12
+            assert lp.applied_factor > 0.0
+            assert lp.n_states >= 2 and lp.n_states % 2 == 0
+            if lp.op == "conv":
+                assert lp.patch_index.shape == (
+                    lp.geometry[2][0] * lp.geometry[2][1],
+                    lp.n_inputs - 1)
+                assert (lp.pool_windows is not None) == lp.pooled
+            else:
+                assert lp.patch_index is None and lp.pool_windows is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_stack())
+    def test_compilation_is_deterministic(self, stack):
+        model, config, input_hw, _ = stack
+        graph = build_graph(model, config, input_hw=input_hw)
+        a = compile_plan(graph, weight_bits=7)
+        b = compile_plan(graph, weight_bits=7)
+        for la, lb in zip(a.layers, b.layers):
+            assert np.array_equal(la.weights, lb.weights)
+            assert la.n_states == lb.n_states
+            assert la.deficit == lb.deficit
+
+
+class TestWithLengthInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(random_stack())
+    def test_same_length_returns_self(self, stack):
+        model, config, input_hw, _ = stack
+        plan = compile_plan(build_graph(model, config, input_hw=input_hw))
+        assert plan.with_length(config.length) is plan
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_stack(), st.sampled_from([32, 128]))
+    def test_all_apc_reuses_layer_plans(self, stack, new_length):
+        model, config, input_hw, expected = stack
+        apc = NetworkConfig(config.pooling, config.length,
+                            tuple(LayerConfig(FEBKind.APC)
+                                  for _ in range(len(expected) - 1)))
+        plan = compile_plan(build_graph(model, apc, input_hw=input_hw),
+                            weight_bits=7)
+        other = plan.with_length(new_length)
+        assert other.length == new_length
+        # APC state numbers never involve L → plans shared outright
+        for la, lb in zip(plan.layers, other.layers):
+            assert la is lb
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_stack(), st.sampled_from([32, 128]))
+    def test_raw_quantization_shared_across_lengths(self, stack,
+                                                    new_length):
+        model, config, input_hw, _ = stack
+        plan = compile_plan(build_graph(model, config, input_hw=input_hw),
+                            weight_bits=7)
+        other = plan.with_length(new_length)
+        for la, lb in zip(plan.layers, other.layers):
+            assert la.raw_weights is lb.raw_weights
+            assert la.raw_bias is lb.raw_bias
+
+
+def _three_apc():
+    return NetworkConfig.from_kinds(PoolKind.MAX, 64, ("APC",) * 3)
+
+
+class TestInvalidStacks:
+    """Structurally broken stacks fail loudly with actionable messages."""
+
+    def test_config_depth_mismatch(self):
+        model = Sequential([Flatten(), Dense(100, 10)])
+        with pytest.raises(ValueError, match="3 layer kinds"):
+            build_graph(model, _three_apc(), input_hw=(10, 10))
+
+    def test_dense_feature_mismatch(self):
+        model = Sequential([Flatten(), Dense(64, 16), Tanh(),
+                            Dense(16, 10)])
+        with pytest.raises(ValueError, match="100"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_conv_channel_mismatch(self):
+        """conv2 expects 8 input channels but conv1 produces 4."""
+        model = Sequential([Conv2D(1, 4, 3), Tanh(), Conv2D(8, 2, 3),
+                            Tanh(), Flatten(), Dense(2 * 6 * 6, 10)])
+        with pytest.raises(ValueError, match="channels"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC", "APC")), input_hw=(10, 10))
+
+    def test_kernel_does_not_fit(self):
+        model = Sequential([Conv2D(1, 2, 5), Tanh(), Flatten(),
+                            Dense(2 * 4 * 4, 10)])
+        with pytest.raises(ValueError, match="kernel"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(4, 4))
+
+    def test_odd_conv_grid_cannot_pool(self):
+        model = Sequential([Conv2D(1, 2, 4), MaxPool2D(2), Tanh(),
+                            Flatten(), Dense(2 * 3 * 3, 10)])
+        # 10 - 4 + 1 = 7 → odd grid feeding a 2×2 pool
+        with pytest.raises(ValueError, match="odd"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_pool_without_conv(self):
+        model = Sequential([MaxPool2D(2), Flatten(), Dense(25, 16),
+                            Tanh(), Dense(16, 10)])
+        with pytest.raises(ValueError, match="follow a convolution"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_pool_after_dense(self):
+        model = Sequential([Flatten(), Dense(100, 16), MaxPool2D(2),
+                            Dense(16, 10)])
+        with pytest.raises(ValueError, match="follow a convolution"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_pool_after_final_layer(self):
+        model = Sequential([Flatten(), Dense(100, 16), Tanh(),
+                            Dense(16, 10), MaxPool2D(2)])
+        with pytest.raises(ValueError, match="after the final layer"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_tanh_after_logits(self):
+        model = Sequential([Flatten(), Dense(100, 16), Tanh(),
+                            Dense(16, 10), Tanh()])
+        with pytest.raises(ValueError, match="raw logits"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_conv_after_flatten(self):
+        model = Sequential([Flatten(), Dense(100, 64), Tanh(),
+                            Conv2D(1, 2, 3), Flatten(), Dense(8, 10)])
+        with pytest.raises(ValueError, match="flatten"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC", "APC")), input_hw=(10, 10))
+
+    def test_final_layer_must_be_dense(self):
+        model = Sequential([Conv2D(1, 2, 3), Tanh()])
+        with pytest.raises(ValueError, match="Dense logit layer"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_no_weight_layers(self):
+        model = Sequential([Flatten()])
+        with pytest.raises(ValueError, match="nothing to lower"):
+            build_graph(model, _three_apc(), input_hw=(10, 10))
+
+    def test_unsupported_layer_type(self):
+        class Mystery(Layer):
+            def forward(self, x, training=False):  # pragma: no cover
+                return x
+
+        model = Sequential([Mystery(), Flatten(), Dense(100, 16), Tanh(),
+                            Dense(16, 10)])
+        with pytest.raises(ValueError, match="Mystery"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))
+
+    def test_non_2x2_pool_rejected(self):
+        model = Sequential([Conv2D(1, 2, 3), MaxPool2D(4), Tanh(),
+                            Flatten(), Dense(2 * 2 * 2, 10)])
+        with pytest.raises(ValueError, match="2×2"):
+            build_graph(model, NetworkConfig.from_kinds(
+                PoolKind.MAX, 64, ("APC",)), input_hw=(10, 10))

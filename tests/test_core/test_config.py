@@ -31,10 +31,17 @@ class TestNetworkConfig:
         assert "No.11" in cfg.describe()
         assert "MUX-APC-APC" in cfg.describe()
 
-    def test_wrong_layer_count_rejected(self):
-        with pytest.raises(ValueError, match="3 layer"):
-            NetworkConfig(PoolKind.MAX, 256,
-                          (LayerConfig(FEBKind.APC),))
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            NetworkConfig(PoolKind.MAX, 256, ())
+
+    def test_arbitrary_depth_accepted(self):
+        """Non-LeNet depths are legal; the graph builder validates the
+        count against the model it lowers."""
+        for depth in (1, 2, 4, 6):
+            cfg = NetworkConfig(PoolKind.MAX, 256,
+                                (LayerConfig(FEBKind.APC),) * depth)
+            assert len(cfg.layers) == depth
 
     def test_non_layerconfig_rejected(self):
         with pytest.raises(ValueError, match="LayerConfig"):

@@ -93,11 +93,11 @@ class TestFastSCModel:
                             noisy=False)
         np.testing.assert_allclose(model.forward(x), again.forward(x))
 
-    def test_rejects_non_lenet(self, sc_config):
+    def test_rejects_model_config_mismatch(self, sc_config):
         from repro.nn.dense import Dense
         from repro.nn.module import Sequential
-        with pytest.raises(ValueError, match="LeNet-5"):
-            FastSCModel(Sequential([Dense(4, 2)]), sc_config)
+        with pytest.raises(ValueError, match="layer kinds"):
+            FastSCModel(Sequential([Dense(784, 2)]), sc_config)
 
 
 class TestPaperNoiseModel:

@@ -81,11 +81,11 @@ class TestGainCompensation:
 
 
 class TestSCNetworkConstruction:
-    def test_rejects_non_lenet(self):
-        model = Sequential([Dense(4, 2)])
+    def test_rejects_model_config_mismatch(self):
+        model = Sequential([Dense(784, 2)])
         cfg = NetworkConfig.from_kinds(PoolKind.MAX, 64,
                                        ("APC", "APC", "APC"))
-        with pytest.raises(ValueError, match="LeNet-5"):
+        with pytest.raises(ValueError, match="layer kinds"):
             SCNetwork(model, cfg)
 
     def test_plans_built(self, tiny_trained_lenet):

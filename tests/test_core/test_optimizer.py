@@ -59,6 +59,18 @@ class TestHolisticOptimizer:
         with pytest.raises(ValueError, match="evaluator"):
             HolisticOptimizer(trained, evaluator="oracle")
 
+    def test_cost_matches_static_lenet_geometry(self, trained):
+        """The graph-derived cost the optimizer now uses must reproduce
+        the static LENET_GEOMETRY roll-up exactly for LeNet-5."""
+        from repro.core.config import NetworkConfig
+        from repro.hw.network_cost import lenet_network_cost
+        opt = HolisticOptimizer(trained, eval_images=40, seed=0)
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 128,
+                                       ("MUX", "APC", "APC"))
+        point = opt.evaluate(cfg)
+        assert point.cost.row() == lenet_network_cost(
+            cfg, weight_bits=opt.weight_bits).row()
+
     def test_pareto_front(self, trained):
         from repro.core.config import NetworkConfig
         from repro.hw.network_cost import lenet_network_cost
@@ -69,3 +81,32 @@ class TestHolisticOptimizer:
         bad = DesignPoint(cfg, 5.0, 4.0, cost)
         front = HolisticOptimizer.pareto_front([good, bad])
         assert good in front and bad not in front
+
+
+class TestZooOptimization:
+    """The Section 6.3 procedure runs over any zoo architecture."""
+
+    @pytest.fixture(scope="class")
+    def trained_mlp(self, zoo_trained, small_dataset):
+        _, _, x_test, y_test = small_dataset
+        model = zoo_trained["mlp"]
+        err = evaluate_error_rate(model, to_bipolar(x_test), y_test)
+        return TrainedModel(model=model, pooling="max", x_test=x_test,
+                            y_test=y_test, software_error_pct=err,
+                            model_name="mlp")
+
+    def test_combos_follow_model_depth(self, trained_mlp):
+        opt = HolisticOptimizer(trained_mlp, eval_images=40)
+        combos = opt._candidate_kind_combos()
+        # 2 hidden layers, last restricted to APC → MUX/APC × {APC}
+        assert len(combos) == 2
+        assert all(len(c) == 2 and c[-1] is FEBKind.APC for c in combos)
+
+    def test_run_produces_costed_points(self, trained_mlp):
+        opt = HolisticOptimizer(trained_mlp, threshold_pct=100.0,
+                                eval_images=40, seed=0)
+        points = opt.run(max_length=128, min_length=64)
+        assert {p.config.length for p in points} == {128, 64}
+        for p in points:
+            assert len(p.config.layers) == 2
+            assert p.cost.area_mm2 > 0 and p.cost.energy_uj > 0

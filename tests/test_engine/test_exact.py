@@ -127,8 +127,14 @@ class TestExactValidation:
         return Engine(tiny_trained_lenet, cfg, backend="exact", seed=0)
 
     def test_rejects_wrong_size(self, engine):
-        with pytest.raises(ValueError, match="28"):
+        with pytest.raises(ValueError, match="784"):
             engine.forward(np.zeros((2, 1, 10, 10)))
+
+    def test_rejects_wrong_size_batch_totalling_784(self, engine):
+        """A (4, 196) batch must not be reinterpreted as one 784-pixel
+        image just because its total size matches."""
+        with pytest.raises(ValueError, match="784"):
+            engine.forward(np.zeros((4, 196)))
 
     def test_rejects_out_of_range(self, engine):
         with pytest.raises(ValueError, match=r"\[-1, 1\]"):

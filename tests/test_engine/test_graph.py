@@ -49,9 +49,10 @@ class TestBuildGraph:
                  if hasattr(l, "out_channels")][0]
         assert graph.nodes[0].weight is conv1.weight.value
 
-    def test_rejects_non_lenet(self, mixed_config):
-        model = Sequential([Dense(4, 2)])
-        with pytest.raises(ValueError, match="LeNet-5"):
+    def test_rejects_config_depth_mismatch(self, mixed_config):
+        """A 3-kind config cannot lower a single-layer model."""
+        model = Sequential([Dense(784, 10)])
+        with pytest.raises(ValueError, match="3 layer kinds"):
             build_graph(model, mixed_config)
 
     def test_describe_lists_every_node(self, tiny_trained_lenet,

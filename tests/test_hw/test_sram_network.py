@@ -57,6 +57,16 @@ class TestNetworkCost:
         assert cost.energy_uj == pytest.approx(paper.energy_uj, rel=0.1)
         assert cost.delay_ns == paper.delay_ns
 
+    def test_rejects_non_lenet_depth(self):
+        """NetworkConfig accepts any depth since the model zoo; the
+        LeNet-specific roll-up must refuse instead of zip-truncating."""
+        import pytest as _pytest
+
+        from repro.core.config import NetworkConfig, PoolKind
+        cfg = NetworkConfig.from_kinds(PoolKind.MAX, 256, ("APC", "APC"))
+        with _pytest.raises(ValueError, match="graph_network_cost"):
+            lenet_network_cost(cfg)
+
     def test_throughput_matches_paper(self):
         """781250 images/s at L=256 (Table 7)."""
         config, _ = TABLE6_CONFIGS[10]

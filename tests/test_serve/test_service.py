@@ -100,6 +100,11 @@ class TestOverridesAndValidation:
 
     def test_bad_kinds_rejected(self, service, images):
         with pytest.raises(ValueError, match="MUX/APC"):
+            service.predict(images[0], kinds="APC,OR,APC")
+
+    def test_kinds_depth_mismatch_rejected(self, service, images):
+        """A 2-kind spec cannot drive the 3-hidden-layer LeNet-5."""
+        with pytest.raises(ValueError, match="hidden weight layers"):
             service.predict(images[0], kinds="APC,APC")
 
     def test_bad_pooling_rejected(self, service, images):
