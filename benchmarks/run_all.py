@@ -12,12 +12,16 @@ are meaningful):
 * ``--serve`` — ``bench_serve.py`` →
   ``benchmarks/BENCH_serve.json`` (closed-loop multi-client serving
   throughput: micro-batched service vs per-request sequential baseline,
-  with a pooled-unbatched ablation and bit-identity checks).
+  with a pooled-unbatched ablation and bit-identity checks);
+* ``--dse`` — ``bench_dse.py`` → ``benchmarks/BENCH_dse.json``
+  (parallel design-space exploration vs the legacy sequential loop,
+  plus exact-evaluator screening savings; records ``cpu_count`` so the
+  parallel ratio reads in context).
 
 With no flags all suites run.  Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--kernels] [--engine]
-                                                [--serve]
+                                                [--serve] [--dse]
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
 ENGINE_OUTPUT = BENCH_DIR / "BENCH_engine.json"
 SERVE_OUTPUT = BENCH_DIR / "BENCH_serve.json"
+DSE_OUTPUT = BENCH_DIR / "BENCH_dse.json"
 
 
 def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
@@ -126,6 +131,37 @@ def run_serve_benchmarks(output: Path = SERVE_OUTPUT) -> dict:
     return payload
 
 
+def run_dse_benchmarks(output: Path = DSE_OUTPUT,
+                       quick: bool = False) -> dict:
+    """Run bench_dse.py in-process; write and return the payload."""
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        from bench_dse import measure_dse
+        results = measure_dse(quick=quick)
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    payload = {
+        "unit": "seconds per search / evaluation counts",
+        "note": "parallel DSE runner vs the legacy sequential "
+                "HolisticOptimizer loop over the LeNet-5 combo space "
+                "(identical workload, asserted bit-identical), plus "
+                "exact-evaluator screening savings; the >= 2.5x "
+                "acceptance gate applies on machines with >= 4 cores "
+                "(the evaluations are CPU-bound NumPy — read "
+                "speedup_workers4_vs_sequential against cpu_count)",
+        **results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(f"  parallel DSE vs sequential at 4 workers "
+          f"({results['cpu_count']} core(s)): "
+          f"{results['speedup_workers4_vs_sequential']}x; screening "
+          f"saved {results['screening']['wall_savings_pct']}% wall")
+    return payload
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", action="store_true",
@@ -134,20 +170,29 @@ def main(argv=None) -> None:
                         help="run only the engine throughput benchmark")
     parser.add_argument("--serve", action="store_true",
                         help="run only the serving throughput benchmark")
+    parser.add_argument("--dse", action="store_true",
+                        help="run only the DSE throughput benchmark")
+    parser.add_argument("--dse-quick", action="store_true",
+                        help="CI-smoke sizing for the DSE benchmark")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the kernel medians JSON")
     parser.add_argument("--engine-output", type=Path, default=ENGINE_OUTPUT,
                         help="where to write the engine benchmark JSON")
     parser.add_argument("--serve-output", type=Path, default=SERVE_OUTPUT,
                         help="where to write the serving benchmark JSON")
+    parser.add_argument("--dse-output", type=Path, default=DSE_OUTPUT,
+                        help="where to write the DSE benchmark JSON")
     args = parser.parse_args(argv)
-    run_all = not (args.kernels or args.engine or args.serve)
+    dse = args.dse or args.dse_quick
+    run_all = not (args.kernels or args.engine or args.serve or dse)
     if args.kernels or run_all:
         run_kernel_benchmarks(args.output)
     if args.engine or run_all:
         run_engine_benchmarks(args.engine_output)
     if args.serve or run_all:
         run_serve_benchmarks(args.serve_output)
+    if dse or run_all:
+        run_dse_benchmarks(args.dse_output, quick=args.dse_quick)
 
 
 if __name__ == "__main__":

@@ -12,9 +12,14 @@ runs batched inference through the unified engine:
     python -m repro infer --backend exact --batch 16
     python -m repro infer --backend surrogate --images 256 --length 512
 
-and starts the micro-batching HTTP inference service:
+starts the micro-batching HTTP inference service:
 
     python -m repro serve --port 8100 --backend exact --length 64
+
+and runs the parallel, resumable design-space exploration (Section 6.3):
+
+    python -m repro dse --model lenet5 --workers 4 --screen \
+        --store search.jsonl --resume
 """
 
 from __future__ import annotations
@@ -327,7 +332,186 @@ def _serve(argv) -> int:
     return 0
 
 
-SUBCOMMANDS = {"infer": _infer, "serve": _serve}
+def _dse_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dse",
+        description="Parallel, resumable design-space exploration "
+                    "(Section 6.3): co-optimize layer FEB kinds, stream "
+                    "length and weight precision under an accuracy "
+                    "budget; report the passing points and their Pareto "
+                    "frontier on (error, area, power, energy).",
+    )
+    from repro.nn.zoo import zoo_names
+    parser.add_argument("--model", default="lenet5", choices=zoo_names(),
+                        help="zoo architecture to search (default: lenet5)")
+    parser.add_argument("--pooling", default="max", choices=("max", "avg"),
+                        help="pooling the model trains with — the search "
+                             "explores this pooling (default: max)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="evaluation worker processes (default: 1)")
+    parser.add_argument("--evaluator", default="noise",
+                        choices=("noise", "surrogate", "exact"),
+                        help="full-fidelity evaluator (default: noise, "
+                             "the paper's methodology; exact runs the "
+                             "bit-level simulator)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="accuracy budget: max error-rate degradation "
+                             "in %% over the software baseline "
+                             "(default: 1.5, the paper's)")
+    parser.add_argument("--eval-images", type=int, default=400,
+                        help="test images per full evaluation "
+                             "(default: 400)")
+    parser.add_argument("--max-length", type=int, default=1024,
+                        help="halving schedule start (default: 1024)")
+    parser.add_argument("--min-length", type=int, default=64,
+                        help="halving schedule floor (default: 64)")
+    parser.add_argument("--weight-bits", default="8",
+                        help="weight precisions to search: comma list of "
+                             "ints, e.g. '6,8' (default: 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search seed (every point's evaluation seed "
+                             "derives from it; default: 0)")
+    parser.add_argument("--screen", action="store_true", default=False,
+                        help="pre-screen candidates with the cheap "
+                             "deterministic surrogate")
+    parser.add_argument("--no-screen", dest="screen", action="store_false",
+                        help="disable pre-screening (the default)")
+    parser.add_argument("--margin", type=float, default=None,
+                        help="screening promotion margin in %% over the "
+                             "threshold (default: the policy's "
+                             "conservative 20.0)")
+    parser.add_argument("--screen-images", type=int, default=None,
+                        help="images per screen evaluation (default: a "
+                             "quarter of --eval-images, floored at 32)")
+    parser.add_argument("--store", default=None,
+                        help="append-only JSONL result store; makes the "
+                             "search resumable")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse results already in --store (skips "
+                             "every recorded point)")
+    parser.add_argument("--export", default=None,
+                        help="write the frontier to this .csv or .json "
+                             "path (JSON includes halving trajectories)")
+    parser.add_argument("--cached-model", action="store_true",
+                        help="use the fully-trained disk-cached model "
+                             "(repro.data.cache) instead of the quick "
+                             "--train/--epochs recipe")
+    parser.add_argument("--train", type=int, default=600,
+                        help="training images for the quick model "
+                             "(default: 600)")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="training epochs for the quick model "
+                             "(default: 2)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every evaluated point")
+    return parser
+
+
+def _dse_trained(args):
+    """The TrainedModel a ``dse`` invocation searches."""
+    from repro.data.cache import TrainedModel, get_trained_model
+    if args.cached_model:
+        return get_trained_model(args.model, pooling=args.pooling)
+    from repro.nn.trainer import evaluate_error_rate
+    model, x_test, y_test = _quick_model(
+        args.train, args.epochs, n_test=max(args.eval_images, 16),
+        pooling=args.pooling, model_name=args.model)
+    # x_test is already bipolar; TrainedModel stores the [0, 1] images.
+    x_unit = (x_test + 1.0) / 2.0
+    return TrainedModel(
+        model=model, pooling=args.pooling, x_test=x_unit, y_test=y_test,
+        software_error_pct=evaluate_error_rate(model, x_test, y_test),
+        model_name=args.model)
+
+
+def _dse(argv) -> int:
+    """``python -m repro dse``: run the design-space exploration."""
+    parser = _dse_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume needs --store (there is nothing to "
+                     "resume without a result store)")
+    if args.store and not args.resume:
+        from pathlib import Path
+        existing = Path(args.store)
+        if existing.exists() and existing.stat().st_size > 0:
+            # Fail before any training runs — clobbering a finished
+            # search silently would defeat the store's whole point.
+            parser.error(f"result store {args.store} already exists; "
+                         "pass --resume to continue it or remove the "
+                         "file to start over")
+    try:
+        weight_bits = tuple(int(b) for b in
+                            str(args.weight_bits).split(","))
+    except ValueError:
+        parser.error(f"--weight-bits must be a comma list of ints, got "
+                     f"{args.weight_bits!r}")
+    from repro.analysis.tables import format_table
+    from repro.dse import (
+        ParallelRunner,
+        ResultStore,
+        ScreenPolicy,
+        SearchSpace,
+        export_frontier,
+    )
+    from repro.nn.zoo import model_digest
+
+    trained = _dse_trained(args)
+    space = SearchSpace.from_trained(
+        trained, weight_bits=weight_bits,
+        max_length=args.max_length, min_length=args.min_length)
+    screen = None
+    if args.screen:
+        overrides = {}
+        if args.margin is not None:
+            overrides["margin_pct"] = args.margin
+        if args.screen_images is not None:
+            overrides["images"] = args.screen_images
+        screen = ScreenPolicy(**overrides)
+    store = None
+    if args.store:
+        store = ResultStore(
+            args.store, model=args.model,
+            model_digest=model_digest(trained.model),
+            evaluator=args.evaluator, eval_images=args.eval_images,
+            seed=args.seed, threshold_pct=args.threshold,
+            resume=args.resume)
+    print(f"search space: model={args.model} {space.describe()}")
+    runner = ParallelRunner(
+        trained, space, threshold_pct=args.threshold,
+        eval_images=args.eval_images, seed=args.seed,
+        evaluator=args.evaluator, workers=args.workers, screen=screen,
+        store=store, verbose=args.verbose)
+    result = runner.run()
+    stats = result.stats
+
+    front = {id(p) for p in result.frontier}
+    rows = [[("*" if id(p) in front else ""), p.config.describe(),
+             f"{p.error_pct:.2f}%", f"{p.degradation_pct:+.2f}%",
+             f"{p.cost.area_mm2:.1f}", f"{p.cost.power_w:.2f}",
+             f"{p.cost.energy_uj:.2f}"] for p in result.passing]
+    print(format_table(
+        ["", "Design point", "Error", "Degradation", "Area mm²",
+         "Power W", "Energy µJ"], rows,
+        title=(f"Passing design points (threshold "
+               f"{args.threshold}%, * = Pareto-optimal on "
+               f"error/area/power/energy)"),
+    ))
+    print(f"evaluations: {stats['full_evals']} full + "
+          f"{stats['screen_evals']} screen; "
+          f"screened out {stats['screened_out']}; "
+          f"reused from store {stats['reused']}; "
+          f"wall {stats['wall_s']}s with {stats['workers']} worker(s)")
+    if args.store:
+        print(f"result store: {args.store} ({len(store)} records)")
+    if args.export:
+        path = export_frontier(result.passing, args.export,
+                               trajectories=result.trajectories())
+        print(f"frontier exported: {path}")
+    return 0
+
+
+SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse}
 
 
 def main(argv=None) -> int:
@@ -362,6 +546,7 @@ def main(argv=None) -> int:
             print(f"  {name:10s} {ZOO[name].description}")
         print("engine inference:      python -m repro infer --help")
         print("inference service:     python -m repro serve --help")
+        print("design-space search:   python -m repro dse --help")
         print("full suite: pytest benchmarks/ --benchmark-only")
         return 0
     EXPERIMENTS[args.experiment]()

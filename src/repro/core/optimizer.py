@@ -7,6 +7,14 @@ most 1.5%), halve the bit-stream length to cut energy; drop configurations
 that fail; iterate until no configuration is left.  The surviving
 (configuration, length) points — costed with the hardware model — are the
 rows of Table 6.
+
+:class:`HolisticOptimizer` is now a thin facade over the
+:mod:`repro.dse` subsystem: :meth:`HolisticOptimizer.run` delegates to
+:class:`repro.dse.runner.ParallelRunner` (gaining process parallelism,
+surrogate pre-screening and resumable stores with the same return
+shape), while :meth:`HolisticOptimizer.run_sequential` keeps the
+original in-process loop as the regression oracle the conformance suite
+compares against bit-for-bit.
 """
 
 from __future__ import annotations
@@ -141,18 +149,50 @@ class HolisticOptimizer:
         )
 
     def run(self, max_length: int = MAX_STREAM_LENGTH,
-            min_length: int = MIN_STREAM_LENGTH, verbose: bool = False
-            ) -> list:
+            min_length: int = MIN_STREAM_LENGTH, verbose: bool = False,
+            workers: int = 1, screen=None, store=None) -> list:
         """Run the Section 6.3 procedure; returns passing design points.
 
         The returned list contains every (configuration, length) point
         that met the accuracy target, across all halving iterations,
-        sorted by energy.  Each kind-combo's plan is compiled once at
-        ``max_length`` and re-targeted with
-        :meth:`repro.engine.plan.CompiledPlan.with_length` down the
-        halving loop, re-deriving only length-dependent pieces (for
-        all-APC combos the layer plans are reused outright — their state
-        numbers never involve ``L``).
+        sorted by energy — bit-identical to
+        :meth:`run_sequential` at any ``workers`` count (asserted by the
+        conformance suite).  Since the DSE subsystem the work delegates
+        to, the search can fan evaluations across ``workers`` processes,
+        pre-screen candidates (``screen=True`` or a
+        :class:`repro.dse.screen.ScreenPolicy`) and persist/resume
+        through a :class:`repro.dse.store.ResultStore` (``store=``);
+        see :class:`repro.dse.runner.ParallelRunner` for the full
+        result object.
+        """
+        from repro.dse.runner import ParallelRunner
+        from repro.dse.space import SearchSpace
+        space = SearchSpace.from_trained(
+            self.trained, weight_bits=(self.weight_bits,),
+            max_length=max_length, min_length=min_length,
+            restrict_last_to_apc=self.restrict_layer2_to_apc)
+        runner = ParallelRunner(
+            self.trained, space, threshold_pct=self.threshold_pct,
+            eval_images=self.eval_images, seed=self.seed,
+            evaluator=self.evaluator, workers=workers, screen=screen,
+            store=store, verbose=verbose)
+        return runner.run().passing
+
+    def run_sequential(self, max_length: int = MAX_STREAM_LENGTH,
+                       min_length: int = MIN_STREAM_LENGTH,
+                       verbose: bool = False) -> list:
+        """The original in-process halving loop (the regression oracle).
+
+        Each kind-combo's plan is compiled once at ``max_length`` and
+        kept as the *canonical* cache entry; every halving step
+        re-targets it with
+        :meth:`repro.engine.plan.CompiledPlan.with_length`, re-deriving
+        only length-dependent pieces (for all-APC combos the layer plans
+        are reused outright — their state numbers never involve ``L``).
+        Re-targeting always starts from the max-length plan — the cache
+        must never be overwritten with a shorter re-target, or a combo
+        revisited by a later scenario would derive from a stale length
+        (pinned by a regression test).
         """
         pooling = PoolKind.MAX if self.trained.pooling == "max" else PoolKind.AVG
         survivors = self._candidate_kind_combos()
@@ -167,12 +207,12 @@ class HolisticOptimizer:
                     layers=tuple(LayerConfig(k) for k in combo),
                     name=f"{'-'.join(k.value for k in combo)}@{length}",
                 )
-                if combo in plans:
-                    plan = plans[combo].with_length(length, name=config.name)
-                else:
-                    plan = compile_plan(self.trained.model, config,
-                                        weight_bits=self.weight_bits)
-                plans[combo] = plan
+                base = plans.get(combo)
+                if base is None:
+                    base = plans[combo] = compile_plan(
+                        self.trained.model, config,
+                        weight_bits=self.weight_bits)
+                plan = base.with_length(length, name=config.name)
                 point = self.evaluate(config, plan=plan)
                 ok = point.degradation_pct <= self.threshold_pct
                 if verbose:  # pragma: no cover - console output
@@ -188,17 +228,12 @@ class HolisticOptimizer:
 
     @staticmethod
     def pareto_front(points) -> list:
-        """Points not dominated on (error, area, energy)."""
-        front = []
-        for p in points:
-            dominated = any(
-                (q.error_pct <= p.error_pct
-                 and q.cost.area_mm2 <= p.cost.area_mm2
-                 and q.cost.energy_uj <= p.cost.energy_uj
-                 and (q.error_pct, q.cost.area_mm2, q.cost.energy_uj)
-                 != (p.error_pct, p.cost.area_mm2, p.cost.energy_uj))
-                for q in points
-            )
-            if not dominated:
-                front.append(p)
-        return front
+        """Points not dominated on (error, area, energy).
+
+        Kept on the optimizer for backwards compatibility; the
+        generalized four-metric frontier (adding power) lives in
+        :mod:`repro.dse.frontier`.
+        """
+        from repro.dse.frontier import LEGACY_METRICS
+        from repro.dse.frontier import pareto_front as generalized
+        return generalized(points, metrics=LEGACY_METRICS)

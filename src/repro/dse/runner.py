@@ -1,0 +1,512 @@
+"""Parallel, resumable execution of the Section 6.3 halving search.
+
+``ParallelRunner`` walks a :class:`repro.dse.space.SearchSpace` with the
+paper's procedure — evaluate every surviving candidate at the current
+stream length, keep those within the accuracy budget, halve, repeat —
+and fans each round's evaluations across a ``ProcessPoolExecutor``.
+
+Determinism under parallelism
+-----------------------------
+Every evaluation is a *pure function* of ``(model, config, weight_bits,
+seed, evaluator)``: each point constructs a fresh engine whose RNG is
+spawned from the per-point seed, and the per-point seed is itself a pure
+function of the search seed (the legacy optimizer seeds every point with
+the search seed; the runner preserves exactly that, so ``workers=N``
+produces results bit-identical to ``workers=1`` and to the sequential
+``HolisticOptimizer.run`` loop — asserted by the conformance suite).
+Results are gathered in submission order, not completion order, and the
+passing list is assembled in the legacy (round, scenario, combo) order
+before the final energy sort, so even tie-breaking is reproduced.
+
+Plan reuse
+----------
+Each process (the parent at ``workers=1``, every worker otherwise)
+compiles one plan per (kinds, pooling, weight_bits) at the schedule's
+``max_length`` and re-targets it per evaluation with
+:meth:`repro.engine.plan.CompiledPlan.with_length` — the max-length plan
+stays the canonical cache entry, so length variants share quantized
+weights and never recompile (all-APC combos share whole layer plans).
+
+Screening and the store
+-----------------------
+With a :class:`repro.dse.screen.ScreenPolicy`, every candidate first
+runs the cheap deterministic screen; only candidates within the policy's
+margin of the threshold are promoted to the full evaluation (a
+screened-out candidate prunes its combo exactly like a failed full
+evaluation).  With a :class:`repro.dse.store.ResultStore`, every
+result is appended as soon as it is known and already-stored points are
+never re-evaluated — killing and resuming a search converges to the
+same store contents and the same frontier as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.config import NetworkConfig
+from repro.core.optimizer import DesignPoint
+from repro.dse.frontier import halving_trajectories, pareto_front
+from repro.dse.screen import ScreenPolicy
+from repro.dse.space import Candidate, SearchSpace
+from repro.dse.store import ResultStore, make_key
+from repro.engine.engine import Engine
+from repro.engine.graph import build_graph
+from repro.engine.plan import compile_plan
+from repro.hw.network_cost import graph_network_cost
+from repro.nn.zoo import model_digest
+from repro.serve.pool import config_digest
+
+__all__ = ["EVALUATOR_SPECS", "EvalTask", "DSERecord", "DSEResult",
+           "ParallelRunner"]
+
+#: Full-fidelity evaluator -> (engine backend, backend options).  The
+#: ``noise``/``surrogate`` rows replicate the legacy optimizer's exactly
+#: (sample counts included) — that equality is what makes the facade
+#: bit-identical to the pre-DSE loop and is pinned by a test.  ``exact``
+#: runs the bit-level simulator itself: far costlier, which is where
+#: screening pays off most.
+EVALUATOR_SPECS = {
+    "noise": ("noise", {"samples": 96}),
+    "surrogate": ("surrogate", {"samples": 240}),
+    "exact": ("exact", {}),
+}
+
+#: Evaluation batch size — the legacy evaluator classes' 256-image
+#: chunking, kept so sampled-noise draws reproduce pre-engine results.
+EVAL_BATCH = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalTask:
+    """One evaluation to dispatch (pickled to worker processes).
+
+    A :class:`repro.dse.space.Candidate` plus the evaluation ``stage``;
+    the candidate is the single source of the design-point naming
+    contract (``"MUX-APC-APC@1024"``) the bit-identity suite pins.
+    """
+
+    candidate: Candidate
+    stage: str  # "full" | "screen"
+
+    @property
+    def kinds(self) -> tuple:
+        return self.candidate.kinds
+
+    @property
+    def pooling(self) -> str:
+        return self.candidate.pooling
+
+    @property
+    def weight_bits(self) -> tuple:
+        return self.candidate.weight_bits
+
+    @property
+    def length(self) -> int:
+        return self.candidate.length
+
+    @property
+    def seed(self) -> int:
+        return self.candidate.seed
+
+    @property
+    def combo_label(self) -> str:
+        return self.candidate.combo_label
+
+    def config(self) -> NetworkConfig:
+        """The design point, named exactly as the legacy loop named it."""
+        return self.candidate.config()
+
+
+class _EvalContext:
+    """Per-process evaluation state: model, eval split, plan cache.
+
+    One instance lives in the parent (``workers=1``) or in each worker
+    process (constructed once by the pool initializer).  Plans are
+    cached per (kinds, pooling, weight_bits) at ``max_length`` and
+    re-targeted per task — the canonical-plan rule the optimizer's
+    regression test pins.
+    """
+
+    def __init__(self, model, x_eval, y_eval, max_length,
+                 full_backend, full_opts, full_images,
+                 screen_backend=None, screen_opts=None, screen_images=0):
+        self.model = model
+        self.x = x_eval
+        self.y = y_eval
+        self.max_length = int(max_length)
+        self.full_backend = full_backend
+        self.full_opts = dict(full_opts)
+        self.full_images = int(full_images)
+        self.screen_backend = screen_backend
+        self.screen_opts = dict(screen_opts or {})
+        self.screen_images = int(screen_images)
+        self._plans = {}
+
+    def _base_plan(self, kinds, pooling, weight_bits):
+        key = (kinds, pooling, weight_bits)
+        plan = self._plans.get(key)
+        if plan is None:
+            config = Candidate(kinds, pooling, weight_bits,
+                               self.max_length, 0).config()
+            plan = compile_plan(self.model, config,
+                                weight_bits=weight_bits)
+            self._plans[key] = plan
+        return plan
+
+    def evaluate(self, task: EvalTask) -> float:
+        """Error rate (%) of one task — a pure function of the task."""
+        config = task.config()
+        plan = self._base_plan(task.kinds, task.pooling, task.weight_bits
+                               ).with_length(task.length, name=config.name)
+        if task.stage == "screen":
+            backend, opts, images = (self.screen_backend, self.screen_opts,
+                                     self.screen_images)
+        else:
+            backend, opts, images = (self.full_backend, self.full_opts,
+                                     self.full_images)
+        engine = Engine(plan=plan, backend=backend, seed=task.seed, **opts)
+        return engine.error_rate(self.x[:images], self.y[:images],
+                                 batch_size=EVAL_BATCH)
+
+
+#: Worker-global context, set once per process by the pool initializer.
+_WORKER_CTX = None
+
+
+def _init_worker(payload: dict) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = _EvalContext(**payload)
+
+
+def _worker_evaluate(task: EvalTask) -> float:
+    return _WORKER_CTX.evaluate(task)
+
+
+@dataclasses.dataclass(frozen=True)
+class DSERecord:
+    """One evaluated (or store-reused) point of a search."""
+
+    kinds: tuple
+    pooling: str
+    weight_bits: tuple
+    length: int
+    stage: str          # "full" | "screen"
+    error_pct: float
+    degradation_pct: float
+    passed: bool        # full: met the threshold; screen: promoted
+    reused: bool        # satisfied from the result store
+    point: object = None  # DesignPoint (full-stage records only)
+
+    @property
+    def combo_label(self) -> str:
+        return "-".join(self.kinds)
+
+    @property
+    def scenario_label(self) -> str:
+        bits = ",".join("f" if b is None else str(b)
+                        for b in self.weight_bits)
+        return f"{self.combo_label}|{self.pooling}/w{bits}"
+
+
+@dataclasses.dataclass
+class DSEResult:
+    """Outcome of one search.
+
+    ``passing`` is exactly the legacy ``HolisticOptimizer.run`` return
+    shape: every (configuration, length) point that met the accuracy
+    budget, sorted by energy.  ``records`` is the full evaluation log
+    (screen results included), ``frontier`` the generalized Pareto
+    frontier of ``passing`` on (error, area, power, energy).
+    """
+
+    passing: list
+    records: list
+    frontier: list
+    stats: dict
+
+    def trajectories(self) -> dict:
+        """Per-combo halving trajectories (see :mod:`repro.dse.frontier`)."""
+        return halving_trajectories(self.records)
+
+
+class ParallelRunner:
+    """Parallel, resumable design-space exploration over one model.
+
+    Parameters
+    ----------
+    trained:
+        A :class:`repro.data.cache.TrainedModel`.
+    space:
+        The :class:`SearchSpace` to walk (default: the legacy space —
+        the model's pooling, 8-bit weights, lengths 1024 → 64).
+    threshold_pct:
+        Accuracy budget: maximum error-rate degradation over the
+        software baseline (the paper uses 1.5).
+    eval_images:
+        Test images per full evaluation.
+    seed:
+        Search seed; every point's evaluation seed derives from it
+        deterministically (identically, matching the legacy loop).
+    evaluator:
+        ``"noise"`` (the paper's methodology, default), ``"surrogate"``
+        (calibrated transfer curves) or ``"exact"`` (bit-level
+        simulation — costly; combine with screening).
+    workers:
+        Process count; ``1`` evaluates in-process (no pool).
+    screen:
+        ``None``/``False`` (off), ``True`` (default policy) or a
+        :class:`ScreenPolicy`.
+    store:
+        A :class:`ResultStore` for resumable/incremental searches.
+    """
+
+    def __init__(self, trained, space: SearchSpace | None = None, *,
+                 threshold_pct: float = 1.5, eval_images: int = 400,
+                 seed: int = 0, evaluator: str = "noise",
+                 workers: int = 1, screen=None,
+                 store: ResultStore | None = None, verbose: bool = False):
+        if evaluator not in EVALUATOR_SPECS:
+            raise ValueError(
+                f"evaluator must be one of {sorted(EVALUATOR_SPECS)}, "
+                f"got {evaluator!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.trained = trained
+        self.space = space if space is not None else \
+            SearchSpace.from_trained(trained)
+        self.threshold_pct = float(threshold_pct)
+        self.seed = int(seed)
+        self.evaluator = evaluator
+        self.workers = int(workers)
+        if screen is True:
+            screen = ScreenPolicy()
+        elif screen is False:
+            screen = None
+        self.screen = screen
+        self.store = store
+        self.verbose = verbose
+        self.digest = model_digest(trained.model)
+        if store is not None and store.model_digest and \
+                store.model_digest != self.digest:
+            raise ValueError(
+                "result store belongs to a different model "
+                f"({store.model_digest} != {self.digest})")
+        x = trained.bipolar_test_images()[:eval_images]
+        self._x = x
+        self._y = trained.y_test[:eval_images]
+        self.eval_images = len(x)
+        backend, opts = EVALUATOR_SPECS[evaluator]
+        self._full_backend, self._full_opts = backend, opts
+        if self.screen is not None:
+            self._screen_images = self.screen.resolve_images(
+                self.eval_images)
+            self._screen_opts = self.screen.backend_opts()
+        else:
+            self._screen_images = 0
+            self._screen_opts = {}
+
+    # ------------------------------------------------------------------
+    def _context_payload(self) -> dict:
+        payload = dict(
+            model=self.trained.model, x_eval=self._x, y_eval=self._y,
+            max_length=self.space.max_length,
+            full_backend=self._full_backend, full_opts=self._full_opts,
+            full_images=self.eval_images,
+        )
+        if self.screen is not None:
+            payload.update(screen_backend=self.screen.backend,
+                           screen_opts=self._screen_opts,
+                           screen_images=self._screen_images)
+        return payload
+
+    def _task(self, scenario, kinds, length: int, stage: str) -> EvalTask:
+        return EvalTask(
+            candidate=Candidate(tuple(kinds), scenario.pooling,
+                                scenario.weight_bits, length, self.seed),
+            stage=stage)
+
+    def _stage_signature(self, stage: str) -> tuple:
+        """(backend signature, images) pinning a stage's determinism."""
+        if stage == "screen":
+            backend, opts, images = (self.screen.backend,
+                                     self._screen_opts,
+                                     self._screen_images)
+        else:
+            backend, opts, images = (self._full_backend, self._full_opts,
+                                     self.eval_images)
+        sig = backend + "".join(f";{k}={v}" for k, v in sorted(opts.items()))
+        return sig, images
+
+    def _store_key(self, task: EvalTask) -> str:
+        sig, images = self._stage_signature(task.stage)
+        return make_key(self.digest, config_digest(task.config()),
+                        task.weight_bits, task.length, task.seed,
+                        task.stage, sig, images)
+
+    def _store_record(self, task: EvalTask, error: float, degradation:
+                      float, passed: bool, cost) -> None:
+        if self.store is None:
+            return
+        payload = {
+            "model": getattr(self.trained, "model_name", ""),
+            "combo": task.combo_label, "pooling": task.pooling,
+            "weight_bits": list(task.weight_bits), "length": task.length,
+            "seed": task.seed, "stage": task.stage,
+            "error_pct": float(error),
+            "degradation_pct": float(degradation), "passed": bool(passed),
+        }
+        if cost is not None:
+            payload["cost"] = {"area_mm2": cost.area_mm2,
+                               "power_w": cost.power_w,
+                               "delay_ns": cost.delay_ns,
+                               "energy_uj": cost.energy_uj}
+        self.store.record(self._store_key(task), payload)
+
+    def _executor(self, state: dict):
+        """The lazily-created evaluation executor (pool or in-process).
+
+        Created on the first store *miss* — a fully-resumed search never
+        forks a worker (or even builds the in-process plan cache).
+        """
+        if self.workers == 1:
+            if state.get("ctx") is None:
+                state["ctx"] = _EvalContext(**self._context_payload())
+            return None, state["ctx"]
+        if state.get("pool") is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            state["pool"] = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp_ctx,
+                initializer=_init_worker,
+                initargs=(self._context_payload(),))
+        return state["pool"], None
+
+    def _evaluate_batch(self, tasks, state: dict):
+        """Evaluate ``tasks``; returns (errors, reused_flags) in order.
+
+        Store hits short-circuit; misses dispatch to the pool (or run
+        in-process) and are *gathered in submission order* — completion
+        order never influences results.
+        """
+        errors = [None] * len(tasks)
+        reused = [False] * len(tasks)
+        pending = []
+        for i, task in enumerate(tasks):
+            record = (self.store.get(self._store_key(task))
+                      if self.store is not None else None)
+            if record is not None:
+                errors[i] = float(record["error_pct"])
+                reused[i] = True
+            else:
+                pending.append(i)
+        if pending:
+            pool, ctx = self._executor(state)
+            if pool is not None:
+                futures = [(i, pool.submit(_worker_evaluate, tasks[i]))
+                           for i in pending]
+                for i, future in futures:
+                    errors[i] = future.result()
+            else:
+                for i in pending:
+                    errors[i] = ctx.evaluate(tasks[i])
+        return errors, reused
+
+    # ------------------------------------------------------------------
+    def run(self) -> DSEResult:
+        """Run the halving search; returns the :class:`DSEResult`."""
+        start = time.perf_counter()
+        space = self.space
+        scenarios = space.scenarios()
+        survivors = {scenario: list(space.combos())
+                     for scenario in scenarios}
+        software = self.trained.software_error_pct
+        records, passing = [], []
+        stats = {"full_evals": 0, "screen_evals": 0, "screened_out": 0,
+                 "reused": 0, "points": 0}
+        state = {"pool": None, "ctx": None}
+        try:
+            for length in space.lengths():
+                round_cells = [(scenario, combo) for scenario in scenarios
+                               for combo in survivors[scenario]]
+                if not round_cells:
+                    break
+                promoted = round_cells
+                if self.screen is not None:
+                    stasks = [self._task(sc, combo, length, "screen")
+                              for sc, combo in round_cells]
+                    serrs, sreused = self._evaluate_batch(stasks, state)
+                    promoted = []
+                    for cell, task, error, was_reused in zip(
+                            round_cells, stasks, serrs, sreused):
+                        degradation = error - software
+                        ok = self.screen.promotes(degradation,
+                                                  self.threshold_pct)
+                        records.append(DSERecord(
+                            kinds=task.kinds, pooling=task.pooling,
+                            weight_bits=task.weight_bits, length=length,
+                            stage="screen", error_pct=error,
+                            degradation_pct=degradation, passed=ok,
+                            reused=was_reused))
+                        self._store_record(task, error, degradation, ok,
+                                           None)
+                        stats["screen_evals"] += 0 if was_reused else 1
+                        stats["reused"] += 1 if was_reused else 0
+                        if ok:
+                            promoted.append(cell)
+                        else:
+                            stats["screened_out"] += 1
+                            if self.verbose:  # pragma: no cover - console
+                                print(f"{task.config().describe():34s} "
+                                      f"screen={degradation:+.2f}% "
+                                      f"SCREENED-OUT")
+                ftasks = [self._task(sc, combo, length, "full")
+                          for sc, combo in promoted]
+                ferrs, freused = self._evaluate_batch(ftasks, state)
+                next_survivors = {scenario: [] for scenario in scenarios}
+                for (scenario, combo), task, error, was_reused in zip(
+                        promoted, ftasks, ferrs, freused):
+                    degradation = error - software
+                    ok = degradation <= self.threshold_pct
+                    config = task.config()
+                    cost = graph_network_cost(
+                        build_graph(self.trained.model, config),
+                        weight_bits=task.weight_bits)
+                    point = DesignPoint(config=config, error_pct=error,
+                                        degradation_pct=degradation,
+                                        cost=cost)
+                    records.append(DSERecord(
+                        kinds=task.kinds, pooling=task.pooling,
+                        weight_bits=task.weight_bits, length=length,
+                        stage="full", error_pct=error,
+                        degradation_pct=degradation, passed=ok,
+                        reused=was_reused, point=point))
+                    self._store_record(task, error, degradation, ok, cost)
+                    stats["full_evals"] += 0 if was_reused else 1
+                    stats["reused"] += 1 if was_reused else 0
+                    stats["points"] += 1
+                    if self.verbose:  # pragma: no cover - console output
+                        print(f"{point.summary()}  "
+                              f"{'PASS' if ok else 'FAIL'}")
+                    if ok:
+                        passing.append(point)
+                        next_survivors[scenario].append(combo)
+                survivors = next_survivors
+        finally:
+            if state["pool"] is not None:
+                state["pool"].shutdown(wait=True, cancel_futures=True)
+        passing.sort(key=lambda p: p.cost.energy_uj)
+        stats.update(
+            wall_s=round(time.perf_counter() - start, 4),
+            workers=self.workers, evaluator=self.evaluator,
+            eval_images=self.eval_images,
+            threshold_pct=self.threshold_pct, space=space.describe(),
+            screen=(dataclasses.asdict(self.screen)
+                    if self.screen is not None else None),
+            screen_images=self._screen_images or None,
+        )
+        return DSEResult(passing=passing, records=records,
+                         frontier=pareto_front(passing), stats=stats)

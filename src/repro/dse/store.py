@@ -1,0 +1,171 @@
+"""Append-only JSONL result store: resumable, incremental searches.
+
+Every evaluated point of a search is one JSON line keyed by
+``(model digest, config digest, weight_bits, length, seed, stage,
+backend, images)`` — everything that determines the evaluation's result
+bit-for-bit.  The runner consults the store before dispatching an
+evaluation and appends (with a flush) immediately after computing one,
+so a search killed mid-flight loses at most the point in progress;
+re-running with ``resume=True`` skips every recorded key and the final
+file holds each point exactly once.
+
+Schema (one object per line):
+
+* header (first line)::
+
+    {"kind": "header", "version": 1, "model": "lenet5",
+     "model_digest": "…", "evaluator": "noise", "eval_images": 400,
+     "seed": 0, "threshold_pct": 1.5}
+
+* result (everything after)::
+
+    {"kind": "result", "key": "…|…|w8,8,8,8|L1024|s0|full|noise|n400",
+     "combo": "MUX-APC-APC", "pooling": "max", "weight_bits": [8,8,8,8],
+     "length": 1024, "seed": 0, "stage": "full", "error_pct": 2.1,
+     "degradation_pct": 0.6, "passed": true,
+     "cost": {"area_mm2": …, "power_w": …, "delay_ns": …,
+              "energy_uj": …}}
+
+Only ``error_pct`` is consumed on resume — pass/fail is re-decided
+against the *current* threshold and hardware costs are re-derived from
+the (deterministic, cached) cost model, so resumed searches stay
+bit-identical to uninterrupted ones even across a threshold change.
+A torn trailing line (the signature of a killed process) is tolerated
+and dropped; corruption anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultStore", "make_key"]
+
+VERSION = 1
+
+
+def make_key(model_digest: str, config_digest: str, weight_bits,
+             length: int, seed: int, stage: str, backend: str,
+             images: int) -> str:
+    """The store key of one evaluation — its full determinism contract."""
+    bits = ",".join("f" if b is None else str(int(b)) for b in weight_bits)
+    return "|".join([model_digest, config_digest, f"w{bits}", f"L{length}",
+                     f"s{seed}", stage, backend, f"n{images}"])
+
+
+class ResultStore:
+    """Append-only JSONL store of evaluated design points.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  A fresh store writes its header immediately; an
+        existing file is only touched when ``resume=True`` (refusing to
+        silently clobber a previous search is deliberate — delete the
+        file or resume it).
+    model / model_digest / evaluator / eval_images / seed /
+    threshold_pct:
+        Search identity, recorded in the header.  On resume the
+        ``model_digest`` must match — resuming a different model is
+        always a mistake; every other field only feeds the per-result
+        keys (a changed ``eval_images`` simply never matches a stored
+        key).
+    """
+
+    def __init__(self, path, *, model: str = "", model_digest: str = "",
+                 evaluator: str = "", eval_images: int = 0, seed: int = 0,
+                 threshold_pct: float | None = None, resume: bool = False):
+        self.path = Path(path)
+        self.model_digest = model_digest
+        self._index = {}
+        self.dropped_lines = 0
+        header = {"kind": "header", "version": VERSION, "model": model,
+                  "model_digest": model_digest, "evaluator": evaluator,
+                  "eval_images": int(eval_images), "seed": int(seed),
+                  "threshold_pct": threshold_pct}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            if not resume:
+                raise ValueError(
+                    f"result store {self.path} already exists; resume it "
+                    "(--resume) or remove the file to start over")
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append(header)
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        raw = self.path.read_text()
+        lines = raw.splitlines()
+        if lines and not raw.endswith("\n"):
+            # A kill can also persist a record's JSON bytes but not its
+            # trailing newline; the line parses fine, but appending over
+            # it would fuse two records.  Normalize the tail up front.
+            with self.path.open("a") as fh:
+                fh.write("\n")
+        records = []
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # A torn final line is exactly what a killed search
+                    # leaves behind; drop it (the point re-evaluates)
+                    # and truncate it from the file — a torn tail has no
+                    # trailing newline, so appending over it would fuse
+                    # it with the next record and corrupt the store.
+                    self.dropped_lines += 1
+                    with self.path.open("w") as fh:
+                        fh.write("".join(good + "\n"
+                                         for good in lines[:lineno]))
+                    continue
+                raise ValueError(
+                    f"{self.path}:{lineno + 1}: corrupt store line")
+        if not records or records[0].get("kind") != "header":
+            raise ValueError(f"{self.path}: not a DSE result store "
+                             "(missing header line)")
+        header = records[0]
+        if header.get("version") != VERSION:
+            raise ValueError(
+                f"{self.path}: store version {header.get('version')} "
+                f"!= supported {VERSION}")
+        if self.model_digest and header.get("model_digest") and \
+                header["model_digest"] != self.model_digest:
+            raise ValueError(
+                f"{self.path}: store was written for model digest "
+                f"{header['model_digest']}, not {self.model_digest} — "
+                "resuming a different model/training run is not allowed")
+        for record in records[1:]:
+            if record.get("kind") == "result" and "key" in record:
+                self._index[record["key"]] = record
+
+    def _append(self, payload: dict) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            fh.flush()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The stored record under ``key``, or ``None``."""
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        """Number of stored results (header excluded)."""
+        return len(self._index)
+
+    def record(self, key: str, payload: dict) -> None:
+        """Append one result (idempotent: known keys are not rewritten)."""
+        if key in self._index:
+            return
+        record = {"kind": "result", "key": key, **payload}
+        self._index[key] = record
+        self._append(record)
+
+    def results(self) -> list:
+        """All stored result records (insertion order)."""
+        return list(self._index.values())

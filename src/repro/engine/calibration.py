@@ -27,6 +27,8 @@ subsystem was introduced; the legacy module re-exports the public names.
 from __future__ import annotations
 
 import hashlib
+import os
+from pathlib import Path
 
 import numpy as np
 
@@ -54,6 +56,21 @@ TARGET_RANGE = 3.0   # pooled pre-activations of the trained net stay within
 N_BINS = 25
 
 
+def _atomic_savez(path, **arrays) -> None:
+    """Write an ``.npz`` atomically (write-temp + rename).
+
+    The calibration disk cache is shared by every process on the
+    machine; the DSE runner's worker pool can race two processes onto
+    one cache key (they compute identical artifacts).  A plain
+    ``np.savez`` would let one process load the other's half-written
+    file; ``os.replace`` makes the publish atomic on POSIX.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+    np.savez(tmp, **arrays)
+    os.replace(tmp, path)
+
+
 class FEBCalibration:
     """A measured transfer curve: per-bin mean and noise of a block."""
 
@@ -74,7 +91,8 @@ class FEBCalibration:
         return np.clip(out, -1.0, 1.0)
 
     def save(self, path) -> None:
-        np.savez(path, centers=self.centers, mean=self.mean, std=self.std)
+        _atomic_savez(path, centers=self.centers, mean=self.mean,
+                      std=self.std)
 
     @classmethod
     def load(cls, path) -> "FEBCalibration":
@@ -222,5 +240,5 @@ def measured_stage_sigma(kind_key: str, n: int, length: int,
         refs, hw = _measure_feb(kind_key, n, length, samples, seed)
     sigma = float(np.abs(hw - refs).mean() * np.sqrt(np.pi / 2.0))
     if use_cache:
-        np.savez(path, sigma=sigma)
+        _atomic_savez(path, sigma=sigma)
     return sigma

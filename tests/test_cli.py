@@ -124,6 +124,72 @@ class TestServeCli:
             assert flag in out
 
 
+class TestDseCli:
+    def test_dse_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "dse" in capsys.readouterr().out
+
+    def test_resume_needs_store(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "--resume"])
+        assert excinfo.value.code != 0
+        assert "--store" in capsys.readouterr().err
+
+    def test_bad_weight_bits_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "--weight-bits", "eight"])
+        assert excinfo.value.code != 0
+        assert "comma list of ints" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "--model", "resnet50"])
+        assert excinfo.value.code != 0
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_dse_end_to_end_with_store_resume_export(self, capsys,
+                                                     tmp_path):
+        """A tiny search runs, persists, resumes and exports."""
+        store = str(tmp_path / "search.jsonl")
+        export = str(tmp_path / "frontier.csv")
+        args = ["dse", "--model", "mlp", "--train", "150", "--epochs",
+                "1", "--eval-images", "40", "--max-length", "64",
+                "--min-length", "64", "--threshold", "100",
+                "--store", store]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Passing design points" in out
+        assert "reused from store 0" in out
+
+        assert main(args + ["--resume", "--export", export]) == 0
+        out = capsys.readouterr().out
+        assert "reused from store 2" in out  # both MLP combos reused
+        assert "frontier exported" in out
+        assert (tmp_path / "frontier.csv").read_text().startswith(
+            "config,")
+
+    def test_existing_store_without_resume_fails(self, capsys, tmp_path):
+        """Fails fast — before any training — instead of clobbering."""
+        store = tmp_path / "search.jsonl"
+        store.write_text('{"kind": "header", "version": 1}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "--model", "mlp", "--train", "150", "--epochs",
+                  "1", "--max-length", "64", "--min-length", "64",
+                  "--store", str(store)])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "already exists" in err and "--resume" in err
+
+    def test_dse_help_documents_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--workers", "--screen", "--no-screen", "--resume",
+                     "--store", "--margin", "--evaluator", "--export"):
+            assert flag in out
+
+
 class TestEngineErrorPaths:
     def test_weight_bits_alongside_plan_rejected(self, tiny_trained_lenet):
         """Engine(plan=..., weight_bits=...) must fail loudly: the plan

@@ -82,6 +82,38 @@ class TestHolisticOptimizer:
         front = HolisticOptimizer.pareto_front([good, bad])
         assert good in front and bad not in front
 
+    def test_run_matches_run_sequential(self, trained):
+        """The facade (DSE runner underneath) must reproduce the legacy
+        in-process loop bit-for-bit."""
+        opt = HolisticOptimizer(trained, threshold_pct=100.0,
+                                eval_images=40, seed=0)
+        assert (opt.run(max_length=128, min_length=64)
+                == opt.run_sequential(max_length=128, min_length=64))
+
+    def test_with_length_always_retargets_from_max_length(self, trained,
+                                                          monkeypatch):
+        """Regression: the halving loop once overwrote its plan cache
+        with each round's (shorter) re-target, so from the third round
+        on a combo re-derived from a stale shorter plan instead of the
+        canonical max-length compile.  Pin that every ``with_length``
+        call starts from the max-length plan."""
+        from repro.engine.plan import CompiledPlan
+        sources = []
+        original = CompiledPlan.with_length
+
+        def spy(self, length, name=None):
+            sources.append((self.config.length, length))
+            return original(self, length, name=name)
+
+        monkeypatch.setattr(CompiledPlan, "with_length", spy)
+        opt = HolisticOptimizer(trained, threshold_pct=100.0,
+                                eval_images=20, seed=0)
+        opt.run_sequential(max_length=256, min_length=64)
+        # three halving rounds (256, 128, 64) — all re-targets must
+        # originate at 256
+        assert {target for _, target in sources} == {256, 128, 64}
+        assert all(source == 256 for source, _ in sources)
+
 
 class TestZooOptimization:
     """The Section 6.3 procedure runs over any zoo architecture."""

@@ -1,0 +1,295 @@
+"""Conformance suite for the parallel DSE runner.
+
+The load-bearing guarantees:
+
+* ``ParallelRunner`` at any worker count reproduces the legacy
+  sequential ``HolisticOptimizer.run_sequential`` **bit-identically**
+  (same passing set, same errors, same frontier — dataclass equality,
+  floats exact);
+* interrupted searches resume to the same store contents and the same
+  frontier as uninterrupted ones, each point evaluated exactly once;
+* surrogate screening never drops a point the full evaluation would
+  have passed (the ISSUE's acceptance assert, on the LeNet-5 space).
+"""
+
+import json
+
+import pytest
+
+from repro.core.optimizer import HolisticOptimizer
+from repro.dse import (
+    ParallelRunner,
+    ResultStore,
+    ScreenPolicy,
+    SearchSpace,
+)
+from repro.dse.runner import EVALUATOR_SPECS
+from repro.nn.zoo import model_digest
+
+
+def _runner(trained, threshold, workers=1, max_length=128, min_length=64,
+            **kwargs):
+    space = SearchSpace.from_trained(trained, max_length=max_length,
+                                     min_length=min_length)
+    return ParallelRunner(trained, space, threshold_pct=threshold,
+                          eval_images=40, seed=0, workers=workers,
+                          **kwargs)
+
+
+class TestEvaluatorSpecs:
+    def test_match_legacy_optimizer_backends(self):
+        """The runner's evaluator wiring must equal the legacy
+        optimizer's — that equality is the bit-identity contract."""
+        for evaluator in ("noise", "surrogate"):
+            backend, opts = EVALUATOR_SPECS[evaluator]
+            assert backend == HolisticOptimizer._BACKENDS[evaluator]
+            assert opts == HolisticOptimizer._BACKEND_OPTS[evaluator]
+
+    def test_unknown_evaluator_rejected(self, trained_lenet):
+        with pytest.raises(ValueError, match="evaluator"):
+            ParallelRunner(trained_lenet, evaluator="oracle")
+
+    def test_bad_worker_count_rejected(self, trained_lenet):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelRunner(trained_lenet, workers=0)
+
+
+class TestLenetEquivalence:
+    """workers=1, workers=4 and the legacy loop agree bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def legacy(self, trained_lenet, lenet_mid_threshold):
+        opt = HolisticOptimizer(trained_lenet,
+                                threshold_pct=lenet_mid_threshold,
+                                eval_images=40, seed=0)
+        return opt.run_sequential(max_length=128, min_length=64)
+
+    def test_threshold_actually_prunes(self, trained_lenet, legacy):
+        """The derived threshold keeps the comparison meaningful."""
+        assert 0 < len(legacy) < 8
+
+    def test_workers1_bit_identical_to_legacy(self, trained_lenet,
+                                              lenet_mid_threshold, legacy):
+        result = _runner(trained_lenet, lenet_mid_threshold).run()
+        assert result.passing == legacy
+
+    def test_workers4_bit_identical_to_legacy(self, trained_lenet,
+                                              lenet_mid_threshold, legacy):
+        result = _runner(trained_lenet, lenet_mid_threshold,
+                         workers=4).run()
+        assert result.passing == legacy
+
+    def test_facade_run_delegates(self, trained_lenet,
+                                  lenet_mid_threshold, legacy):
+        opt = HolisticOptimizer(trained_lenet,
+                                threshold_pct=lenet_mid_threshold,
+                                eval_images=40, seed=0)
+        assert opt.run(max_length=128, min_length=64) == legacy
+        assert opt.run(max_length=128, min_length=64,
+                       workers=2) == legacy
+
+    def test_frontier_subset_of_passing(self, trained_lenet,
+                                        lenet_mid_threshold):
+        result = _runner(trained_lenet, lenet_mid_threshold).run()
+        assert set(map(id, result.frontier)) <= set(map(id,
+                                                        result.passing))
+
+
+class TestMlpEquivalence:
+    def test_workers_match_legacy(self, trained_mlp):
+        opt = HolisticOptimizer(trained_mlp, threshold_pct=100.0,
+                                eval_images=40, seed=0)
+        legacy = opt.run_sequential(max_length=128, min_length=64)
+        assert legacy  # every combo survives the generous budget
+        for workers in (1, 2):
+            result = _runner(trained_mlp, 100.0, workers=workers).run()
+            assert result.passing == legacy
+
+
+class TestExactEvaluator:
+    """The runner can drive the bit-level simulator directly."""
+
+    def test_exact_runs_and_is_deterministic(self, trained_mlp):
+        def run(workers):
+            space = SearchSpace.from_trained(trained_mlp, max_length=64,
+                                             min_length=64)
+            return ParallelRunner(trained_mlp, space, threshold_pct=1e9,
+                                  eval_images=16, seed=0,
+                                  evaluator="exact",
+                                  workers=workers).run()
+        first = run(1)
+        assert len(first.passing) == 2  # both MLP combos, one round
+        assert all(0.0 <= p.error_pct <= 100.0 for p in first.passing)
+        assert run(2).passing == first.passing
+
+
+class TestResume:
+    def test_kill_and_resume_converges(self, trained_lenet,
+                                       lenet_mid_threshold, tmp_path):
+        digest = model_digest(trained_lenet.model)
+
+        def fresh_store(path, resume=False):
+            return ResultStore(path, model="lenet5", model_digest=digest,
+                               evaluator="noise", eval_images=40, seed=0,
+                               resume=resume)
+
+        full_path = tmp_path / "full.jsonl"
+        baseline = _runner(trained_lenet, lenet_mid_threshold,
+                           store=fresh_store(full_path)).run()
+        lines = full_path.read_text().splitlines()
+        n_results = len(lines) - 1
+        assert n_results == baseline.stats["full_evals"]
+
+        # Simulate a search killed after k points — plus the torn line
+        # a mid-write kill leaves behind.
+        k = n_results // 2
+        assert k >= 1
+        part_path = tmp_path / "part.jsonl"
+        part_path.write_text("\n".join(lines[:1 + k]) + "\n"
+                             + '{"kind": "result", "key": "torn')
+        store = fresh_store(part_path, resume=True)
+        assert store.dropped_lines == 1
+        result = _runner(trained_lenet, lenet_mid_threshold,
+                         store=store).run()
+
+        assert result.passing == baseline.passing
+        assert result.frontier == baseline.frontier
+        assert result.stats["reused"] == k
+        assert result.stats["full_evals"] == n_results - k
+
+        # The final store holds each point exactly once, and exactly
+        # the uninterrupted run's point set.
+        final = [json.loads(line)
+                 for line in part_path.read_text().splitlines()]
+        keys = [r["key"] for r in final if r.get("kind") == "result"]
+        assert len(keys) == len(set(keys)) == n_results
+        base_keys = [json.loads(line)["key"] for line in lines[1:]]
+        assert set(keys) == set(base_keys)
+
+    def test_resumed_run_with_same_store_reuses_everything(
+            self, trained_lenet, lenet_mid_threshold, tmp_path):
+        digest = model_digest(trained_lenet.model)
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path, model_digest=digest, evaluator="noise",
+                            eval_images=40, seed=0)
+        baseline = _runner(trained_lenet, lenet_mid_threshold,
+                           store=store).run()
+        again = _runner(
+            trained_lenet, lenet_mid_threshold,
+            store=ResultStore(path, model_digest=digest, resume=True),
+        ).run()
+        assert again.passing == baseline.passing
+        assert again.stats["full_evals"] == 0
+        assert again.stats["reused"] == baseline.stats["full_evals"]
+
+    def test_fully_resumed_search_spawns_no_workers(
+            self, trained_lenet, lenet_mid_threshold, tmp_path,
+            monkeypatch):
+        """A search satisfied entirely from the store must not pay for
+        a process pool (or even an in-process plan cache)."""
+        import repro.dse.runner as runner_mod
+        digest = model_digest(trained_lenet.model)
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path, model_digest=digest, evaluator="noise",
+                            eval_images=40, seed=0)
+        baseline = _runner(trained_lenet, lenet_mid_threshold,
+                           store=store).run()
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("worker pool spawned on a fully-"
+                                 "resumed search")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(runner_mod, "_EvalContext", boom)
+        resumed = _runner(
+            trained_lenet, lenet_mid_threshold, workers=2,
+            store=ResultStore(path, model_digest=digest, resume=True),
+        ).run()
+        assert resumed.passing == baseline.passing
+
+    def test_store_for_other_model_rejected(self, trained_lenet,
+                                            tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl",
+                            model_digest="not-this-model")
+        with pytest.raises(ValueError, match="different model"):
+            ParallelRunner(trained_lenet, store=store)
+
+
+class TestScreening:
+    def test_never_drops_a_passing_point(self, trained_lenet,
+                                         lenet_mid_threshold):
+        """The ISSUE acceptance assert: with the default (conservative)
+        policy, the screened search's passing set equals the unscreened
+        one on the LeNet-5 space — screening only ever skips points the
+        full evaluation would have failed anyway."""
+        plain = _runner(trained_lenet, lenet_mid_threshold).run()
+        screened = _runner(trained_lenet, lenet_mid_threshold,
+                           screen=True).run()
+        assert screened.passing == plain.passing
+        assert screened.frontier == plain.frontier
+        # Honest accounting: every candidate was screened, and full
+        # evaluations ran only for promoted candidates.
+        screen_records = [r for r in screened.records
+                          if r.stage == "screen"]
+        full_records = [r for r in screened.records if r.stage == "full"]
+        assert screened.stats["screen_evals"] == len(screen_records)
+        assert screened.stats["screened_out"] == sum(
+            not r.passed for r in screen_records)
+        assert len(full_records) == sum(r.passed for r in screen_records)
+
+    def test_hopeless_budget_screens_everything(self, trained_lenet):
+        """With an unreachable budget and no margin, the screen rejects
+        every candidate and the search never pays a full evaluation."""
+        result = _runner(trained_lenet, -1000.0,
+                         screen=ScreenPolicy(margin_pct=0.0)).run()
+        assert result.passing == []
+        assert result.stats["full_evals"] == 0
+        assert result.stats["screened_out"] == 4  # every L=128 combo
+        plain = _runner(trained_lenet, -1000.0).run()
+        assert plain.passing == []  # screening changed nothing
+
+    def test_screen_parallel_matches_sequential(self, trained_lenet,
+                                                lenet_mid_threshold):
+        seq = _runner(trained_lenet, lenet_mid_threshold,
+                      screen=True).run()
+        par = _runner(trained_lenet, lenet_mid_threshold, workers=2,
+                      screen=True).run()
+        assert par.passing == seq.passing
+        assert par.stats["screened_out"] == seq.stats["screened_out"]
+
+    def test_trajectories_cover_all_records(self, trained_lenet,
+                                            lenet_mid_threshold):
+        result = _runner(trained_lenet, lenet_mid_threshold,
+                         screen=True).run()
+        paths = result.trajectories()
+        assert sum(len(p) for p in paths.values()) == len(result.records)
+        assert all(label.endswith("|max/w8,8,8,8") for label in paths)
+
+
+class TestScreenPolicy:
+    def test_default_images_quarter_floored(self):
+        policy = ScreenPolicy()
+        assert policy.resolve_images(400) == 100
+        assert policy.resolve_images(64) == 32
+        assert policy.resolve_images(16) == 16  # never above the full pass
+
+    def test_explicit_images_capped(self):
+        assert ScreenPolicy(images=500).resolve_images(400) == 400
+
+    def test_backend_opts(self):
+        assert ScreenPolicy().backend_opts() == {"noisy": False,
+                                                 "samples": 60}
+        assert ScreenPolicy(backend="float").backend_opts() == {}
+
+    def test_promotes_margin_semantics(self):
+        policy = ScreenPolicy(margin_pct=5.0)
+        assert policy.promotes(6.4, threshold_pct=1.5)
+        assert not policy.promotes(6.6, threshold_pct=1.5)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="screen backend"):
+            ScreenPolicy(backend="exact")
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError, match="margin"):
+            ScreenPolicy(margin_pct=-1.0)

@@ -1,0 +1,155 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.dse.store import ResultStore, make_key
+
+
+def _store(path, **overrides):
+    kwargs = dict(model="lenet5", model_digest="abc123", evaluator="noise",
+                  eval_images=40, seed=0, threshold_pct=1.5)
+    kwargs.update(overrides)
+    return ResultStore(path, **kwargs)
+
+
+def _key(i=0, stage="full"):
+    return make_key("abc123", f"cfg{i}", (8, 8, 8, 8), 128, 0, stage,
+                    "noise;samples=96", 40)
+
+
+def _payload(i=0, error=5.0):
+    return {"combo": "APC-APC-APC", "pooling": "max",
+            "weight_bits": [8, 8, 8, 8], "length": 128, "seed": 0,
+            "stage": "full", "error_pct": error,
+            "degradation_pct": error - 1.0, "passed": True}
+
+
+class TestMakeKey:
+    def test_fields_all_present(self):
+        key = _key()
+        for fragment in ("abc123", "cfg0", "w8,8,8,8", "L128", "s0",
+                         "full", "noise;samples=96", "n40"):
+            assert fragment in key
+
+    def test_float_bits_spelled(self):
+        key = make_key("m", "c", (None, 8), 64, 1, "screen", "b", 10)
+        assert "wf,8" in key
+
+    def test_distinct_stages_distinct_keys(self):
+        assert _key(stage="full") != _key(stage="screen")
+
+
+class TestResultStore:
+    def test_fresh_store_writes_header(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["model_digest"] == "abc123"
+        assert len(store) == 0
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        store.record(_key(0), _payload(0))
+        store.record(_key(1), _payload(1, error=7.0))
+        loaded = ResultStore(path, model_digest="abc123", resume=True)
+        assert len(loaded) == 2
+        assert loaded.get(_key(1))["error_pct"] == 7.0
+        assert _key(0) in loaded
+
+    def test_record_idempotent(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        store.record(_key(0), _payload(0, error=5.0))
+        store.record(_key(0), _payload(0, error=99.0))  # ignored
+        assert store.get(_key(0))["error_pct"] == 5.0
+        assert len(path.read_text().splitlines()) == 2  # header + 1
+
+    def test_existing_store_needs_resume(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        _store(path)
+        with pytest.raises(ValueError, match="resume"):
+            _store(path)
+
+    def test_resume_other_model_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        _store(path)
+        with pytest.raises(ValueError, match="different model"):
+            _store(path, model_digest="zzz999", resume=True)
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        store.record(_key(0), _payload(0))
+        with path.open("a") as fh:
+            fh.write('{"kind": "result", "key": "torn-')  # killed mid-write
+        loaded = ResultStore(path, model_digest="abc123", resume=True)
+        assert len(loaded) == 1
+        assert loaded.dropped_lines == 1
+
+    def test_complete_tail_missing_newline_normalized(self, tmp_path):
+        """A kill can persist a record's JSON but not its newline; the
+        record must survive and later appends must not fuse with it."""
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        store.record(_key(0), _payload(0))
+        with path.open() as fh:
+            content = fh.read()
+        path.write_text(content.rstrip("\n"))  # drop only the newline
+        loaded = ResultStore(path, model_digest="abc123", resume=True)
+        assert len(loaded) == 1
+        assert loaded.dropped_lines == 0
+        loaded.record(_key(1), _payload(1))
+        reloaded = ResultStore(path, model_digest="abc123", resume=True)
+        assert len(reloaded) == 2
+        assert {r["key"] for r in reloaded.results()} == {_key(0),
+                                                          _key(1)}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = _store(path)
+        store.record(_key(0), _payload(0))
+        with path.open("a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"kind": "result", "key": "k",
+                                 "error_pct": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            ResultStore(path, model_digest="abc123", resume=True)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"kind": "result", "key": "k"}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            ResultStore(path, resume=True)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 99,
+                                    "model_digest": "abc123"}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            ResultStore(path, resume=True)
+
+    def test_resume_empty_file_is_fresh(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.touch()
+        store = _store(path, resume=True)
+        assert len(store) == 0
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+
+    def test_results_in_insertion_order(self, tmp_path):
+        store = _store(tmp_path / "s.jsonl")
+        store.record(_key(1), _payload(1))
+        store.record(_key(0), _payload(0))
+        keys = [r["key"] for r in store.results()]
+        assert keys == [_key(1), _key(0)]
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "s.jsonl"
+        _store(path)
+        assert path.exists()
