@@ -1,27 +1,39 @@
-"""CI smoke test for ``python -m repro serve``: start, POST, assert.
+"""CI smoke test for ``python -m repro serve``: start, POST, drain.
 
 Launches the real CLI server as a subprocess (quick-trained model, short
 streams), waits for ``/healthz``, POSTs one image on the exact and
 surrogate backends, asserts 200 + a valid prediction, checks ``/stats``
-exposes the batcher/pool telemetry, and shuts the server down.  Uses
-only the standard library so it runs on every CI job unchanged::
+exposes the batcher/pool telemetry — then exercises the graceful-drain
+path: with a fault-injected slow batch in flight, SIGTERM must flip
+``/healthz`` to draining, complete the in-flight reply (a dropped reply
+fails the smoke), and exit 0.  Uses only the standard library so it
+runs on every CI job unchanged::
 
     PYTHONPATH=src python benchmarks/smoke_serve.py
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
+import signal
 import subprocess
 import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 STARTUP_TIMEOUT_S = 180.0
+
+#: Injected slow-down for the drain phase: only the drain request uses
+#: the float backend, so only its compute batches sleep — guaranteeing
+#: the request is still in flight when SIGTERM lands.
+DRAIN_FAULTS = ("site=serve.compute,action=sleep,sleep_s=1.5,rate=1.0,"
+                "match=:float:,max_trips=2")
 
 
 def _request(url: str, payload: dict = None):
@@ -59,15 +71,71 @@ def _wait_for_port(proc) -> int:
                        f"(exit code {proc.poll()})")
 
 
+def _drain_phase(proc, base: str) -> None:
+    """SIGTERM mid-load: the in-flight reply completes, exit code is 0.
+
+    A batch on the float backend (slowed by the injected sleep) is in
+    flight when SIGTERM lands; the drain contract says that reply must
+    still arrive — a ``RemoteDisconnected``/reset mid-request means the
+    server dropped an accepted request, which fails the smoke.  A
+    refused connection *after* shutdown is the expected endpoint.
+    """
+    result = {}
+
+    def slow_client():
+        try:
+            result["outcome"] = _request(
+                f"{base}/predict",
+                {"images": [[0.0] * 784] * 32, "backend": "float"})
+        except Exception as exc:  # dropped mid-request
+            result["outcome"] = ("dropped", repr(exc))
+
+    client = threading.Thread(target=slow_client)
+    client.start()
+    time.sleep(0.5)  # inside the first injected 1.5 s compute sleep
+    proc.send_signal(signal.SIGTERM)
+
+    draining_seen = False
+    for _ in range(100):
+        try:
+            status, health = _request(f"{base}/healthz")
+        except (ConnectionError, urllib.error.URLError,
+                http.client.HTTPException):
+            break  # already fully shut down
+        if status == 503 and health.get("status") == "draining":
+            draining_seen = True
+            break
+        time.sleep(0.05)
+
+    client.join(timeout=120)
+    assert not client.is_alive(), "in-flight request never resolved"
+    status, reply = result["outcome"]
+    assert status == 200, f"in-flight reply dropped: {result['outcome']}"
+    assert len(reply["predictions"]) == 32, reply
+    print("drain: in-flight batch completed"
+          + (" (draining health observed)" if draining_seen else ""))
+
+    code = proc.wait(timeout=120)
+    assert code == 0, f"server exited {code} after drain, want 0"
+    try:
+        _request(f"{base}/healthz")
+        raise AssertionError("server still serving after drain exit")
+    except (ConnectionError, urllib.error.URLError,
+            http.client.HTTPException):
+        pass
+    print("drain smoke: SIGTERM -> in-flight served, clean exit 0")
+
+
 def main() -> int:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                          if env.get("PYTHONPATH") else src)
+    env["REPRO_FAULTS"] = DRAIN_FAULTS
     proc = subprocess.Popen(
         [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
          "--length", "64", "--train", "300", "--epochs", "1",
-         "--max-wait-ms", "5"],
+         "--max-wait-ms", "5", "--drain-grace", "60"],
         env=env, cwd=str(REPO_ROOT), stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True)
     try:
@@ -98,6 +166,8 @@ def main() -> int:
         assert stats["pool"]["engines"] >= 2, stats
         assert stats["service"]["latency_ms"]["p95"] > 0, stats
         print("GET /stats:", json.dumps(stats["service"]))
+
+        _drain_phase(proc, base)
         print("serve smoke test passed")
         return 0
     finally:

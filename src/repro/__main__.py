@@ -300,6 +300,10 @@ def _serve_parser() -> argparse.ArgumentParser:
                         help="engine-pool LRU capacity (default: 8)")
     parser.add_argument("--no-warm", action="store_true",
                         help="skip preloading the default spec's engine")
+    parser.add_argument("--drain-grace", type=float, default=10.0,
+                        help="seconds SIGTERM-triggered drain waits for "
+                             "in-flight requests before exiting "
+                             "(default: 10)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
     return parser
@@ -328,7 +332,7 @@ def _serve(argv) -> int:
           f"max_batch={args.max_batch} "
           f"max_wait_ms={args.max_wait_ms}")
     run_server(service, host=args.host, port=args.port,
-               verbose=args.verbose)
+               verbose=args.verbose, drain_grace=args.drain_grace)
     return 0
 
 
@@ -383,6 +387,13 @@ def _dse_parser() -> argparse.ArgumentParser:
     parser.add_argument("--screen-images", type=int, default=None,
                         help="images per screen evaluation (default: a "
                              "quarter of --eval-images, floored at 32)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="re-dispatch attempts per evaluation before "
+                             "quarantining the point (default: 2)")
+    parser.add_argument("--eval-timeout", type=float, default=None,
+                        help="seconds one evaluation may run before it "
+                             "counts as failed and is retried "
+                             "(default: unbounded)")
     parser.add_argument("--store", default=None,
                         help="append-only JSONL result store; makes the "
                              "search resumable")
@@ -481,7 +492,8 @@ def _dse(argv) -> int:
         trained, space, threshold_pct=args.threshold,
         eval_images=args.eval_images, seed=args.seed,
         evaluator=args.evaluator, workers=args.workers, screen=screen,
-        store=store, verbose=args.verbose)
+        store=store, verbose=args.verbose, retries=args.retries,
+        eval_timeout_s=args.eval_timeout)
     result = runner.run()
     stats = result.stats
 
@@ -517,6 +529,10 @@ SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse}
 def main(argv=None) -> int:
     if argv is None:  # pragma: no cover - console entry
         argv = sys.argv[1:]
+    # Deterministic fault injection for chaos tests / CI smoke runs:
+    # REPRO_FAULTS="seed=1;site=dse.evaluate,action=kill,hits=3" etc.
+    from repro import faults
+    faults.maybe_install_from_env()
     if argv and argv[0] in SUBCOMMANDS:
         return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(

@@ -150,7 +150,8 @@ class HolisticOptimizer:
 
     def run(self, max_length: int = MAX_STREAM_LENGTH,
             min_length: int = MIN_STREAM_LENGTH, verbose: bool = False,
-            workers: int = 1, screen=None, store=None) -> list:
+            workers: int = 1, screen=None, store=None,
+            **runner_kwargs) -> list:
         """Run the Section 6.3 procedure; returns passing design points.
 
         The returned list contains every (configuration, length) point
@@ -175,7 +176,7 @@ class HolisticOptimizer:
             self.trained, space, threshold_pct=self.threshold_pct,
             eval_images=self.eval_images, seed=self.seed,
             evaluator=self.evaluator, workers=workers, screen=screen,
-            store=store, verbose=verbose)
+            store=store, verbose=verbose, **runner_kwargs)
         return runner.run().passing
 
     def run_sequential(self, max_length: int = MAX_STREAM_LENGTH,

@@ -159,12 +159,17 @@ def halving_trajectories(records) -> dict:
     paths = {}
     for rec in records:
         label = rec.scenario_label
+        poisoned = getattr(rec, "poisoned", False)
         paths.setdefault(label, []).append({
             "length": rec.length,
             "stage": rec.stage,
-            "error_pct": round(float(rec.error_pct), 6),
-            "degradation_pct": round(float(rec.degradation_pct), 6),
-            "outcome": (("promoted" if rec.passed else "screened-out")
+            # Quarantined points never produced a number; export null.
+            "error_pct": (None if poisoned
+                          else round(float(rec.error_pct), 6)),
+            "degradation_pct": (None if poisoned
+                                else round(float(rec.degradation_pct), 6)),
+            "outcome": ("poisoned" if poisoned
+                        else ("promoted" if rec.passed else "screened-out")
                         if rec.stage == "screen"
                         else ("pass" if rec.passed else "fail")),
         })

@@ -37,6 +37,32 @@ evaluation).  With a :class:`repro.dse.store.ResultStore`, every
 result is appended as soon as it is known and already-stored points are
 never re-evaluated — killing and resuming a search converges to the
 same store contents and the same frontier as an uninterrupted run.
+
+Failure model
+-------------
+Evaluations are pure functions, so every failure is recoverable by
+re-dispatch — and because re-dispatch recomputes the same pure
+function, every *recovered* point is bit-identical to the no-fault run.
+The runner survives three failure classes (all injectable through
+:mod:`repro.faults` for tests):
+
+* **worker death** (kill -9, OOM, segfault) — the pool turns
+  ``BrokenProcessPool``; the runner terminates the carcass, respawns
+  the pool, and re-dispatches every lost point;
+* **in-band exceptions** — a raising evaluation is retried with
+  bounded exponential backoff (``retries`` re-dispatches, ``backoff_s``
+  base); a point that keeps failing is *quarantined*: recorded in the
+  store as poisoned (skipped on resume), pruned from its combo's
+  schedule, and excluded from ``passing`` — the rest of the search
+  proceeds;
+* **hangs** — with ``eval_timeout_s`` set (pool mode only), a future
+  that exceeds the bound counts as a failure: the stuck worker is
+  terminated with the pool and the point re-dispatched.
+
+Store writes get the same treatment: an ``OSError`` from the append
+path is retried briefly, then the store is dropped for the rest of the
+run (``stats["store_errors"]`` says so) — a failing disk costs
+resumability, never the search.
 """
 
 from __future__ import annotations
@@ -45,6 +71,10 @@ import dataclasses
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro import faults
 
 from repro.core.config import NetworkConfig
 from repro.core.optimizer import DesignPoint
@@ -158,6 +188,8 @@ class _EvalContext:
 
     def evaluate(self, task: EvalTask) -> float:
         """Error rate (%) of one task — a pure function of the task."""
+        faults.fire("dse.evaluate",
+                    label=f"{task.combo_label}@{task.length}:{task.stage}")
         config = task.config()
         plan = self._base_plan(task.kinds, task.pooling, task.weight_bits
                                ).with_length(task.length, name=config.name)
@@ -194,10 +226,11 @@ class DSERecord:
     weight_bits: tuple
     length: int
     stage: str          # "full" | "screen"
-    error_pct: float
+    error_pct: float    # None when poisoned (no number was produced)
     degradation_pct: float
     passed: bool        # full: met the threshold; screen: promoted
     reused: bool        # satisfied from the result store
+    poisoned: bool = False  # quarantined after exhausting retries
     point: object = None  # DesignPoint (full-stage records only)
 
     @property
@@ -261,19 +294,41 @@ class ParallelRunner:
         :class:`ScreenPolicy`.
     store:
         A :class:`ResultStore` for resumable/incremental searches.
+    retries:
+        Re-dispatches granted to a failing evaluation before it is
+        quarantined (worker crashes, injected faults and timeouts all
+        count as failures; a retried point recomputes the same pure
+        function, so recovery never changes results).
+    backoff_s:
+        Base of the bounded exponential backoff between retry rounds
+        (``backoff_s * 2**round``, capped at 2 s).
+    eval_timeout_s:
+        Wall-clock bound on one evaluation (pool mode only — an
+        in-process evaluation cannot be preempted).  A future past the
+        bound fails: the pool is torn down (terminating the stuck
+        worker) and the point re-dispatched.
     """
 
     def __init__(self, trained, space: SearchSpace | None = None, *,
                  threshold_pct: float = 1.5, eval_images: int = 400,
                  seed: int = 0, evaluator: str = "noise",
                  workers: int = 1, screen=None,
-                 store: ResultStore | None = None, verbose: bool = False):
+                 store: ResultStore | None = None, verbose: bool = False,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 eval_timeout_s: float | None = None):
         if evaluator not in EVALUATOR_SPECS:
             raise ValueError(
                 f"evaluator must be one of {sorted(EVALUATOR_SPECS)}, "
                 f"got {evaluator!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if eval_timeout_s is not None and eval_timeout_s <= 0:
+            raise ValueError(
+                f"eval_timeout_s must be > 0, got {eval_timeout_s}")
         self.trained = trained
         self.space = space if space is not None else \
             SearchSpace.from_trained(trained)
@@ -288,6 +343,11 @@ class ParallelRunner:
         self.screen = screen
         self.store = store
         self.verbose = verbose
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.eval_timeout_s = (None if eval_timeout_s is None
+                               else float(eval_timeout_s))
+        self._store_disabled = False
         self.digest = model_digest(trained.model)
         if store is not None and store.model_digest and \
                 store.model_digest != self.digest:
@@ -346,24 +406,43 @@ class ParallelRunner:
                         task.weight_bits, task.length, task.seed,
                         task.stage, sig, images)
 
-    def _store_record(self, task: EvalTask, error: float, degradation:
-                      float, passed: bool, cost) -> None:
-        if self.store is None:
+    def _store_record(self, task: EvalTask, error, degradation,
+                      passed: bool, cost, stats: dict,
+                      poisoned: bool = False) -> None:
+        if self.store is None or self._store_disabled:
             return
         payload = {
             "model": getattr(self.trained, "model_name", ""),
             "combo": task.combo_label, "pooling": task.pooling,
             "weight_bits": list(task.weight_bits), "length": task.length,
             "seed": task.seed, "stage": task.stage,
-            "error_pct": float(error),
-            "degradation_pct": float(degradation), "passed": bool(passed),
+            "error_pct": None if error is None else float(error),
+            "degradation_pct": (None if degradation is None
+                                else float(degradation)),
+            "passed": bool(passed),
         }
+        if poisoned:
+            payload["poisoned"] = True
         if cost is not None:
             payload["cost"] = {"area_mm2": cost.area_mm2,
                                "power_w": cost.power_w,
                                "delay_ns": cost.delay_ns,
                                "energy_uj": cost.energy_uj}
-        self.store.record(self._store_key(task), payload)
+        # A failing disk must never fail the search: retry the append
+        # briefly, then run the rest of the search store-less (the
+        # in-memory index keeps serving resume hits; unpersisted points
+        # simply re-evaluate on the next resume).
+        for attempt in range(3):
+            try:
+                self.store.record(self._store_key(task), payload)
+                return
+            except OSError:
+                stats["store_errors"] += 1
+                time.sleep(self.backoff_s * (2 ** attempt))
+        self._store_disabled = True
+        if self.verbose:  # pragma: no cover - console output
+            print("result store disabled after repeated write failures; "
+                  "the search continues without persistence")
 
     def _executor(self, state: dict):
         """The lazily-created evaluation executor (pool or in-process).
@@ -385,35 +464,96 @@ class ParallelRunner:
                 initargs=(self._context_payload(),))
         return state["pool"], None
 
-    def _evaluate_batch(self, tasks, state: dict):
-        """Evaluate ``tasks``; returns (errors, reused_flags) in order.
+    def _kill_pool(self, state: dict, stats: dict) -> None:
+        """Tear down a broken/stuck pool so the next round respawns it."""
+        pool = state["pool"]
+        if pool is None:
+            return
+        state["pool"] = None
+        stats["respawns"] += 1
+        # Terminate before shutdown: a hung worker would never drain its
+        # work queue, and shutdown(wait=False) alone leaves it running.
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
-        Store hits short-circuit; misses dispatch to the pool (or run
-        in-process) and are *gathered in submission order* — completion
-        order never influences results.
+    def _evaluate_batch(self, tasks, state: dict, stats: dict):
+        """Evaluate ``tasks``; returns (errors, reused, poisoned) in order.
+
+        Store hits short-circuit (a stored poisoned point stays
+        quarantined); misses dispatch to the pool (or run in-process)
+        and are *gathered in submission order* — completion order never
+        influences results.  Failed dispatches (worker death, in-band
+        exception, timeout) are re-dispatched with bounded exponential
+        backoff; a point that exhausts ``retries`` is marked poisoned.
         """
         errors = [None] * len(tasks)
         reused = [False] * len(tasks)
+        poisoned = [False] * len(tasks)
         pending = []
         for i, task in enumerate(tasks):
             record = (self.store.get(self._store_key(task))
                       if self.store is not None else None)
             if record is not None:
-                errors[i] = float(record["error_pct"])
                 reused[i] = True
+                if record.get("poisoned"):
+                    poisoned[i] = True
+                else:
+                    errors[i] = float(record["error_pct"])
             else:
                 pending.append(i)
-        if pending:
+        attempts = dict.fromkeys(pending, 0)
+        retry_round = 0
+        while pending:
+            failed = []
             pool, ctx = self._executor(state)
             if pool is not None:
                 futures = [(i, pool.submit(_worker_evaluate, tasks[i]))
                            for i in pending]
+                broken = False
                 for i, future in futures:
-                    errors[i] = future.result()
+                    try:
+                        # After a timeout/pool-break, drain the rest on
+                        # a short fuse: finished results still come
+                        # through, in-flight ones fail and re-dispatch
+                        # (recomputing is cheap next to waiting out a
+                        # full timeout per future on a dead pool).
+                        errors[i] = future.result(
+                            0.25 if broken else self.eval_timeout_s)
+                    except _FutureTimeout:
+                        failed.append(i)
+                        broken = True
+                        stats["timeouts"] += 1
+                    except BrokenProcessPool:
+                        failed.append(i)
+                        broken = True
+                    except Exception:
+                        failed.append(i)  # in-band raise in the worker
+                if broken:
+                    self._kill_pool(state, stats)
             else:
                 for i in pending:
-                    errors[i] = ctx.evaluate(tasks[i])
-        return errors, reused
+                    try:
+                        errors[i] = ctx.evaluate(tasks[i])
+                    except Exception:
+                        failed.append(i)
+            pending = []
+            for i in failed:
+                attempts[i] += 1
+                if attempts[i] > self.retries:
+                    poisoned[i] = True
+                    errors[i] = None
+                    stats["poisoned"] += 1
+                else:
+                    pending.append(i)
+            if pending:
+                stats["retries"] += len(pending)
+                time.sleep(min(self.backoff_s * (2 ** retry_round), 2.0))
+                retry_round += 1
+        return errors, reused, poisoned
 
     # ------------------------------------------------------------------
     def run(self) -> DSEResult:
@@ -426,7 +566,8 @@ class ParallelRunner:
         software = self.trained.software_error_pct
         records, passing = [], []
         stats = {"full_evals": 0, "screen_evals": 0, "screened_out": 0,
-                 "reused": 0, "points": 0}
+                 "reused": 0, "points": 0, "retries": 0, "respawns": 0,
+                 "timeouts": 0, "poisoned": 0, "store_errors": 0}
         state = {"pool": None, "ctx": None}
         try:
             for length in space.lengths():
@@ -438,10 +579,25 @@ class ParallelRunner:
                 if self.screen is not None:
                     stasks = [self._task(sc, combo, length, "screen")
                               for sc, combo in round_cells]
-                    serrs, sreused = self._evaluate_batch(stasks, state)
+                    serrs, sreused, spois = self._evaluate_batch(
+                        stasks, state, stats)
                     promoted = []
-                    for cell, task, error, was_reused in zip(
-                            round_cells, stasks, serrs, sreused):
+                    for cell, task, error, was_reused, was_poisoned in zip(
+                            round_cells, stasks, serrs, sreused, spois):
+                        if was_poisoned:
+                            # Quarantined: prune the combo like a failed
+                            # screen, but record the distinct outcome.
+                            records.append(DSERecord(
+                                kinds=task.kinds, pooling=task.pooling,
+                                weight_bits=task.weight_bits,
+                                length=length, stage="screen",
+                                error_pct=None, degradation_pct=None,
+                                passed=False, reused=was_reused,
+                                poisoned=True))
+                            self._store_record(task, None, None, False,
+                                               None, stats, poisoned=True)
+                            stats["reused"] += 1 if was_reused else 0
+                            continue
                         degradation = error - software
                         ok = self.screen.promotes(degradation,
                                                   self.threshold_pct)
@@ -452,7 +608,7 @@ class ParallelRunner:
                             degradation_pct=degradation, passed=ok,
                             reused=was_reused))
                         self._store_record(task, error, degradation, ok,
-                                           None)
+                                           None, stats)
                         stats["screen_evals"] += 0 if was_reused else 1
                         stats["reused"] += 1 if was_reused else 0
                         if ok:
@@ -465,10 +621,26 @@ class ParallelRunner:
                                       f"SCREENED-OUT")
                 ftasks = [self._task(sc, combo, length, "full")
                           for sc, combo in promoted]
-                ferrs, freused = self._evaluate_batch(ftasks, state)
+                ferrs, freused, fpois = self._evaluate_batch(
+                    ftasks, state, stats)
                 next_survivors = {scenario: [] for scenario in scenarios}
-                for (scenario, combo), task, error, was_reused in zip(
-                        promoted, ftasks, ferrs, freused):
+                for (scenario, combo), task, error, was_reused, \
+                        was_poisoned in zip(promoted, ftasks, ferrs,
+                                            freused, fpois):
+                    if was_poisoned:
+                        records.append(DSERecord(
+                            kinds=task.kinds, pooling=task.pooling,
+                            weight_bits=task.weight_bits, length=length,
+                            stage="full", error_pct=None,
+                            degradation_pct=None, passed=False,
+                            reused=was_reused, poisoned=True))
+                        self._store_record(task, None, None, False, None,
+                                           stats, poisoned=True)
+                        stats["reused"] += 1 if was_reused else 0
+                        if self.verbose:  # pragma: no cover - console
+                            print(f"{task.config().describe():34s} "
+                                  "POISONED (quarantined)")
+                        continue
                     degradation = error - software
                     ok = degradation <= self.threshold_pct
                     config = task.config()
@@ -484,7 +656,8 @@ class ParallelRunner:
                         stage="full", error_pct=error,
                         degradation_pct=degradation, passed=ok,
                         reused=was_reused, point=point))
-                    self._store_record(task, error, degradation, ok, cost)
+                    self._store_record(task, error, degradation, ok, cost,
+                                       stats)
                     stats["full_evals"] += 0 if was_reused else 1
                     stats["reused"] += 1 if was_reused else 0
                     stats["points"] += 1

@@ -39,6 +39,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro import faults
+
 __all__ = ["ResultStore", "make_key"]
 
 VERSION = 1
@@ -142,6 +144,11 @@ class ResultStore:
                 self._index[record["key"]] = record
 
     def _append(self, payload: dict) -> None:
+        # Fired before any byte is written, so an injected I/O error
+        # leaves the file clean (real partial writes are what the
+        # torn-line recovery in _load is for).
+        faults.fire("store.append", label=str(payload.get("key",
+                                                          payload.get("kind", ""))))
         with self.path.open("a") as fh:
             fh.write(json.dumps(payload, sort_keys=True) + "\n")
             fh.flush()
@@ -159,12 +166,18 @@ class ResultStore:
         return len(self._index)
 
     def record(self, key: str, payload: dict) -> None:
-        """Append one result (idempotent: known keys are not rewritten)."""
+        """Append one result (idempotent: known keys are not rewritten).
+
+        The append happens *before* the key is indexed: if the write
+        raises, the store holds no memory of the record and a retry
+        genuinely re-attempts the append instead of silently dropping
+        it against a poisoned index entry.
+        """
         if key in self._index:
             return
         record = {"kind": "result", "key": key, **payload}
-        self._index[key] = record
         self._append(record)
+        self._index[key] = record
 
     def results(self) -> list:
         """All stored result records (insertion order)."""

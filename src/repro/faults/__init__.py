@@ -1,0 +1,38 @@
+"""``repro.faults`` — deterministic fault injection for robustness tests.
+
+Production code calls :func:`fire` at named *failure points* (sites);
+with no injector installed the call is a near-free attribute check, so
+the framework costs nothing in normal operation.  Tests (and chaos
+drills) arm faults by site name through :func:`armed` /
+:func:`install`, choosing an action — raise, kill the process, sleep,
+or raise an I/O error — and a deterministic schedule (explicit
+occurrence numbers, a seeded rate, or a cross-process one-shot latch
+file).  See :mod:`repro.faults.injector` for the scheduling contract
+and DESIGN.md ("Failure model and recovery") for the fault taxonomy.
+"""
+
+from repro.faults.injector import (
+    ComputeFault,
+    FaultInjector,
+    FaultSpec,
+    InjectedIOError,
+    active,
+    armed,
+    clear,
+    fire,
+    install,
+    maybe_install_from_env,
+)
+
+__all__ = [
+    "ComputeFault",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedIOError",
+    "active",
+    "armed",
+    "clear",
+    "fire",
+    "install",
+    "maybe_install_from_env",
+]

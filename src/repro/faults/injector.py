@@ -1,0 +1,318 @@
+"""Seed-scheduled fault injection: named failure points tests arm.
+
+Design
+------
+A :class:`FaultSpec` names a *site* (a string the instrumented code
+passes to :func:`fire`), an *action*, and a schedule deciding which
+occurrences of that site trip the fault.  A :class:`FaultInjector`
+holds a set of specs plus per-site occurrence counters; the module
+keeps at most one injector *installed* at a time and :func:`fire` is a
+no-op (one global load + ``is None`` test) while none is.
+
+Scheduling is deterministic so that a faulted run is reproducible and
+— the property the robustness suite leans on — a *recovered* run is
+bit-identical to a fault-free one:
+
+* ``hits`` — explicit 1-based occurrence numbers of the site (counted
+  per process; forked workers inherit the counter state at fork time);
+* ``rate`` — per-occurrence probability drawn from a hash of
+  ``(seed, site, occurrence)``, not from any global RNG, so arming a
+  fault never perturbs the RNG streams the simulator's bit-identity
+  contract depends on;
+* ``latch`` — a filesystem path making the spec a *cross-process
+  one-shot*: it only trips while the file exists and consumes it
+  (unlink) at trip time.  This is how a test kills exactly one worker
+  out of a respawning pool — per-process counters restart at fork, a
+  latch does not.
+
+``match`` further restricts a spec to occurrences whose ``label``
+contains the substring (e.g. one design point's ``"MUX-APC-APC@128"``),
+which is what lets a test poison a single evaluation while the rest of
+the search proceeds.
+
+Actions
+-------
+``raise``
+    Raise :class:`ComputeFault` — a generic in-band computation
+    failure.
+``ioerror``
+    Raise :class:`InjectedIOError` (an ``OSError``) — a store/disk
+    write failure.
+``kill``
+    ``os._exit(KILL_EXIT_CODE)`` — the process dies without cleanup,
+    exactly like an OOM kill or segfault; a ``ProcessPoolExecutor``
+    parent observes ``BrokenProcessPool``.
+``sleep``
+    ``time.sleep(sleep_s)`` then return normally — a hung/slow
+    evaluation, for exercising timeouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["ComputeFault", "InjectedIOError", "FaultSpec", "FaultInjector",
+           "install", "active", "clear", "armed", "fire",
+           "maybe_install_from_env", "KILL_EXIT_CODE"]
+
+ACTIONS = ("raise", "ioerror", "kill", "sleep")
+
+#: Exit status of a ``kill`` action — distinctive on purpose, so a test
+#: watching a worker pool can tell an injected death from a real crash.
+KILL_EXIT_CODE = 87
+
+
+class ComputeFault(RuntimeError):
+    """The ``raise`` action's exception: an injected compute failure."""
+
+
+class InjectedIOError(OSError):
+    """The ``ioerror`` action's exception: an injected write failure."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: a site, an action, and a deterministic schedule.
+
+    Attributes
+    ----------
+    site:
+        The failure-point name instrumented code fires (e.g.
+        ``"dse.evaluate"``, ``"store.append"``, ``"serve.compute"``).
+    action:
+        One of :data:`ACTIONS`.
+    hits:
+        1-based occurrence numbers (per process) that trip.
+    rate:
+        Per-occurrence trip probability in ``[0, 1]``, decided by a
+        hash of ``(seed, site, occurrence)`` — ``1.0`` means every
+        matched occurrence.
+    match:
+        Substring the occurrence's label must contain (``""`` = any).
+    sleep_s:
+        Duration of the ``sleep`` action.
+    latch:
+        Optional path; the spec trips only while the file exists and
+        unlinks it when tripping (cross-process one-shot).
+    max_trips:
+        Per-process cap on how often this spec trips (``None`` = no
+        cap; note forked workers each get their own count — use
+        ``latch`` for a cross-process bound).
+    """
+
+    site: str
+    action: str = "raise"
+    hits: tuple = ()
+    rate: float = 0.0
+    match: str = ""
+    sleep_s: float = 0.05
+    latch: str | None = None
+    max_trips: int | None = None
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"action must be one of {ACTIONS}, got {self.action!r}")
+        if not self.site:
+            raise ValueError("site must be a non-empty string")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if not self.hits and self.rate == 0.0 and self.latch is None:
+            raise ValueError(
+                "spec would never trip: give hits, a rate > 0, or a latch")
+        object.__setattr__(self, "hits",
+                           tuple(int(h) for h in self.hits))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``"site=dse.evaluate,action=kill,hits=2|5,rate=0.5"``.
+
+        Comma-separated ``key=value`` pairs; ``hits`` entries are
+        ``|``-separated.  This is the ``REPRO_FAULTS`` env format
+        (specs themselves are ``;``-separated there).
+        """
+        fields = {}
+        for pair in filter(None, (p.strip() for p in text.split(","))):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ValueError(f"fault spec field {pair!r} is not "
+                                 "key=value")
+            fields[key.strip()] = value.strip()
+        unknown = set(fields) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown fault spec fields: {sorted(unknown)}")
+        if "hits" in fields:
+            fields["hits"] = tuple(
+                int(h) for h in fields["hits"].split("|") if h)
+        for key in ("rate", "sleep_s"):
+            if key in fields:
+                fields[key] = float(fields[key])
+        if "max_trips" in fields:
+            fields["max_trips"] = int(fields["max_trips"])
+        return cls(**fields)
+
+
+def _hash_unit(seed: int, site: str, occurrence: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one site occurrence."""
+    digest = hashlib.sha1(
+        f"{seed}|{site}|{occurrence}".encode("utf8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """A set of armed :class:`FaultSpec`\\ s plus occurrence counters.
+
+    Thread-safe: the serving tier fires sites from several worker
+    threads at once.  Counters are per-site and per-process (forked
+    children inherit a snapshot); every decision is a pure function of
+    ``(seed, site, occurrence, specs, latch files)``.
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        specs = (specs,) if isinstance(specs, FaultSpec) else tuple(specs)
+        if not specs:
+            raise ValueError("an injector needs at least one FaultSpec")
+        self.specs = specs
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._counts = {}
+        self._trips = []
+        self._spec_trips = {}  # id(spec) -> per-process trip count
+
+    # ------------------------------------------------------------------
+    def occurrences(self, site: str) -> int:
+        """How often ``site`` has fired in this process."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    @property
+    def trips(self) -> list:
+        """Log of tripped faults: ``(site, occurrence, action, label)``."""
+        with self._lock:
+            return list(self._trips)
+
+    def _due(self, spec: FaultSpec, occurrence: int, label: str,
+             tripped: int) -> bool:
+        if spec.match and spec.match not in label:
+            return False
+        if spec.max_trips is not None and tripped >= spec.max_trips:
+            return False
+        if spec.hits and occurrence in spec.hits:
+            return True
+        return spec.rate > 0.0 and \
+            _hash_unit(self.seed, spec.site, occurrence) < spec.rate
+
+    def _consume_latch(self, spec: FaultSpec) -> bool:
+        """Atomically claim a latched spec's one shot (unlink wins)."""
+        if spec.latch is None:
+            return True
+        try:
+            os.unlink(spec.latch)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def fire(self, site: str, label: str = "") -> None:
+        """Count one occurrence of ``site``; trip any due spec."""
+        due = None
+        with self._lock:
+            occurrence = self._counts.get(site, 0) + 1
+            self._counts[site] = occurrence
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if self._due(spec, occurrence, label,
+                             self._spec_trips.get(id(spec), 0)):
+                    if not self._consume_latch(spec):
+                        continue
+                    due = spec
+                    self._spec_trips[id(spec)] = \
+                        self._spec_trips.get(id(spec), 0) + 1
+                    self._trips.append((site, occurrence, spec.action,
+                                        label))
+                    break
+        if due is None:
+            return
+        if due.action == "sleep":
+            time.sleep(due.sleep_s)
+        elif due.action == "kill":
+            os._exit(KILL_EXIT_CODE)
+        elif due.action == "ioerror":
+            raise InjectedIOError(
+                f"injected I/O error at {site}[{occurrence}] {label}")
+        else:
+            raise ComputeFault(
+                f"injected fault at {site}[{occurrence}] {label}")
+
+
+# ----------------------------------------------------------------------
+# module-level installation (what production call sites consult)
+# ----------------------------------------------------------------------
+_ACTIVE: FaultInjector | None = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process's active injector (returns it)."""
+    global _ACTIVE
+    _ACTIVE = injector
+    return injector
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or ``None``."""
+    return _ACTIVE
+
+
+def clear() -> None:
+    """Uninstall any active injector."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def armed(*specs, seed: int = 0):
+    """Install an injector over ``specs`` for the ``with`` body."""
+    injector = install(FaultInjector(specs, seed=seed))
+    try:
+        yield injector
+    finally:
+        clear()
+
+
+def fire(site: str, label: str = "") -> None:
+    """Fire a failure point; free when no injector is installed.
+
+    This is the only call production code makes — keep it on one line
+    at each site so the instrumentation reads as an annotation.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, label)
+
+
+def maybe_install_from_env(env: str = "REPRO_FAULTS") -> FaultInjector | None:
+    """Install an injector described by an environment variable.
+
+    ``REPRO_FAULTS="site=serve.compute,action=raise,hits=1;site=..."``
+    — ``;``-separated :meth:`FaultSpec.parse` entries, with an optional
+    leading ``seed=N`` entry.  Returns the injector, or ``None`` when
+    the variable is unset/empty.  Lets subprocess-level tests (the CI
+    smoke scripts) arm faults without a Python hook.
+    """
+    text = os.environ.get(env, "").strip()
+    if not text:
+        return None
+    seed = 0
+    specs = []
+    for chunk in filter(None, (c.strip() for c in text.split(";"))):
+        if chunk.startswith("seed="):
+            seed = int(chunk[5:])
+            continue
+        specs.append(FaultSpec.parse(chunk))
+    if not specs:
+        return None
+    return install(FaultInjector(specs, seed=seed))

@@ -37,18 +37,32 @@ or embed the service::
     pred = service.predict_one(image)
 """
 
-from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.batcher import (
+    DeadlineExceeded,
+    MicroBatcher,
+    QueueFull,
+    Ticket,
+)
 from repro.serve.pool import EnginePool
-from repro.serve.server import create_server, run_server
-from repro.serve.service import InferenceService
+from repro.serve.server import ServeHTTPServer, create_server, run_server
+from repro.serve.service import (
+    InferenceService,
+    ServiceDraining,
+    payload_fingerprint,
+)
 from repro.serve.stats import LatencyTracker
 
 __all__ = [
+    "DeadlineExceeded",
     "EnginePool",
     "MicroBatcher",
+    "QueueFull",
+    "ServeHTTPServer",
+    "ServiceDraining",
     "Ticket",
     "InferenceService",
     "LatencyTracker",
     "create_server",
+    "payload_fingerprint",
     "run_server",
 ]

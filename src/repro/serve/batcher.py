@@ -27,6 +27,23 @@ installs uses :meth:`repro.engine.exact.ExactBackend.
 forward_independent`, whose per-request stream-state forks make every
 coalesced response bit-identical to a dedicated single-request engine
 call.  The batcher itself never inspects payloads.
+
+Failure semantics
+-----------------
+Every ticket resolves *exactly once* — completed, shed, or refused,
+never hung (the quiescent-consistency bar the drain path is held to):
+
+* a ticket with a **deadline** that expires while queued is shed
+  *before* compute (resolved with :class:`DeadlineExceeded`; the HTTP
+  layer maps it to 504) instead of burning engine time on an answer
+  nobody is waiting for;
+* a ticket whose waiter **times out** is marked cancelled — workers
+  drop it from batches instead of still computing it (the pre-fix leak:
+  a timed-out request stayed queued and was evaluated anyway);
+* a **failing batch is bisected**: the runner call is retried on each
+  half, recursively, so one malformed request errors alone and its
+  co-batched neighbours succeed transparently (at most ``2n - 1``
+  runner calls for a batch of ``n``, and only when something failed).
 """
 
 from __future__ import annotations
@@ -35,12 +52,17 @@ import threading
 import time
 from collections import Counter
 
-__all__ = ["MicroBatcher", "Ticket", "QueueFull"]
+__all__ = ["MicroBatcher", "Ticket", "QueueFull", "DeadlineExceeded"]
 
 
 class QueueFull(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` when the queue is at its
     bound — the service's backpressure signal (HTTP maps it to 503)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A ticket's deadline passed before compute: shed, not computed
+    (the HTTP layer maps it to 504)."""
 
 
 class Ticket:
@@ -51,25 +73,60 @@ class Ticket:
     returns the per-request result or re-raises the batch's error.
     """
 
-    __slots__ = ("key", "payload", "arrival", "_done", "_result", "_error")
+    __slots__ = ("key", "payload", "arrival", "deadline", "_lock",
+                 "_done", "_result", "_error", "_cancelled")
 
-    def __init__(self, key, payload, arrival: float):
+    def __init__(self, key, payload, arrival: float, deadline=None):
         self.key = key
         self.payload = payload
         self.arrival = arrival
+        self.deadline = deadline  # monotonic instant, or None
+        self._lock = threading.Lock()
         self._done = threading.Event()
         self._result = None
         self._error = None
+        self._cancelled = False
 
-    def _resolve(self, result=None, error=None):
-        self._result = result
-        self._error = error
-        self._done.set()
+    def _resolve(self, result=None, error=None) -> bool:
+        """Resolve exactly once; a cancelled/resolved ticket is a no-op."""
+        with self._lock:
+            if self._done.is_set() or self._cancelled:
+                return False
+            self._result = result
+            self._error = error
+            self._done.set()
+            return True
+
+    def cancel(self) -> bool:
+        """Mark the ticket dead so workers skip it; False if already
+        resolved (the result won the race and remains readable)."""
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._cancelled = True
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and \
+            time.monotonic() >= self.deadline
 
     def result(self, timeout: float = None):
-        """Block until served; raises the batch's error if it failed."""
+        """Block until served; raises the batch's error if it failed.
+
+        A timeout *cancels* the ticket: workers drop it from batches
+        instead of computing a result nobody will read (the shed shows
+        up in the batcher's ``shed_cancelled`` counter).
+        """
         if not self._done.wait(timeout):
-            raise TimeoutError("request not served within timeout")
+            if self.cancel():
+                raise TimeoutError("request not served within timeout")
+            # Resolved in the race window between wait and cancel —
+            # fall through to the normal read path.
         if self._error is not None:
             raise self._error
         return self._result
@@ -123,6 +180,10 @@ class MicroBatcher:
         self._running = True
         self._batches = 0
         self._batch_sizes = Counter()
+        self._shed_deadline = 0
+        self._shed_cancelled = 0
+        self._bisections = 0
+        self._batch_failures = 0
         self._threads = [
             threading.Thread(target=self._worker, name=f"micro-batcher-{i}",
                              daemon=True)
@@ -132,9 +193,14 @@ class MicroBatcher:
             thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, key, payload) -> Ticket:
-        """Enqueue one request; returns its :class:`Ticket`."""
-        ticket = Ticket(key, payload, time.monotonic())
+    def submit(self, key, payload, deadline: float = None) -> Ticket:
+        """Enqueue one request; returns its :class:`Ticket`.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a
+        ticket still queued past it is shed with
+        :class:`DeadlineExceeded` instead of being computed.
+        """
+        ticket = Ticket(key, payload, time.monotonic(), deadline=deadline)
         with self._work:
             if not self._running:
                 raise RuntimeError("batcher is closed")
@@ -173,6 +239,7 @@ class MicroBatcher:
         with self._work:
             gathering = None  # ((id(head), len(same)), observed_at)
             while True:
+                self._shed_dead_tickets()
                 if not self._queue:
                     if not self._running:
                         return None
@@ -202,27 +269,83 @@ class MicroBatcher:
                     self._batches += 1
                     self._batch_sizes[len(batch)] += 1
                     return batch
-                self._work.wait(min(
-                    self.quantum - (now - gathering[1]), deadline - now))
+                waits = [self.quantum - (now - gathering[1]),
+                         deadline - now]
+                # Wake in time to shed the earliest request deadline,
+                # not just at the flush-policy instants.
+                ticket_deadline = min(
+                    (t.deadline for t in self._queue
+                     if t.deadline is not None), default=None)
+                if ticket_deadline is not None:
+                    waits.append(max(ticket_deadline - now, 0.0))
+                self._work.wait(min(waits))
+
+    def _shed_dead_tickets(self) -> None:
+        """Drop expired/cancelled tickets from the queue (lock held).
+
+        Expired tickets resolve with :class:`DeadlineExceeded` — shed
+        before compute; cancelled tickets were already abandoned by
+        their waiter and resolve to nobody.
+        """
+        keep = []
+        for ticket in self._queue:
+            if ticket.cancelled:
+                self._shed_cancelled += 1
+            elif ticket.expired:
+                self._shed_deadline += 1
+                ticket._resolve(error=DeadlineExceeded(
+                    "deadline expired before compute; request shed"))
+            else:
+                keep.append(ticket)
+        if len(keep) != len(self._queue):
+            self._queue = keep
+
+    def _run_group(self, key, group) -> None:
+        """Run one taken batch, bisecting failures down to the culprit.
+
+        Iterative halving: a failing runner call on ``n > 1`` requests
+        is split and each half retried, so exactly the offending
+        request(s) error and every healthy neighbour still gets its
+        result — at most ``2n - 1`` runner calls, and only when
+        something failed.  Tickets cancelled since the batch was taken
+        are dropped just before compute.
+        """
+        stack = [group]
+        while stack:
+            sub = stack.pop()
+            batch = [t for t in sub if not t.cancelled]
+            if len(batch) != len(sub):
+                with self._lock:
+                    self._shed_cancelled += len(sub) - len(batch)
+            if not batch:
+                continue
+            try:
+                results = self._runner(key, [t.payload for t in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"runner returned {len(results)} results for a "
+                        f"batch of {len(batch)}")
+            except Exception as exc:
+                with self._lock:
+                    self._batch_failures += 1
+                if len(batch) == 1:
+                    batch[0]._resolve(error=exc)
+                    continue
+                mid = len(batch) // 2
+                with self._lock:
+                    self._bisections += 1
+                stack.append(batch[mid:])
+                stack.append(batch[:mid])
+                continue
+            for ticket, result in zip(batch, results):
+                ticket._resolve(result=result)
 
     def _worker(self):
         while True:
             batch = self._take_batch()
             if batch is None:
                 return
-            try:
-                results = self._runner(batch[0].key,
-                                       [t.payload for t in batch])
-                if len(results) != len(batch):
-                    raise RuntimeError(
-                        f"runner returned {len(results)} results for a "
-                        f"batch of {len(batch)}")
-            except Exception as exc:  # propagate to every waiter
-                for ticket in batch:
-                    ticket._resolve(error=exc)
-                continue
-            for ticket, result in zip(batch, results):
-                ticket._resolve(result=result)
+            self._run_group(batch[0].key, batch)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -231,6 +354,10 @@ class MicroBatcher:
             sizes = dict(sorted(self._batch_sizes.items()))
             batches = self._batches
             queued = len(self._queue)
+            shed_deadline = self._shed_deadline
+            shed_cancelled = self._shed_cancelled
+            bisections = self._bisections
+            batch_failures = self._batch_failures
         requests = sum(size * count for size, count in sizes.items())
         return {
             "batches": batches,
@@ -241,4 +368,8 @@ class MicroBatcher:
             else None,
             "max_batch": self.max_batch,
             "max_wait_ms": round(self.max_wait * 1e3, 3),
+            "shed_deadline": shed_deadline,
+            "shed_cancelled": shed_cancelled,
+            "bisections": bisections,
+            "batch_failures": batch_failures,
         }

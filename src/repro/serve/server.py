@@ -8,36 +8,59 @@ Endpoints:
     overrides ride alongside: ``model`` (a registered zoo entry),
     ``backend``, ``length``, ``kinds`` (``"APC,APC,APC"``), ``pooling``
     (``"max"``/``"avg"``),
-    ``weight_bits`` (int or per-layer list), ``seed``.  Pixels are bipolar
+    ``weight_bits`` (int or per-layer list), ``seed``, plus
+    ``timeout_ms`` — a request deadline: a request still queued past it
+    is shed before compute and answered 504.  Pixels are bipolar
     floats in [-1, 1].  Response: ``{"prediction": k}`` (single) or
     ``{"predictions": [...]}`` (batch), plus the resolved backend and
     the server-side latency.
 
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "requests": N}``.
+    Liveness: ``{"status": "ok", "requests": N}`` — or 503
+    ``{"status": "draining"}`` once shutdown has begun, so a load
+    balancer stops routing here while in-flight requests finish.
 
 ``GET /stats``
-    Full telemetry: request latency p50/p95, throughput, the batcher's
-    batch-size histogram and mean batch size, and the engine pool's hit
-    rate — the observable effect of micro-batching under load.
+    Full telemetry: request latency p50/p95, throughput, shed counts,
+    the batcher's batch-size histogram and mean batch size, and the
+    engine pool's hit rate — the observable effect of micro-batching
+    under load.
 
-The server is a ``ThreadingHTTPServer``: each connection gets a thread,
+The server is a threading HTTP server: each connection gets a thread,
 so concurrent clients genuinely enqueue concurrently and the
 micro-batcher has traffic to coalesce.  Malformed requests return 400
-with ``{"error": ...}``; unknown paths 404.
+with ``{"error": ...}``; unknown paths 404.  Failure statuses:
+backpressure and drain are 503 with a ``Retry-After`` header (the
+client should come back), deadline/timeout is 504, internal bugs 500.
+Only 5xx internal errors (or an unread request body) close a
+keep-alive connection — a client being told "retry later" keeps its
+connection.
+
+:func:`run_server` installs a SIGTERM handler implementing graceful
+drain: stop accepting work (503s + draining health), let every
+accepted request complete, then exit — no in-flight reply is dropped.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from repro.serve.batcher import QueueFull
+from repro.serve.batcher import DeadlineExceeded, QueueFull
+from repro.serve.service import ServiceDraining
 
-__all__ = ["ServeHandler", "create_server", "run_server"]
+__all__ = ["ServeHandler", "ServeHTTPServer", "create_server",
+           "run_server"]
+
+RETRY_AFTER_S = 1
+"""``Retry-After`` hint on 503 replies (backpressure clears in ~one
+batching quantum; drain means "find another replica")."""
 
 MAX_BODY_BYTES = 64 << 20
 """Reject request bodies beyond this (a 784-float image is ~10 KB)."""
@@ -54,58 +77,85 @@ class ServeHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               retry_after: float = None) -> None:
         body = json.dumps(payload).encode("utf8")
-        if status >= 400:
-            # Error paths may leave an unread request body on the
-            # socket; under HTTP/1.1 keep-alive the next request would
-            # then be parsed out of those leftover bytes.  Close instead.
+        # Close a keep-alive connection only when it is genuinely
+        # unusable: after an internal error, or when the request body
+        # was never read (leftover bytes would be parsed as the next
+        # request).  Recoverable client errors (400/404/503/504) keep
+        # the connection — a client told "retry later" should not also
+        # pay a reconnect.
+        close = status >= 500 or (self.command == "POST"
+                                  and not getattr(self, "_body_read",
+                                                  False))
+        if close:
             self.close_connection = True
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        if status >= 400:
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        if close:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
     # ------------------------------------------------------------------
     def do_GET(self):  # noqa: N802 - stdlib naming
-        service = self.server.service
-        if self.path == "/healthz":
-            self._reply(200, {
-                "status": "ok",
-                "requests": service.tracker.summary()["requests"],
-            })
-        elif self.path == "/stats":
-            self._reply(200, service.stats())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}; "
-                                       "try /predict, /healthz, /stats"})
+        with self.server.track():
+            service = self.server.service
+            if self.path == "/healthz":
+                if getattr(service, "draining", False):
+                    self._reply(503, {"status": "draining"},
+                                retry_after=RETRY_AFTER_S)
+                else:
+                    self._reply(200, {
+                        "status": "ok",
+                        "requests":
+                            service.tracker.summary()["requests"],
+                    })
+            elif self.path == "/stats":
+                self._reply(200, service.stats())
+            else:
+                self._reply(404, {
+                    "error": f"unknown path {self.path!r}; "
+                             "try /predict, /healthz, /stats"})
 
     def do_POST(self):  # noqa: N802 - stdlib naming
-        if self.path != "/predict":
-            self._reply(404, {"error": f"unknown path {self.path!r}; "
-                                       "POST /predict"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length <= 0 or length > MAX_BODY_BYTES:
-                raise ValueError("request body required (JSON)")
-            request = json.loads(self.rfile.read(length))
-            if not isinstance(request, dict):
-                raise ValueError("request body must be a JSON object")
-            self._reply(200, self._predict(request))
-        except QueueFull as exc:
-            self._reply(503, {"error": str(exc)})
-        except ValueError as exc:
-            # covers json.JSONDecodeError and every service-side
-            # validation error; internal bugs (TypeError, KeyError, ...)
-            # fall through to the 500 below instead of masquerading as
-            # client errors
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._reply(500, {"error": f"internal error: {exc}"})
+        with self.server.track():
+            self._body_read = False
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                           "POST /predict"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                if length <= 0 or length > MAX_BODY_BYTES:
+                    raise ValueError("request body required (JSON)")
+                raw = self.rfile.read(length)
+                self._body_read = True
+                request = json.loads(raw)
+                if not isinstance(request, dict):
+                    raise ValueError("request body must be a JSON object")
+                self._reply(200, self._predict(request))
+            except ServiceDraining as exc:
+                self._reply(503, {"error": str(exc),
+                                  "status": "draining"},
+                            retry_after=RETRY_AFTER_S)
+            except QueueFull as exc:
+                self._reply(503, {"error": str(exc)},
+                            retry_after=RETRY_AFTER_S)
+            except (DeadlineExceeded, TimeoutError) as exc:
+                self._reply(504, {"error": str(exc)})
+            except ValueError as exc:
+                # covers json.JSONDecodeError and every service-side
+                # validation error; internal bugs (TypeError, KeyError,
+                # ...) fall through to the 500 below instead of
+                # masquerading as client errors
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:
+                self._reply(500, {"error": f"internal error: {exc}"})
 
     def _predict(self, request: dict) -> dict:
         service = self.server.service
@@ -126,6 +176,16 @@ class ServeHandler(BaseHTTPRequestHandler):
                 raise ValueError(
                     f"'image' must be a single {h}×{w} image "
                     f"({pixels} pixels); use 'images' for batches")
+        timeout_ms = request.pop("timeout_ms", None)
+        if timeout_ms is not None:
+            try:
+                timeout_ms = float(timeout_ms)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"timeout_ms must be a number, got {timeout_ms!r}"
+                ) from None
+            if timeout_ms <= 0:
+                raise ValueError("timeout_ms must be > 0")
         overrides = {k: request[k] for k in
                      ("model", "backend", "length", "kinds", "pooling",
                       "weight_bits", "seed") if k in request}
@@ -134,7 +194,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             raise ValueError(
                 f"unknown request fields: {sorted(leftover)}")
         start = time.monotonic()
-        preds = service.predict(images, **overrides)
+        preds = service.predict(
+            images, timeout=None if timeout_ms is None
+            else timeout_ms / 1e3, **overrides)
         reply = {
             "backend": overrides.get("backend",
                                      service.defaults["backend"]),
@@ -147,8 +209,42 @@ class ServeHandler(BaseHTTPRequestHandler):
         return reply
 
 
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that counts in-flight requests.
+
+    The drain path needs "every accepted request has been answered",
+    which connection threads alone cannot tell (keep-alive threads
+    outlive their last request).  Handlers wrap each request in
+    :meth:`track`; :meth:`await_idle` blocks until the count hits zero.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    @contextlib.contextmanager
+    def track(self):
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def await_idle(self, timeout: float = None) -> bool:
+        """Block until no request is being handled; False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0,
+                                       timeout)
+
+
 def create_server(service, host: str = "127.0.0.1", port: int = 8100,
-                  verbose: bool = False) -> ThreadingHTTPServer:
+                  verbose: bool = False) -> ServeHTTPServer:
     """A ready-to-run threading HTTP server bound to ``service``.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is
@@ -156,18 +252,43 @@ def create_server(service, host: str = "127.0.0.1", port: int = 8100,
     ``serve_forever()`` (blocking or in a thread), then ``shutdown()``
     and ``server_close()``, and close the service.
     """
-    server = ThreadingHTTPServer((host, port), ServeHandler)
-    server.daemon_threads = True
+    server = ServeHTTPServer((host, port), ServeHandler)
     server.service = service
     server.verbose = verbose
     return server
 
 
 def run_server(service, host: str = "127.0.0.1", port: int = 8100,
-               verbose: bool = False) -> None:
-    """Serve until interrupted; closes the service on the way out."""
+               verbose: bool = False,
+               drain_grace: float = 10.0) -> None:
+    """Serve until interrupted; closes the service on the way out.
+
+    SIGTERM triggers a graceful drain: the service refuses new work
+    (503 + ``Retry-After``, ``/healthz`` flips to ``draining``),
+    requests already accepted run to completion (bounded by
+    ``drain_grace`` seconds), then the server exits — no in-flight
+    reply is ever dropped.  SIGINT/KeyboardInterrupt keeps its
+    immediate-exit behaviour for interactive use.
+    """
     server = create_server(service, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
+
+    def _drain():
+        service.drain()
+        server.await_idle(drain_grace)
+        server.shutdown()
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        # shutdown() must not run on the serve_forever thread (it would
+        # deadlock waiting for the loop the handler interrupted), so
+        # the drain runs on its own thread.
+        threading.Thread(target=_drain, name="serve-drain",
+                         daemon=True).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread
+        previous = None
     print(f"repro-serve listening on http://{bound_host}:{bound_port}")
     print(f"  POST http://{bound_host}:{bound_port}/predict  "
           "{'image': [...784 bipolar floats...]}")
@@ -177,6 +298,8 @@ def run_server(service, host: str = "127.0.0.1", port: int = 8100,
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        if previous is not None:  # pragma: no branch
+            signal.signal(signal.SIGTERM, previous)
         server.shutdown()
         server.server_close()
         service.close()

@@ -23,14 +23,26 @@ kinds, pooling, weight bits, seed); the service:
 
 Multi-image requests fan out into per-image queue entries, so they both
 benefit from and contribute to coalescing.
+
+Failure model: request ``timeout`` becomes a queue *deadline* — a
+request still queued past it is shed before compute
+(:class:`~repro.serve.batcher.DeadlineExceeded`, HTTP 504) rather than
+burning engine time on an abandoned wait.  :meth:`InferenceService.
+drain` flips the service into drain mode: new requests are refused with
+:class:`ServiceDraining` (HTTP 503 + ``Retry-After``) while in-flight
+work runs to completion (:meth:`InferenceService.await_idle`) — the
+SIGTERM path of :func:`repro.serve.server.run_server`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
 
 import numpy as np
 
+from repro import faults
 from repro.core.config import (
     NetworkConfig,
     resolve_kinds,
@@ -40,13 +52,30 @@ from repro.engine import get_backend
 from repro.engine.engine import as_image_batch
 from repro.engine.plan import normalize_weight_bits
 from repro.nn.zoo import hidden_layer_count, input_geometry
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import DeadlineExceeded, MicroBatcher
 from repro.serve.pool import EnginePool
 from repro.serve.stats import LatencyTracker
 
 # re-exported for serving callers; the parsers live with the config
 # domain in repro.core.config
-__all__ = ["InferenceService", "resolve_pooling", "resolve_kinds"]
+__all__ = ["InferenceService", "ServiceDraining", "payload_fingerprint",
+           "resolve_pooling", "resolve_kinds"]
+
+
+class ServiceDraining(RuntimeError):
+    """The service is draining (shutdown in progress): new requests are
+    refused; the HTTP layer maps this to 503 with a ``Retry-After``."""
+
+
+def payload_fingerprint(image) -> str:
+    """Stable 12-hex digest of one request payload.
+
+    Fault-injection specs target a *specific* request with
+    ``site="serve.request", match=payload_fingerprint(img)`` — stable
+    under re-batching and bisection, unlike occurrence counting.
+    """
+    arr = np.ascontiguousarray(np.asarray(image, dtype=np.float64))
+    return hashlib.sha1(arr.tobytes()).hexdigest()[:12]
 
 
 class InferenceService:
@@ -102,6 +131,9 @@ class InferenceService:
                                     workers=workers, max_queue=max_queue)
         self.tracker = LatencyTracker()
         self._closed = False
+        self._draining = False
+        self._inflight = 0
+        self._idle = threading.Condition()
         if warm:
             self.pool.get(self._resolve({})[1], backend=backend,
                           weight_bits=weight_bits, seed=self.defaults["seed"],
@@ -175,6 +207,15 @@ class InferenceService:
     # ------------------------------------------------------------------
     def _run_batch(self, key, payloads):
         model, backend_name, config, bits, seed = key
+        if faults.active() is not None:
+            # Per-payload site first: a spec matching one request's
+            # fingerprint fails every batch containing it, so bisection
+            # isolates exactly that request.  Then the whole-batch site.
+            for payload in payloads:
+                faults.fire("serve.request",
+                            label=payload_fingerprint(payload))
+            faults.fire("serve.compute",
+                        label=f"{model}:{backend_name}:{len(payloads)}")
         engine = self.pool.get(config, backend=backend_name,
                                weight_bits=bits, seed=seed, model=model)
         batch = np.stack(payloads)
@@ -204,24 +245,47 @@ class InferenceService:
         ``seed``) replace the service defaults for this request only —
         ``model`` selects among the registered zoo entries.  Every image
         goes through the micro-batcher, so concurrent callers coalesce.
-        ``timeout`` bounds the *whole* request, not each image.
+        ``timeout`` bounds the *whole* request, not each image — it also
+        becomes the tickets' queue deadline, so a request that cannot be
+        served in time is shed before compute
+        (:class:`~repro.serve.batcher.DeadlineExceeded`) instead of
+        evaluated for nobody.
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        if self._draining:
+            raise ServiceDraining(
+                "service is draining; not accepting new requests")
         start = time.monotonic()
         deadline = None if timeout is None else start + timeout
+        tickets = []
+        with self._idle:
+            self._inflight += 1
         try:
             key, _, _ = self._resolve(overrides)
             batch = self._as_images(images, model=key[0])
-            tickets = [self.batcher.submit(key, image) for image in batch]
+            tickets = [self.batcher.submit(key, image, deadline=deadline)
+                       for image in batch]
             preds = np.array(
                 [t.result(None if deadline is None
                           else max(deadline - time.monotonic(), 0.0))
                  for t in tickets],
                 dtype=np.int64)
+        except (DeadlineExceeded, TimeoutError):
+            # Abandon the whole request: sibling tickets still queued
+            # would otherwise be computed for nobody.
+            for ticket in tickets:
+                ticket.cancel()
+            self.tracker.record_shed()
+            raise
         except Exception:
             self.tracker.record_error()
             raise
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
         self.tracker.record(time.monotonic() - start)
         return preds
 
@@ -229,9 +293,31 @@ class InferenceService:
         """Single-image convenience wrapper around :meth:`predict`."""
         return int(self.predict(image, timeout=timeout, **overrides)[0])
 
+    # ------------------------------------------------------------------
+    # drain / shutdown
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Stop accepting new requests; in-flight ones run to completion.
+
+        Idempotent.  Pair with :meth:`await_idle` then :meth:`close` for
+        a graceful shutdown that never drops an accepted request.
+        """
+        self._draining = True
+
+    def await_idle(self, timeout: float = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0,
+                                       timeout)
+
     def stats(self) -> dict:
         """Aggregated service / batcher / pool telemetry for ``/stats``."""
         return {
+            "draining": self._draining,
             "service": self.tracker.summary(),
             "batcher": self.batcher.stats(),
             "pool": self.pool.stats(),

@@ -37,6 +37,7 @@ class LatencyTracker:
         self._started = clock()
         self._requests = 0
         self._errors = 0
+        self._sheds = 0
 
     def record(self, latency_s: float) -> None:
         """Record one successfully-served request."""
@@ -50,6 +51,17 @@ class LatencyTracker:
             self._requests += 1
             self._errors += 1
 
+    def record_shed(self) -> None:
+        """Record one request shed before compute (deadline/cancel).
+
+        Sheds are load-management outcomes, not failures: they count
+        toward ``requests`` and their own ``sheds`` counter but not
+        ``errors``, so an operator can tell overload from breakage.
+        """
+        with self._lock:
+            self._requests += 1
+            self._sheds += 1
+
     def summary(self) -> dict:
         """Snapshot: counters, lifetime throughput and latency quantiles.
 
@@ -59,10 +71,12 @@ class LatencyTracker:
             latencies = np.asarray(self._latencies, dtype=np.float64)
             requests = self._requests
             errors = self._errors
+            sheds = self._sheds
             uptime = max(self._clock() - self._started, 1e-9)
         summary = {
             "requests": requests,
             "errors": errors,
+            "sheds": sheds,
             "uptime_s": round(uptime, 3),
             "throughput_rps": round(requests / uptime, 3),
             "latency_ms": None,

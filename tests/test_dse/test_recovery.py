@@ -1,0 +1,187 @@
+"""Fault-injected recovery tests for the DSE tier.
+
+The contract under test: evaluations are pure functions, so every
+recovery path — worker death, in-band exceptions, hangs, store write
+failures — must reconverge to results *bit-identical* to a fault-free
+run (quarantined points excepted: they are recorded as poisoned and
+excluded deterministically).
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.dse import ParallelRunner, ResultStore, SearchSpace
+from repro.faults import FaultSpec
+from repro.nn.zoo import model_digest
+
+
+def _runner(trained, threshold, workers=1, store=None, **kwargs):
+    space = SearchSpace.from_trained(trained, max_length=128,
+                                     min_length=64)
+    return ParallelRunner(trained, space, threshold_pct=threshold,
+                          eval_images=40, seed=0, workers=workers,
+                          store=store, **kwargs)
+
+
+def _store(tmp_path, trained, threshold, name="run.jsonl", resume=False):
+    return ResultStore(tmp_path / name, model="lenet5",
+                       model_digest=model_digest(trained.model),
+                       evaluator="noise", eval_images=40, seed=0,
+                       threshold_pct=threshold, resume=resume)
+
+
+@pytest.fixture(scope="module")
+def baseline(trained_lenet, lenet_mid_threshold):
+    """The fault-free search every recovered run must reproduce."""
+    return _runner(trained_lenet, lenet_mid_threshold).run()
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_recovers_bit_identically(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        """A latch-kill takes out exactly one worker mid-round; the
+        respawned pool re-dispatches the lost points and the final
+        passing set, frontier and store are bit-identical to the
+        uninterrupted run, each key evaluated exactly once."""
+        latch = tmp_path / "kill.latch"
+        latch.touch()
+        store = _store(tmp_path, trained_lenet, lenet_mid_threshold)
+        runner = _runner(trained_lenet, lenet_mid_threshold, workers=2,
+                         store=store)
+        with faults.armed(FaultSpec(site="dse.evaluate", action="kill",
+                                    rate=1.0, latch=str(latch))):
+            result = runner.run()
+        assert not latch.exists()  # the kill really happened
+        assert result.stats["respawns"] >= 1
+        assert result.stats["retries"] >= 1
+        assert result.passing == baseline.passing
+        assert result.frontier == baseline.frontier
+        # exactly-once: every store key appears on exactly one line
+        lines = [json.loads(line) for line in
+                 (tmp_path / "run.jsonl").read_text().splitlines()]
+        keys = [r["key"] for r in lines if r.get("kind") == "result"]
+        assert len(keys) == len(set(keys))
+        assert len(keys) == len(result.records)
+
+    def test_resume_after_crash_run_matches_uninterrupted(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        """Resuming the post-crash store spawns no new evaluations and
+        reproduces the same passing set."""
+        latch = tmp_path / "kill2.latch"
+        latch.touch()
+        store = _store(tmp_path, trained_lenet, lenet_mid_threshold,
+                       name="resume.jsonl")
+        with faults.armed(FaultSpec(site="dse.evaluate", action="kill",
+                                    rate=1.0, latch=str(latch))):
+            first = _runner(trained_lenet, lenet_mid_threshold, workers=2,
+                            store=store).run()
+        resumed_store = _store(tmp_path, trained_lenet,
+                               lenet_mid_threshold, name="resume.jsonl",
+                               resume=True)
+        resumed = _runner(trained_lenet, lenet_mid_threshold,
+                          store=resumed_store).run()
+        assert resumed.stats["full_evals"] == 0
+        assert resumed.stats["screen_evals"] == 0
+        assert resumed.passing == first.passing == baseline.passing
+
+
+class TestQuarantine:
+    def test_persistent_failure_poisons_one_point(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        """A point that fails every retry is quarantined: recorded as
+        poisoned, pruned from its combo, excluded from passing — and
+        the rest of the search is untouched."""
+        victim = baseline.records[0]
+        label = f"{victim.combo_label}@{victim.length}"
+        store = _store(tmp_path, trained_lenet, lenet_mid_threshold)
+        runner = _runner(trained_lenet, lenet_mid_threshold, store=store,
+                         retries=1, backoff_s=0.0)
+        with faults.armed(FaultSpec(site="dse.evaluate", action="raise",
+                                    rate=1.0, match=label)):
+            result = runner.run()
+        assert result.stats["poisoned"] == 1
+        assert result.stats["retries"] == 1
+        bad = [r for r in result.records if r.poisoned]
+        assert len(bad) == 1
+        assert bad[0].kinds == victim.kinds
+        assert bad[0].length == victim.length
+        assert bad[0].error_pct is None and not bad[0].passed
+        # the poisoned combo contributes nothing; everything else is
+        # bit-identical to the fault-free run
+        expected = [p for p in baseline.passing
+                    if not p.config.name.startswith(
+                        f"{victim.combo_label}@")]
+        assert result.passing == expected
+        # the trajectory export carries the distinct outcome
+        rows = result.trajectories()[bad[0].scenario_label]
+        assert any(row["outcome"] == "poisoned"
+                   and row["error_pct"] is None for row in rows)
+
+    def test_poisoned_point_stays_quarantined_on_resume(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        victim = baseline.records[0]
+        label = f"{victim.combo_label}@{victim.length}"
+        store = _store(tmp_path, trained_lenet, lenet_mid_threshold,
+                       name="poison.jsonl")
+        with faults.armed(FaultSpec(site="dse.evaluate", action="raise",
+                                    rate=1.0, match=label)):
+            first = _runner(trained_lenet, lenet_mid_threshold,
+                            store=store, retries=0, backoff_s=0.0).run()
+        rows = [json.loads(line) for line in
+                (tmp_path / "poison.jsonl").read_text().splitlines()]
+        poisoned_rows = [r for r in rows if r.get("poisoned")]
+        assert len(poisoned_rows) == 1
+        assert poisoned_rows[0]["error_pct"] is None
+        # resume with NO faults armed: the quarantined key is reused,
+        # not re-evaluated, and the outcome is unchanged
+        resumed_store = _store(tmp_path, trained_lenet,
+                               lenet_mid_threshold, name="poison.jsonl",
+                               resume=True)
+        resumed = _runner(trained_lenet, lenet_mid_threshold,
+                          store=resumed_store).run()
+        assert resumed.stats["full_evals"] == 0
+        assert resumed.stats["poisoned"] == 0  # reused, not re-poisoned
+        assert sum(1 for r in resumed.records if r.poisoned) == 1
+        assert resumed.passing == first.passing
+
+
+class TestTimeout:
+    def test_hung_evaluation_times_out_and_recovers(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        """One evaluation sleeps past ``eval_timeout_s``; the stuck
+        worker is torn down with the pool and the re-dispatched point
+        completes — results bit-identical to the no-fault run."""
+        latch = tmp_path / "sleep.latch"
+        latch.touch()
+        runner = _runner(trained_lenet, lenet_mid_threshold, workers=2,
+                         eval_timeout_s=1.0, backoff_s=0.0)
+        with faults.armed(FaultSpec(site="dse.evaluate", action="sleep",
+                                    sleep_s=30.0, rate=1.0,
+                                    latch=str(latch))):
+            result = runner.run()
+        assert result.stats["timeouts"] >= 1
+        assert result.stats["respawns"] >= 1
+        assert result.passing == baseline.passing
+
+
+class TestStoreDegradation:
+    def test_failing_disk_never_fails_the_search(
+            self, tmp_path, trained_lenet, lenet_mid_threshold, baseline):
+        """Store appends raising ``OSError`` are retried, then the store
+        is dropped — the search still completes with full results."""
+        store = _store(tmp_path, trained_lenet, lenet_mid_threshold,
+                       name="disk.jsonl")
+        runner = _runner(trained_lenet, lenet_mid_threshold, store=store)
+        with faults.armed(FaultSpec(site="store.append", action="ioerror",
+                                    rate=1.0)):
+            result = runner.run()
+        # 3 attempts on the first record, then store-less for the rest
+        assert result.stats["store_errors"] == 3
+        assert result.passing == baseline.passing
+        assert result.frontier == baseline.frontier
+        # nothing but the header ever landed on disk
+        rows = [json.loads(line) for line in
+                (tmp_path / "disk.jsonl").read_text().splitlines()]
+        assert [r["kind"] for r in rows] == ["header"]

@@ -1,0 +1,209 @@
+"""Unit tests for the deterministic fault-injection framework.
+
+The framework is only as useful as its scheduling is predictable: these
+tests pin the occurrence counting, hash-based rates, substring matching,
+latch one-shots and the env-var arming format the recovery suites lean
+on.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    ComputeFault,
+    FaultInjector,
+    FaultSpec,
+    InjectedIOError,
+)
+from repro.faults.injector import KILL_EXIT_CODE, _hash_unit
+
+
+class TestFaultSpec:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultSpec(site="x", action="explode", hits=(1,))
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="", hits=(1,))
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(site="x", rate=1.5)
+
+    def test_never_tripping_spec_rejected(self):
+        with pytest.raises(ValueError, match="never trip"):
+            FaultSpec(site="x")
+
+    def test_parse_full_form(self):
+        spec = FaultSpec.parse(
+            "site=dse.evaluate, action=kill, hits=2|5, rate=0.5, "
+            "match=MUX, sleep_s=0.1, max_trips=3")
+        assert spec.site == "dse.evaluate"
+        assert spec.action == "kill"
+        assert spec.hits == (2, 5)
+        assert spec.rate == 0.5
+        assert spec.match == "MUX"
+        assert spec.sleep_s == 0.1
+        assert spec.max_trips == 3
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown fault spec"):
+            FaultSpec.parse("site=x,hits=1,color=red")
+
+    def test_parse_rejects_non_key_value(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultSpec.parse("site=x,hits")
+
+
+class TestScheduling:
+    def test_hits_trip_exact_occurrences(self):
+        injector = FaultInjector(FaultSpec(site="s", hits=(2, 4)))
+        outcomes = []
+        for _ in range(5):
+            try:
+                injector.fire("s")
+                outcomes.append("ok")
+            except ComputeFault:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "boom", "ok", "boom", "ok"]
+        assert injector.occurrences("s") == 5
+        assert [t[1] for t in injector.trips] == [2, 4]
+
+    def test_rate_one_trips_every_occurrence(self):
+        injector = FaultInjector(FaultSpec(site="s", rate=1.0))
+        for _ in range(3):
+            with pytest.raises(ComputeFault):
+                injector.fire("s")
+
+    def test_rate_is_deterministic_in_seed(self):
+        """Same seed => same trip pattern; the draw is a pure hash, so
+        arming faults can never perturb any global RNG stream."""
+        def pattern(seed):
+            injector = FaultInjector(FaultSpec(site="s", rate=0.5),
+                                     seed=seed)
+            out = []
+            for _ in range(32):
+                try:
+                    injector.fire("s")
+                    out.append(0)
+                except ComputeFault:
+                    out.append(1)
+            return out
+
+        assert pattern(7) == pattern(7)
+        assert 0 < sum(pattern(7)) < 32  # actually probabilistic
+        assert _hash_unit(7, "s", 1) == _hash_unit(7, "s", 1)
+
+    def test_match_restricts_to_label_substring(self):
+        injector = FaultInjector(
+            FaultSpec(site="s", rate=1.0, match="MUX-APC@128"))
+        injector.fire("s", label="APC-APC@128:full")  # no match: clean
+        with pytest.raises(ComputeFault):
+            injector.fire("s", label="MUX-APC@128:full")
+
+    def test_max_trips_caps_per_process(self):
+        injector = FaultInjector(
+            FaultSpec(site="s", rate=1.0, max_trips=2))
+        for _ in range(2):
+            with pytest.raises(ComputeFault):
+                injector.fire("s")
+        injector.fire("s")  # capped: clean
+        assert len(injector.trips) == 2
+
+    def test_latch_is_consumed_on_first_trip(self, tmp_path):
+        latch = tmp_path / "latch"
+        latch.touch()
+        injector = FaultInjector(
+            FaultSpec(site="s", rate=1.0, latch=str(latch)))
+        with pytest.raises(ComputeFault):
+            injector.fire("s")
+        assert not latch.exists()
+        injector.fire("s")  # latch gone: clean
+        assert len(injector.trips) == 1
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector(FaultSpec(site="a", hits=(1,)))
+        injector.fire("b")
+        with pytest.raises(ComputeFault):
+            injector.fire("a")
+
+
+class TestActions:
+    def test_ioerror_action_raises_oserror_subclass(self):
+        injector = FaultInjector(
+            FaultSpec(site="s", action="ioerror", hits=(1,)))
+        with pytest.raises(InjectedIOError) as excinfo:
+            injector.fire("s", label="header")
+        assert isinstance(excinfo.value, OSError)
+
+    def test_sleep_action_delays_then_returns(self):
+        injector = FaultInjector(
+            FaultSpec(site="s", action="sleep", hits=(1,), sleep_s=0.05))
+        start = time.monotonic()
+        injector.fire("s")
+        assert time.monotonic() - start >= 0.04
+
+    def test_kill_action_exits_with_marker_code(self):
+        """``kill`` dies like a segfault — no cleanup, distinctive code."""
+        code = (
+            "from repro.faults import FaultInjector, FaultSpec, install, "
+            "fire\n"
+            "install(FaultInjector(FaultSpec(site='s', action='kill', "
+            "hits=(1,))))\n"
+            "fire('s')\n"
+            "print('unreachable')\n")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     filter(None, ["src",
+                                   os.environ.get("PYTHONPATH", "")]))},
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))))
+        assert proc.returncode == KILL_EXIT_CODE
+        assert "unreachable" not in proc.stdout
+
+
+class TestInstallation:
+    def test_fire_is_noop_without_injector(self):
+        assert faults.active() is None
+        faults.fire("anything", label="x")  # must not raise
+
+    def test_armed_installs_and_uninstalls(self):
+        with faults.armed(FaultSpec(site="s", hits=(1,))) as injector:
+            assert faults.active() is injector
+            with pytest.raises(ComputeFault):
+                faults.fire("s")
+        assert faults.active() is None
+
+    def test_armed_uninstalls_on_error(self):
+        with pytest.raises(RuntimeError, match="test body"):
+            with faults.armed(FaultSpec(site="s", hits=(1,))):
+                raise RuntimeError("test body")
+        assert faults.active() is None
+
+
+class TestEnvArming:
+    def test_unset_env_installs_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert faults.maybe_install_from_env() is None
+        assert faults.active() is None
+
+    def test_env_specs_with_seed(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "seed=9; site=a,hits=1 ; site=b,action=sleep,rate=0.25")
+        try:
+            injector = faults.maybe_install_from_env()
+            assert injector is faults.active()
+            assert injector.seed == 9
+            assert [s.site for s in injector.specs] == ["a", "b"]
+            assert injector.specs[1].action == "sleep"
+        finally:
+            faults.clear()

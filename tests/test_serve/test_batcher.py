@@ -216,7 +216,9 @@ class TestErrorsAndLifecycle:
         with pytest.raises(RuntimeError, match="closed"):
             batcher.submit("g", 1)
 
-    def test_result_timeout(self):
+    def test_result_timeout_cancels_ticket(self):
+        """A timed-out wait cancels the ticket (the pre-fix leak kept it
+        queued and computed a result nobody would read)."""
         gate = threading.Event()
         runner = RecordingRunner(gate=gate)
         batcher = MicroBatcher(runner, max_batch=4, max_wait_ms=10)
@@ -224,8 +226,13 @@ class TestErrorsAndLifecycle:
             ticket = batcher.submit("g", 1)
             with pytest.raises(TimeoutError):
                 ticket.result(timeout=0.05)
+            assert ticket.cancelled
             gate.set()
-            assert ticket.result(timeout=10.0) == ("g", 1)
+            # the batcher keeps serving; repeated waits on the dead
+            # ticket keep raising instead of hanging or yielding a value
+            assert batcher.run("g", 2, timeout=10.0) == ("g", 2)
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01)
         finally:
             batcher.close()
 
