@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -39,6 +40,34 @@ DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
 ENGINE_OUTPUT = BENCH_DIR / "BENCH_engine.json"
 SERVE_OUTPUT = BENCH_DIR / "BENCH_serve.json"
 DSE_OUTPUT = BENCH_DIR / "BENCH_dse.json"
+
+#: numpy-vs-native benchmark twins (see bench_kernels.py) folded into
+#: the ``native`` speedup column of BENCH_kernels.json.
+_NATIVE_PAIRS = {
+    "fused_transpose_popcount_sum": ("test_kernel_fused_count_numpy",
+                                     "test_kernel_fused_count_native"),
+    "apc_column_counts": ("test_kernel_apc_counts_numpy",
+                          "test_kernel_apc_counts_native"),
+    "apc_inner_product": ("test_kernel_apc_inner_numpy",
+                          "test_kernel_apc_inner_native"),
+    "stanh_fsm": ("test_kernel_stanh_numpy", "test_kernel_stanh_native"),
+    "saturating_counter": ("test_kernel_btanh_numpy",
+                           "test_kernel_btanh_native"),
+}
+
+
+def _native_column(medians: dict) -> dict:
+    """The numpy-vs-native speedup column (empty when native is absent —
+    the ``*_native`` twins skip, so their medians never appear)."""
+    column = {}
+    for label, (np_name, nat_name) in _NATIVE_PAIRS.items():
+        if medians.get(np_name) and medians.get(nat_name):
+            column[label] = {
+                "numpy_ns": medians[np_name],
+                "native_ns": medians[nat_name],
+                "speedup": round(medians[np_name] / medians[nat_name], 2),
+            }
+    return column
 
 
 def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
@@ -63,16 +92,21 @@ def run_kernel_benchmarks(output: Path = DEFAULT_OUTPUT) -> dict:
         bench["name"]: round(bench["stats"]["median"] * 1e9)
         for bench in data["benchmarks"]
     }
+    native = _native_column(medians)
     payload = {
         "unit": "median ns per call",
         "machine": data.get("machine_info", {}).get("cpu", {}).get(
             "brand_raw", "unknown"),
+        "native_tier": bool(native),
         "kernels": dict(sorted(medians.items())),
+        "native": native,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     for name, ns in sorted(medians.items()):
         print(f"  {name:32s} {ns / 1e3:12.1f} us")
+    for label, row in native.items():
+        print(f"  native {label:30s} {row['speedup']:6.2f}x")
     return medians
 
 
@@ -162,6 +196,23 @@ def run_dse_benchmarks(output: Path = DSE_OUTPUT,
     return payload
 
 
+def mirror_artifacts(root: Path | None = None) -> list:
+    """Copy every ``benchmarks/BENCH_*.json`` to the repo root.
+
+    The perf-trajectory tracker discovers artifacts at the repo root, so
+    each run mirrors whatever suite outputs exist (not just the ones
+    this invocation refreshed).  Returns the mirrored paths.
+    """
+    root = BENCH_DIR.parent if root is None else Path(root)
+    mirrored = []
+    for src_path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        dst = root / src_path.name
+        shutil.copyfile(src_path, dst)
+        mirrored.append(dst)
+        print(f"mirrored {dst}")
+    return mirrored
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", action="store_true",
@@ -193,6 +244,7 @@ def main(argv=None) -> None:
         run_serve_benchmarks(args.serve_output)
     if dse or run_all:
         run_dse_benchmarks(args.dse_output, quick=args.dse_quick)
+    mirror_artifacts()
 
 
 if __name__ == "__main__":

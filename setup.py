@@ -4,8 +4,50 @@ The evaluation environment has no ``wheel`` package and no network, so a
 PEP-517 editable install cannot build a wheel; this shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
 ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+
+The native kernel tier (``src/repro/native/kernels.c``) is an *optional*
+build product: ``build_py`` tries to compile it next to the package so
+installs ship a prebuilt library, but a box without a C toolchain just
+prints a note and installs the pure-NumPy fallback — the package works
+either way (see DESIGN.md, "Native kernel tier").  ``repro.native`` also
+compiles lazily into a per-user cache on first import, so even a source
+checkout never *needs* this step.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import setup
+from setuptools.command.build_py import build_py
+
+
+class build_py_with_native(build_py):
+    """build_py + best-effort native kernel library."""
+
+    def run(self):
+        super().run()
+        self._build_native()
+
+    def _build_native(self):
+        import sys
+        sys.path.insert(0, str(Path(__file__).parent / "src"))
+        try:
+            from repro.native.build import NativeBuildError, build_into
+        except Exception as exc:  # pragma: no cover - broken checkout
+            print(f"skipping native kernel build (import failed: {exc})")
+            return
+        finally:
+            sys.path.pop(0)
+        target_dir = Path(self.build_lib or "build") / "repro" / "native"
+        if not target_dir.is_dir():
+            # develop/editable installs never copy the package; the
+            # lazy first-import compile covers them.
+            return
+        try:
+            built = build_into(target_dir)
+            print(f"built native kernel library: {built}")
+        except NativeBuildError as exc:
+            print(f"native kernel library not built ({exc}); "
+                  f"repro will run on the pure-NumPy kernel tier")
+
+
+setup(cmdclass={"build_py": build_py_with_native})

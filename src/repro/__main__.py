@@ -523,6 +523,19 @@ def _dse(argv) -> int:
     return 0
 
 
+def _kernel_tier_line(status: dict) -> str:
+    """One-line native-tier summary for ``python -m repro list``."""
+    if status["available"]:
+        line = "native (compiled, bit-identical to the NumPy oracle)"
+        if not status["enabled"]:
+            line += " [dispatch off]"
+    else:
+        line = f"numpy fallback ({status['reason'] or 'not built'})"
+    if status["override"] is not None:
+        line += f" [REPRO_NATIVE={status['override']}]"
+    return line
+
+
 SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse}
 
 
@@ -553,10 +566,12 @@ def main(argv=None) -> int:
         return SUBCOMMANDS[args.experiment](
             [a for a in argv if a not in ("--", args.experiment)])
     if args.experiment == "list":
+        import repro.native as native
         from repro.engine import list_backends
         from repro.nn.zoo import ZOO, zoo_names
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("registered backends:  ", ", ".join(list_backends()))
+        print("kernel tier:          ", _kernel_tier_line(native.status()))
         print("model zoo:")
         for name in zoo_names():
             print(f"  {name:10s} {ZOO[name].description}")

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.native as native
 from repro.blocks.pooling import (
     DEFAULT_SEGMENT,
     apc_average_pool,
@@ -253,10 +254,14 @@ class ExactBackend:
         """
         lp = self.plan.layers[i]
         wT = self._weight_t[i]
-        w_last = self._weight_last[i]
-        R = x.shape[0]
         n = lp.n_inputs
         L = self.length
+        if native.enabled():
+            # Native tier: transposition, XOR, row popcount and the LSB
+            # patch fused into one cache-tiled pass over the bank.
+            return native.apc_inner_counts(x, wT, n, L, approximate=True)
+        w_last = self._weight_last[i]
+        R = x.shape[0]
         xT = ops.transpose_pack(x, L,
                                 chunk_budget=self.chunk_budget)  # (R, L, W)
         x_last = ops.unpack_bits(x[:, -1, :], L)        # (R, L)

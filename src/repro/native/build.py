@@ -1,0 +1,167 @@
+"""Compile and locate the native kernel shared library.
+
+The kernels are plain C99 with no Python.h dependency, so the "build"
+is a single compiler invocation producing a shared object that ctypes
+loads.  Nothing here may hard-fail an import when no toolchain exists:
+:func:`load_library` raises :class:`NativeBuildError` with the reason,
+and the capability layer in :mod:`repro.native` turns that into a
+recorded fallback (pure NumPy keeps working — see DESIGN.md, "Native
+kernel tier").
+
+Library discovery order (all keyed by a digest of ``kernels.c`` so a
+source change can never load a stale binary):
+
+1. a prebuilt ``_kernels_<digest>.so`` next to this file (what the
+   optional ``setup.py`` build step produces);
+2. the per-user cache directory (``REPRO_NATIVE_CACHE`` or
+   ``~/.cache/repro-native``);
+3. compile into the cache directory now (atomic rename, so concurrent
+   first imports race benignly).
+
+Environment knobs:
+
+``REPRO_NATIVE_CC``
+    Compiler to use (default: first of ``cc``/``gcc``/``clang`` on
+    PATH).  Pointing it at a non-existent binary is how the test suite
+    simulates a compiler-less box.
+``REPRO_NATIVE_CACHE``
+    Where compiled libraries live (default ``~/.cache/repro-native``,
+    honouring ``XDG_CACHE_HOME``; falls back to a temp dir when the
+    home directory is not writable).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["NativeBuildError", "load_library", "build_into", "source_digest"]
+
+SOURCE = Path(__file__).with_name("kernels.c")
+
+#: Flag sets tried in order; ``-march=native`` unlocks hardware popcnt
+#: but is not universally supported, so a plain ``-O3`` build is the
+#: fallback (cache dirs are per-machine, so ``-march=native`` is safe).
+_FLAG_SETS = (
+    ["-O3", "-march=native", "-std=c99", "-fPIC", "-shared", "-fvisibility=hidden"],
+    ["-O3", "-std=c99", "-fPIC", "-shared"],
+)
+
+_BUILD_TIMEOUT_S = 120
+
+
+class NativeBuildError(RuntimeError):
+    """The native library could not be built or loaded; carries the reason."""
+
+
+def source_digest() -> str:
+    """Short content digest of kernels.c — the staleness key."""
+    return hashlib.sha1(SOURCE.read_bytes()).hexdigest()[:12]
+
+
+def _lib_suffix() -> str:
+    return ".dll" if sys.platform == "win32" else ".so"
+
+
+def lib_name(digest: str | None = None) -> str:
+    return f"_kernels_{digest or source_digest()}{_lib_suffix()}"
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def _compiler() -> str:
+    env = os.environ.get("REPRO_NATIVE_CC")
+    if env:
+        return env
+    for cand in ("cc", "gcc", "clang"):
+        found = shutil.which(cand)
+        if found:
+            return found
+    raise NativeBuildError(
+        "no C compiler found (looked for cc/gcc/clang; set REPRO_NATIVE_CC)")
+
+
+def _compile(out_path: Path) -> None:
+    """Compile kernels.c to ``out_path`` (atomic via temp + rename)."""
+    cc = _compiler()
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=_lib_suffix(), dir=str(out_path.parent))
+    os.close(fd)
+    errors = []
+    try:
+        for flags in _FLAG_SETS:
+            cmd = [cc, *flags, "-o", tmp, str(SOURCE)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True,
+                    timeout=_BUILD_TIMEOUT_S)
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                raise NativeBuildError(
+                    f"compiler {cc!r} failed to run: {exc}") from exc
+            if proc.returncode == 0:
+                os.replace(tmp, out_path)
+                return
+            errors.append(proc.stderr.strip().splitlines()[-1]
+                          if proc.stderr.strip() else f"exit {proc.returncode}")
+        raise NativeBuildError(
+            f"compilation failed with {cc!r}: {'; '.join(errors)}")
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def build_into(directory: Path) -> Path:
+    """Compile the library into ``directory`` (used by setup.py); returns
+    the built path.  Raises :class:`NativeBuildError` on failure."""
+    target = Path(directory) / lib_name()
+    _compile(target)
+    return target
+
+
+def _candidate_paths() -> list[Path]:
+    name = lib_name()
+    return [SOURCE.parent / name, cache_dir() / name]
+
+
+def load_library() -> tuple[ctypes.CDLL, Path]:
+    """Locate (or build) and load the native library.
+
+    Returns ``(cdll, path)``; raises :class:`NativeBuildError` when no
+    usable library can be produced.
+    """
+    candidates = _candidate_paths()
+    for path in candidates:
+        if path.is_file():
+            try:
+                return ctypes.CDLL(str(path)), path
+            except OSError as exc:
+                raise NativeBuildError(
+                    f"failed to load {path}: {exc}") from exc
+    target = candidates[-1]
+    try:
+        _compile(target)
+    except NativeBuildError:
+        raise
+    except OSError as exc:
+        # Cache dir not writable: last resort, a temp dir (lives for
+        # the process; recompiled next run).
+        target = Path(tempfile.mkdtemp(prefix="repro-native-")) / lib_name()
+        _compile(target)
+        return ctypes.CDLL(str(target)), target
+    try:
+        return ctypes.CDLL(str(target)), target
+    except OSError as exc:
+        raise NativeBuildError(f"failed to load {target}: {exc}") from exc

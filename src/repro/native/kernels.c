@@ -1,0 +1,412 @@
+/* Native fused-kernel tier below the NumPy word engine.
+ *
+ * C99, no Python.h: the library is a plain shared object loaded via
+ * ctypes (see repro/native/__init__.py), compiled at build or first
+ * import by repro/native/build.py with whatever system toolchain is
+ * present.  Every kernel here is a bit-identical re-implementation of a
+ * NumPy word-engine loop (repro.sc.ops / adders / fsm / activation and
+ * the exact backend's transposed counting) — arming the tier must
+ * change zero output bits, which the conformance suite enforces.
+ *
+ * Two design rules (DESIGN.md, "Native kernel tier"):
+ *
+ *  1. *Fuse* the loops NumPy cannot: the transpose_pack + popcount_sum
+ *     pair becomes one pass that never materializes the transposed
+ *     bank (repro_column_counts), and the exact backend's inner
+ *     product transposes a cache-resident tile and XOR-popcounts it in
+ *     place (repro_apc_inner_counts).
+ *  2. *Tile* to the cache: the inner-product kernel re-reads its
+ *     transposed input tile once per output channel, so the tile is
+ *     sized (TILE_BYTES) to stay resident across the channel loop.
+ *
+ * All kernels are pure functions of their arguments writing distinct
+ * output buffers, so concurrent calls from serving threads are safe
+ * (and ctypes drops the GIL for the duration of each call).
+ *
+ * Conventions shared with the NumPy engine: packed streams are uint8,
+ * stream axis last, big-endian bit order (bit t of a stream lives at
+ * byte[t/8] >> (7 - t%8)), padding bits of the final byte are zero.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(_WIN32)
+#define API __declspec(dllexport)
+#else
+#define API __attribute__((visibility("default")))
+#endif
+
+/* ------------------------------------------------------------------ */
+/* tables                                                             */
+/* ------------------------------------------------------------------ */
+
+/* spread_tab[b]: the 8 bits of b spread into the 8 byte lanes of a
+ * uint64 — byte lane t holds bit (7 - t), i.e. *cycle* t of the packed
+ * big-endian byte.  Adding spread words accumulates eight per-cycle
+ * column counters in parallel; lanes saturate only after 255 adds, so
+ * the column counter flushes into int32 totals every 255 streams. */
+static uint64_t spread_tab[256];
+static uint8_t pc8[256];
+
+static void init_tables(void)
+{
+    for (int b = 0; b < 256; b++) {
+        uint64_t v = 0;
+        int ones = 0;
+        for (int t = 0; t < 8; t++) {
+            uint64_t bit = (uint64_t)((b >> (7 - t)) & 1);
+            v |= bit << (8 * t);
+            ones += (int)bit;
+        }
+        spread_tab[b] = v;
+        pc8[b] = (uint8_t)ones;
+    }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((constructor)) static void ctor_tables(void) { init_tables(); }
+#else
+static int tables_ready = 0;
+#define ENSURE_TABLES() do { if (!tables_ready) { init_tables(); tables_ready = 1; } } while (0)
+#endif
+#ifndef ENSURE_TABLES
+#define ENSURE_TABLES() do { } while (0)
+#endif
+
+/* ------------------------------------------------------------------ */
+/* helpers                                                            */
+/* ------------------------------------------------------------------ */
+
+static inline int64_t popcnt64(uint64_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return (int64_t)__builtin_popcountll(x);
+#else
+    int64_t c = 0;
+    while (x) { x &= x - 1; c++; }
+    return c;
+#endif
+}
+
+/* 8x8 bit-matrix transpose (Hacker's Delight 7-3).  Viewing the word
+ * as 8 rows of 8 bits with row 0 in the most significant byte and
+ * column 0 at each byte's most significant bit, the result is the
+ * transposed matrix in the same convention — which is exactly the
+ * big-endian packed layout on both sides. */
+static inline uint64_t transpose8(uint64_t x)
+{
+    uint64_t t;
+    t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;  x ^= t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL; x ^= t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL; x ^= t ^ (t << 28);
+    return x;
+}
+
+/* Bit-transpose one packed bank row: n streams of nbytes bytes ->
+ * L rows of W bytes (out pre-zeroed).  Streams are processed 8 at a
+ * time; each (8 streams x 8 cycles) block is one transpose8. */
+static void transpose_rows_one(const uint8_t *in, int64_t n, int64_t nbytes,
+                               int64_t L, int64_t W, uint8_t *out)
+{
+    int64_t kmax = (L + 7) / 8;
+    if (kmax > nbytes)
+        kmax = nbytes;
+    for (int64_t j0 = 0; j0 < n; j0 += 8) {
+        int64_t jn = (n - j0 < 8) ? n - j0 : 8;
+        int64_t col = j0 >> 3;
+        for (int64_t k = 0; k < kmax; k++) {
+            uint64_t x = 0;
+            for (int64_t j = 0; j < jn; j++)
+                x |= (uint64_t)in[(j0 + j) * nbytes + k] << (8 * (7 - j));
+            if (!x)
+                continue;               /* out is pre-zeroed */
+            uint64_t y = transpose8(x);
+            int64_t t1 = L - 8 * k;
+            if (t1 > 8)
+                t1 = 8;
+            uint8_t *o = out + (8 * k) * W + col;
+            for (int64_t t = 0; t < t1; t++)
+                o[t * W] = (uint8_t)(y >> (8 * (7 - t)));
+        }
+    }
+}
+
+/* Popcount of (a XOR b) over w bytes; memcpy loads keep it alignment-
+ * safe and compile to plain word loads. */
+static inline int64_t popcount_xor(const uint8_t *a, const uint8_t *b,
+                                   int64_t w)
+{
+    int64_t c = 0, i = 0;
+    for (; i + 8 <= w; i += 8) {
+        uint64_t ua, ub;
+        memcpy(&ua, a + i, 8);
+        memcpy(&ub, b + i, 8);
+        c += popcnt64(ua ^ ub);
+    }
+    for (; i + 4 <= w; i += 4) {
+        uint32_t ua, ub;
+        memcpy(&ua, a + i, 4);
+        memcpy(&ub, b + i, 4);
+        c += popcnt64((uint64_t)(ua ^ ub));
+    }
+    for (; i < w; i++)
+        c += pc8[a[i] ^ b[i]];
+    return c;
+}
+
+/* ------------------------------------------------------------------ */
+/* kernels                                                            */
+/* ------------------------------------------------------------------ */
+
+/* transpose_pack: packed bank (R, n, nbytes) -> (R, L, W), row t of
+ * each output block holding the n streams' bits at cycle t (big-endian,
+ * zero-padded to W bytes).  Drop-in for repro.sc.ops.transpose_pack. */
+API int repro_transpose_pack(const uint8_t *in, int64_t R, int64_t n,
+                             int64_t nbytes, int64_t L, int64_t W,
+                             uint8_t *out)
+{
+    ENSURE_TABLES();
+    memset(out, 0, (size_t)(R * L * W));
+    for (int64_t r = 0; r < R; r++)
+        transpose_rows_one(in + r * n * nbytes, n, nbytes, L, W,
+                           out + r * L * W);
+    return 0;
+}
+
+/* Per-row popcount: (rows, nbytes) -> int64 counts.  Backs both
+ * ops.popcount and ops.popcount_sum (identical on zero-padded data). */
+API int repro_popcount_rows(const uint8_t *in, int64_t rows, int64_t nbytes,
+                            int64_t *out)
+{
+    ENSURE_TABLES();
+    for (int64_t r = 0; r < rows; r++) {
+        const uint8_t *a = in + r * nbytes;
+        int64_t c = 0, i = 0;
+        for (; i + 8 <= nbytes; i += 8) {
+            uint64_t u;
+            memcpy(&u, a + i, 8);
+            c += popcnt64(u);
+        }
+        for (; i < nbytes; i++)
+            c += pc8[a[i]];
+        out[r] = c;
+    }
+    return 0;
+}
+
+/* Fused transpose_pack + popcount_sum: per-cycle column counts of a
+ * packed bank (R, n, nbytes) -> (R, L) int16, without materializing
+ * the transposed bank.  Eight cycle counters ride the byte lanes of
+ * one uint64 accumulator per byte position (see spread_tab); lanes
+ * flush into int32 totals every 255 streams.  `approximate` applies
+ * the APC LSB patch: the output LSB is the exact LSB with the last
+ * stream's contribution dropped (repro.sc.adders.apc_count).  */
+API int repro_column_counts(const uint8_t *in, int64_t R, int64_t n,
+                            int64_t nbytes, int64_t L, int approximate,
+                            int16_t *out)
+{
+    ENSURE_TABLES();
+    int64_t kmax = (L + 7) / 8;
+    if (kmax > nbytes)
+        kmax = nbytes;
+    int use_tot = n > 255;      /* byte lanes saturate after 255 adds */
+    for (int64_t r = 0; r < R; r++) {
+        const uint8_t *base = in + r * n * nbytes;
+        const uint8_t *last = base + (n - 1) * nbytes;
+        /* 64 cycles (8 byte positions) per pass: the 8 lane
+         * accumulators live in registers and each stream row
+         * contributes one fully-unrolled 8-byte visit. */
+        for (int64_t kb = 0; kb < kmax; kb += 8) {
+            int64_t kw = (kmax - kb < 8) ? kmax - kb : 8;
+            uint64_t a[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            int32_t tot[64];
+            if (use_tot)
+                memset(tot, 0, sizeof(tot));
+            int64_t pending = 0;
+            const uint8_t *col = base + kb;
+            if (kw == 8 && !use_tot) {
+                for (int64_t j = 0; j < n; j++) {
+                    const uint8_t *p = col + j * nbytes;
+                    a[0] += spread_tab[p[0]];
+                    a[1] += spread_tab[p[1]];
+                    a[2] += spread_tab[p[2]];
+                    a[3] += spread_tab[p[3]];
+                    a[4] += spread_tab[p[4]];
+                    a[5] += spread_tab[p[5]];
+                    a[6] += spread_tab[p[6]];
+                    a[7] += spread_tab[p[7]];
+                }
+            } else {
+                for (int64_t j = 0; j < n; j++) {
+                    const uint8_t *p = col + j * nbytes;
+                    for (int64_t i = 0; i < kw; i++)
+                        a[i] += spread_tab[p[i]];
+                    if (use_tot && ++pending == 255) {
+                        for (int i = 0; i < 8; i++) {
+                            for (int t = 0; t < 8; t++)
+                                tot[i * 8 + t] +=
+                                    (int32_t)((a[i] >> (8 * t)) & 0xFF);
+                            a[i] = 0;
+                        }
+                        pending = 0;
+                    }
+                }
+                if (use_tot && pending)
+                    for (int i = 0; i < 8; i++)
+                        for (int t = 0; t < 8; t++)
+                            tot[i * 8 + t] +=
+                                (int32_t)((a[i] >> (8 * t)) & 0xFF);
+            }
+            for (int64_t i = 0; i < kw; i++) {
+                int64_t k = kb + i;
+                int64_t t1 = L - 8 * k;
+                if (t1 > 8)
+                    t1 = 8;
+                for (int64_t t = 0; t < t1; t++) {
+                    int32_t c = use_tot
+                        ? tot[i * 8 + t]
+                        : (int32_t)((a[i] >> (8 * t)) & 0xFF);
+                    if (approximate) {
+                        int32_t b = (last[k] >> (7 - t)) & 1;
+                        c = (c & ~1) | ((c ^ b) & 1);
+                    }
+                    out[r * L + 8 * k + t] = (int16_t)c;
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+/* Bytes of transposed input tile kept cache-resident across the
+ * channel loop of repro_apc_inner_counts. */
+#define TILE_BYTES (1 << 19)
+
+/* Fused exact-backend inner product (ExactBackend._apc_counts):
+ *
+ *   counts[c, r, t] = n - popcount(xT[r, t, :] ^ wT[c, t, :])
+ *
+ * with the APC LSB patch applied from the last input's product bit
+ * (extracted in place from the transposed rows — no separate last-bit
+ * planes).  x is the packed input bank (R, n, nbytes); wT is the
+ * pre-transposed weight bank (C, L, W); out is (C, R, L) int16.
+ *
+ * The input is transposed tile-by-tile into a scratch buffer sized to
+ * TILE_BYTES, then every output channel streams over the cached tile —
+ * the transposition is fused into the counting pass and the working
+ * set never leaves the cache. */
+API int repro_apc_inner_counts(const uint8_t *x, const uint8_t *wT,
+                               int64_t R, int64_t C, int64_t n,
+                               int64_t nbytes, int64_t L, int64_t W,
+                               int approximate, int16_t *out)
+{
+    ENSURE_TABLES();
+    int64_t Rb = TILE_BYTES / (L * W > 0 ? L * W : 1);
+    if (Rb < 1)
+        Rb = 1;
+    if (Rb > R)
+        Rb = R;
+    uint8_t *buf = (uint8_t *)malloc((size_t)(Rb * L * W));
+    if (!buf)
+        return -1;
+    int64_t lastb = (n - 1) >> 3;
+    int sh = 7 - (int)((n - 1) & 7);
+    for (int64_t r0 = 0; r0 < R; r0 += Rb) {
+        int64_t rn = (R - r0 < Rb) ? R - r0 : Rb;
+        memset(buf, 0, (size_t)(rn * L * W));
+        for (int64_t rr = 0; rr < rn; rr++)
+            transpose_rows_one(x + (r0 + rr) * n * nbytes, n, nbytes, L, W,
+                               buf + rr * L * W);
+        for (int64_t c = 0; c < C; c++) {
+            const uint8_t *wrow = wT + c * L * W;
+            for (int64_t rr = 0; rr < rn; rr++) {
+                const uint8_t *xrow = buf + rr * L * W;
+                int16_t *o = out + (c * R + r0 + rr) * L;
+                if (W == 4) {
+                    /* conv layers: one word per cycle row */
+                    for (int64_t t = 0; t < L; t++) {
+                        uint32_t ua, ub;
+                        memcpy(&ua, xrow + t * 4, 4);
+                        memcpy(&ub, wrow + t * 4, 4);
+                        int64_t cnt = n - popcnt64((uint64_t)(ua ^ ub));
+                        if (approximate) {
+                            int xb = (xrow[t * 4 + lastb] >> sh) & 1;
+                            int wb = (wrow[t * 4 + lastb] >> sh) & 1;
+                            int prod = 1 ^ xb ^ wb;
+                            cnt = (cnt & ~(int64_t)1)
+                                | ((cnt ^ prod) & 1);
+                        }
+                        o[t] = (int16_t)cnt;
+                    }
+                } else {
+                    for (int64_t t = 0; t < L; t++) {
+                        int64_t cnt = n - popcount_xor(xrow + t * W,
+                                                       wrow + t * W, W);
+                        if (approximate) {
+                            int xb = (xrow[t * W + lastb] >> sh) & 1;
+                            int wb = (wrow[t * W + lastb] >> sh) & 1;
+                            int prod = 1 ^ xb ^ wb;
+                            cnt = (cnt & ~(int64_t)1)
+                                | ((cnt ^ prod) & 1);
+                        }
+                        o[t] = (int16_t)cnt;
+                    }
+                }
+            }
+        }
+    }
+    free(buf);
+    return 0;
+}
+
+/* Stanh byte-LUT walk (repro.sc.activation.stanh_packed): steps the
+ * K-state FSM one packed byte per lookup through the caller-supplied
+ * transition tables nxt/outb, each (n_states, 256) row-major uint8 —
+ * the exact tables activation._stanh_tables caches.  last_mask
+ * re-zeroes the padding bits of the final byte. */
+API int repro_stanh_lut(const uint8_t *in, int64_t rows, int64_t nbytes,
+                        const uint8_t *nxt, const uint8_t *outb,
+                        int64_t init, uint8_t last_mask, uint8_t *out)
+{
+    for (int64_t r = 0; r < rows; r++) {
+        const uint8_t *a = in + r * nbytes;
+        uint8_t *o = out + r * nbytes;
+        unsigned s = (unsigned)init;
+        for (int64_t k = 0; k < nbytes; k++) {
+            unsigned idx = (s << 8) | a[k];
+            o[k] = outb[idx];
+            s = nxt[idx];
+        }
+        o[nbytes - 1] &= last_mask;
+    }
+    return 0;
+}
+
+/* Saturating up/down counter scan (repro.sc.fsm.saturating_counter):
+ * per row, state += inc[t], clamped into [0, hi]; output bit t is
+ * (updated state >= threshold).  int64 and int32 increment variants
+ * avoid a cast of the (often large) count tensors. */
+#define DEFINE_SATC(name, T)                                              \
+API int name(const T *inc, int64_t rows, int64_t Tn, int64_t hi,          \
+             int64_t init, int64_t threshold, uint8_t *out)               \
+{                                                                         \
+    for (int64_t r = 0; r < rows; r++) {                                  \
+        const T *a = inc + r * Tn;                                        \
+        uint8_t *o = out + r * Tn;                                        \
+        int64_t s = init;                                                 \
+        for (int64_t t = 0; t < Tn; t++) {                                \
+            s += (int64_t)a[t];                                           \
+            if (s < 0)                                                    \
+                s = 0;                                                    \
+            else if (s > hi)                                              \
+                s = hi;                                                   \
+            o[t] = (uint8_t)(s >= threshold);                             \
+        }                                                                 \
+    }                                                                     \
+    return 0;                                                             \
+}
+
+DEFINE_SATC(repro_saturating_counter_i64, int64_t)
+DEFINE_SATC(repro_saturating_counter_i32, int32_t)

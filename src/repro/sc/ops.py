@@ -31,6 +31,7 @@ import functools
 
 import numpy as np
 
+import repro.native as native
 from repro.utils.validation import check_stream_length
 
 __all__ = [
@@ -147,8 +148,10 @@ def popcount(data: np.ndarray, length: int | None = None) -> np.ndarray:
     count over the ``length`` valid bits.  When ``length`` is given the
     packed width is validated against it.
 
-    Runs on uint64 words through ``numpy.bitwise_count`` where available
-    (NumPy >= 2), falling back to a byte LUT otherwise.
+    Runs in the native kernel tier when armed (bit-identical; see
+    :mod:`repro.native`), else on uint64 words through
+    ``numpy.bitwise_count`` where available (NumPy >= 2), falling back
+    to a byte LUT otherwise.
     """
     data = np.asarray(data)
     if length is not None:
@@ -159,6 +162,8 @@ def popcount(data: np.ndarray, length: int | None = None) -> np.ndarray:
                 f"packed data last axis is {data.shape[-1]} bytes but "
                 f"length {length} requires {nbytes}"
             )
+    if data.dtype == np.uint8 and data.ndim and native.enabled():
+        return native.popcount_rows(data)
     if HAVE_BITWISE_COUNT:
         return np.bitwise_count(_as_words(data)).sum(axis=-1, dtype=np.int64)
     return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
@@ -190,6 +195,10 @@ def transpose_pack(data: np.ndarray, length: int, align: int = 4,
     data = np.asarray(data, dtype=np.uint8)
     if data.ndim < 2:
         raise ValueError("expected shape (..., n, nbytes)")
+    if data.shape[-1] * 8 >= length and native.enabled():
+        # Native tier: one cache-tiled 8x8-block pass, no unpacked
+        # transient at all (chunk_budget is moot — results identical).
+        return native.transpose_pack(data, length, align)
     batch = data.shape[:-2]
     n = data.shape[-2]
     width = (n + 7) // 8
@@ -221,6 +230,8 @@ def popcount_sum(data: np.ndarray, dtype=np.int64) -> np.ndarray:
     ``int16`` to keep the result tensors small.
     """
     data = np.ascontiguousarray(data)
+    if data.dtype == np.uint8 and data.ndim and native.enabled():
+        return native.popcount_rows(data).astype(dtype, copy=False)
     if not HAVE_BITWISE_COUNT:
         return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=dtype)
     nbytes = data.shape[-1]

@@ -41,6 +41,31 @@ class TestCli:
             assert name in out
         assert "serve" in out
 
+    def test_list_shows_kernel_tier(self, capsys):
+        import repro.native as native
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel tier:" in out
+        if native.available():
+            assert "native" in out
+        else:
+            assert "numpy fallback" in out
+
+    def test_kernel_tier_line_states(self):
+        from repro.__main__ import _kernel_tier_line
+        on = _kernel_tier_line({"available": True, "enabled": True,
+                                "reason": None, "override": None,
+                                "lib": "/x.so"})
+        assert on.startswith("native")
+        off = _kernel_tier_line({"available": False, "enabled": False,
+                                 "reason": "no C compiler found",
+                                 "override": None, "lib": None})
+        assert "numpy fallback" in off and "no C compiler found" in off
+        forced = _kernel_tier_line({"available": False, "enabled": False,
+                                    "reason": "disabled by REPRO_NATIVE=0",
+                                    "override": "0", "lib": None})
+        assert "[REPRO_NATIVE=0]" in forced
+
 
 class TestInferCli:
     def test_infer_exact_smoke(self, capsys):

@@ -5,6 +5,12 @@ counters, blocked clamp-composition FSM scan, cached LFSR orbits) must be
 *bit-exact* with the obvious per-bit implementations — including the
 awkward lengths the padding logic exists for: odd lengths, ``L % 8 != 0``
 and ``L % 64 != 0``, and arbitrary batch shapes.
+
+Every dispatch-sensitive test runs once per kernel tier via the
+``kernel_tier`` fixture: the native compiled tier (skipped where not
+built), the NumPy SIMD path with native dispatch pinned off, and the
+NumPy < 2 byte-LUT fallback — so all pure paths stay exercised on boxes
+where the faster tiers would otherwise shadow them.
 """
 
 import numpy as np
@@ -12,6 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.native as native
 from repro.sc import activation, adders, ops
 from repro.sc.fsm import saturating_counter
 from repro.sc.lfsr import LFSR
@@ -24,6 +31,32 @@ lengths = st.one_of(
 batch_shapes = st.sampled_from([(), (1,), (3,), (2, 3)])
 
 
+@pytest.fixture(scope="module", params=["native", "numpy-simd", "numpy-lut"])
+def kernel_tier(request):
+    """Pin the kernel dispatch to one tier for the whole module pass.
+
+    Module scope keeps hypothesis happy (no function-scoped fixture in
+    ``@given`` tests) and groups the three passes so each tier's state
+    is entered once.
+    """
+    if request.param == "native":
+        if not native.available():
+            pytest.skip("native kernel tier not built")
+        with native.override(True):
+            yield request.param
+    elif request.param == "numpy-simd":
+        with native.override(False):
+            yield request.param
+    else:
+        with native.override(False):
+            have = ops.HAVE_BITWISE_COUNT
+            ops.HAVE_BITWISE_COUNT = False
+            try:
+                yield request.param
+            finally:
+                ops.HAVE_BITWISE_COUNT = have
+
+
 def random_bits(data, shape, length):
     rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1),
                                           label="seed"))
@@ -32,7 +65,7 @@ def random_bits(data, shape, length):
 
 @settings(max_examples=60, deadline=None)
 @given(data=st.data(), length=lengths, shape=batch_shapes)
-def test_popcount_matches_unpacked(data, length, shape):
+def test_popcount_matches_unpacked(kernel_tier, data, length, shape):
     bits = random_bits(data, shape, length)
     packed = ops.pack_bits(bits)
     ref = bits.sum(axis=-1, dtype=np.int64)
@@ -40,25 +73,12 @@ def test_popcount_matches_unpacked(data, length, shape):
     np.testing.assert_array_equal(ops.popcount(packed), ref)
 
 
-@settings(max_examples=20, deadline=None)
-@given(data=st.data(), length=lengths, shape=batch_shapes)
-def test_popcount_fallback_lut_path(data, length, shape):
-    bits = random_bits(data, shape, length)
-    packed = ops.pack_bits(bits)
-    ref = bits.sum(axis=-1, dtype=np.int64)
-    have = ops.HAVE_BITWISE_COUNT
-    try:
-        ops.HAVE_BITWISE_COUNT = False
-        np.testing.assert_array_equal(ops.popcount(packed, length), ref)
-    finally:
-        ops.HAVE_BITWISE_COUNT = have
-
-
 @settings(max_examples=60, deadline=None)
 @given(data=st.data(), shape=batch_shapes,
        segment=st.integers(min_value=1, max_value=40),
        nseg=st.integers(min_value=1, max_value=12))
-def test_segment_popcount_matches_unpacked(data, shape, segment, nseg):
+def test_segment_popcount_matches_unpacked(kernel_tier, data, shape,
+                                           segment, nseg):
     length = segment * nseg
     if length > (1 << 22):
         return
@@ -90,7 +110,8 @@ def test_mux_select_matches_gather(data, length, shape, n):
 @given(data=st.data(), length=lengths, shape=batch_shapes,
        n=st.integers(min_value=1, max_value=12),
        budget=st.sampled_from([1, 64, 1 << 20]))
-def test_column_counters_match_unpacked(data, length, shape, n, budget):
+def test_column_counters_match_unpacked(kernel_tier, data, length, shape, n,
+                                        budget):
     bits = random_bits(data, shape + (n,), length)
     packed = ops.pack_bits(bits)
     exact_ref = bits.sum(axis=-2, dtype=np.int16)
@@ -102,8 +123,9 @@ def test_column_counters_match_unpacked(data, length, shape, n, budget):
     np.testing.assert_array_equal(approx, approx_ref)
 
 
-def test_column_counters_wide_summand_axis():
-    """n > 254 forces the int16 accumulator path."""
+def test_column_counters_wide_summand_axis(kernel_tier):
+    """n > 254 forces the int16 accumulator (numpy) / lane-flush (native)
+    path."""
     rng = np.random.default_rng(0)
     bits = rng.random((300, 40)) < 0.5
     packed = ops.pack_bits(bits)
@@ -130,7 +152,8 @@ def _counter_loop_reference(inc, n_states, init, threshold):
        T=st.integers(min_value=1, max_value=150),
        n_states=st.integers(min_value=1, max_value=24),
        block=st.one_of(st.none(), st.integers(min_value=1, max_value=20)))
-def test_saturating_counter_matches_loop(data, shape, T, n_states, block):
+def test_saturating_counter_matches_loop(kernel_tier, data, shape, T,
+                                         n_states, block):
     rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
     inc = rng.integers(-30, 31, size=shape + (T,))
     init = int(rng.integers(0, n_states))
@@ -144,7 +167,8 @@ def test_saturating_counter_matches_loop(data, shape, T, n_states, block):
 @settings(max_examples=40, deadline=None)
 @given(data=st.data(), length=lengths, shape=batch_shapes,
        n_states=st.integers(min_value=2, max_value=32))
-def test_stanh_packed_matches_bit_fsm(data, length, shape, n_states):
+def test_stanh_packed_matches_bit_fsm(kernel_tier, data, length, shape,
+                                      n_states):
     bits = random_bits(data, shape, length)
     packed = ops.pack_bits(bits)
     threshold = data.draw(st.one_of(
@@ -204,7 +228,7 @@ def test_popcount_rejects_mismatched_width():
 @settings(max_examples=40, deadline=None)
 @given(data=st.data(), length=lengths, shape=batch_shapes,
        n=st.integers(min_value=1, max_value=40))
-def test_transpose_pack_round_trips_bits(data, length, shape, n):
+def test_transpose_pack_round_trips_bits(kernel_tier, data, length, shape, n):
     """transpose_pack: row t of the result holds the n streams' bits at
     cycle t (zero-padded to the word alignment)."""
     bits = random_bits(data, shape + (n,), length)        # (..., n, L)
@@ -219,7 +243,7 @@ def test_transpose_pack_round_trips_bits(data, length, shape, n):
 @settings(max_examples=40, deadline=None)
 @given(data=st.data(), nbytes=st.integers(min_value=1, max_value=20),
        shape=batch_shapes)
-def test_popcount_sum_counts_all_bytes(data, nbytes, shape):
+def test_popcount_sum_counts_all_bytes(kernel_tier, data, nbytes, shape):
     rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
     packed = rng.integers(0, 256, shape + (nbytes,), dtype=np.uint8)
     ref = np.unpackbits(packed, axis=-1).sum(axis=-1, dtype=np.int64)
@@ -232,7 +256,8 @@ def test_popcount_sum_counts_all_bytes(data, nbytes, shape):
 @given(data=st.data(), length=lengths,
        n=st.integers(min_value=1, max_value=24),
        rows=st.integers(min_value=1, max_value=6))
-def test_transposed_counting_matches_apc_count(data, length, n, rows):
+def test_transposed_counting_matches_apc_count(kernel_tier, data, length, n,
+                                               rows):
     """The engine's transposed counting identity:
     count = n - popcount(xT ^ wT), LSB patched with the last product bit
     — must equal the word-level APC counter bit for bit."""
@@ -253,16 +278,3 @@ def test_transposed_counting_matches_apc_count(data, length, n, rows):
     np.testing.assert_array_equal(got, ref)
 
 
-@settings(max_examples=15, deadline=None)
-@given(data=st.data(), nbytes=st.integers(min_value=1, max_value=20),
-       shape=batch_shapes)
-def test_popcount_sum_fallback_lut_path(data, nbytes, shape):
-    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
-    packed = rng.integers(0, 256, shape + (nbytes,), dtype=np.uint8)
-    ref = np.unpackbits(packed, axis=-1).sum(axis=-1, dtype=np.int64)
-    have = ops.HAVE_BITWISE_COUNT
-    try:
-        ops.HAVE_BITWISE_COUNT = False
-        np.testing.assert_array_equal(ops.popcount_sum(packed), ref)
-    finally:
-        ops.HAVE_BITWISE_COUNT = have
