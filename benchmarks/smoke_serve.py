@@ -3,11 +3,16 @@
 Launches the real CLI server as a subprocess (quick-trained model, short
 streams), waits for ``/healthz``, POSTs one image on the exact and
 surrogate backends, asserts 200 + a valid prediction, checks ``/stats``
-exposes the batcher/pool telemetry — then exercises the graceful-drain
-path: with a fault-injected slow batch in flight, SIGTERM must flip
-``/healthz`` to draining, complete the in-flight reply (a dropped reply
-fails the smoke), and exit 0.  Uses only the standard library so it
-runs on every CI job unchanged::
+exposes the batcher/pool telemetry, scrapes ``/metrics`` *while a burst
+of requests is in flight* (every required series must be present and no
+sample may be NaN) — then exercises the graceful-drain path: with a
+fault-injected slow batch in flight, SIGTERM must flip ``/healthz`` to
+draining, complete the in-flight reply (a dropped reply fails the
+smoke), and exit 0.  The server runs with ``REPRO_TRACE`` armed
+(honoring a caller-set path so CI can upload the JSONL as an artifact);
+after shutdown the trace must reconstruct at least one request's
+queue → coalesce → compute → engine critical path.  Uses only the
+standard library so it runs on every CI job unchanged::
 
     PYTHONPATH=src python benchmarks/smoke_serve.py
 """
@@ -20,6 +25,7 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import urllib.error
@@ -35,6 +41,22 @@ STARTUP_TIMEOUT_S = 180.0
 DRAIN_FAULTS = ("site=serve.compute,action=sleep,sleep_s=1.5,rate=1.0,"
                 "match=:float:,max_trips=2")
 
+#: Series that must appear in a ``/metrics`` scrape of a server that
+#: has handled at least one request and one batch.
+REQUIRED_METRICS = (
+    "repro_serve_requests_total",
+    "repro_serve_latency_seconds_bucket",
+    "repro_serve_latency_seconds_count",
+    "repro_serve_batches_total",
+    "repro_serve_batch_size_bucket",
+    "repro_serve_queue_depth",
+    "repro_serve_inflight_batches",
+    "repro_serve_draining",
+    "repro_pool_lookups_total",
+    "repro_pool_engines",
+    "repro_pool_plans",
+)
+
 
 def _request(url: str, payload: dict = None):
     """GET (payload None) or POST JSON; returns (status, decoded body)."""
@@ -47,6 +69,89 @@ def _request(url: str, payload: dict = None):
             return reply.status, json.loads(reply.read())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read())
+
+
+def _request_text(url: str):
+    """GET a text endpoint; returns (status, body string)."""
+    with urllib.request.urlopen(url, timeout=120) as reply:
+        return reply.status, reply.read().decode("utf8")
+
+
+def _check_metrics_body(text: str) -> None:
+    """No sample line may be NaN (a NaN series means broken math)."""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        value = line.rsplit(" ", 1)[-1]
+        assert value != "NaN", f"NaN sample in /metrics: {line}"
+
+
+def _metrics_phase(base: str) -> None:
+    """Scrape ``/metrics`` repeatedly while a request burst is in flight."""
+    errors = []
+
+    def burst():
+        try:
+            for _ in range(4):
+                status, reply = _request(f"{base}/predict",
+                                         {"image": [0.0] * 784})
+                assert status == 200, reply
+        except Exception as exc:  # surfaced after join
+            errors.append(repr(exc))
+
+    load = threading.Thread(target=burst)
+    load.start()
+    scrapes = 0
+    while load.is_alive() and scrapes < 200:
+        status, text = _request_text(f"{base}/metrics")
+        assert status == 200
+        _check_metrics_body(text)
+        scrapes += 1
+    load.join()
+    assert not errors, errors
+
+    status, text = _request_text(f"{base}/metrics")
+    assert status == 200
+    _check_metrics_body(text)
+    present = {line.split("{")[0].split(" ")[0]
+               for line in text.splitlines() if not line.startswith("#")}
+    missing = [name for name in REQUIRED_METRICS if name not in present]
+    assert not missing, f"/metrics is missing series: {missing}\n{text}"
+    ok_line = next(line for line in text.splitlines()
+                   if line.startswith("repro_serve_requests_total")
+                   and 'outcome="ok"' in line)
+    assert float(ok_line.rsplit(" ", 1)[1]) >= 4, ok_line
+    print(f"GET /metrics: {len(present)} series, no NaN, "
+          f"{scrapes} scrapes during load")
+
+
+def _check_trace(trace_path: str) -> None:
+    """The JSONL trace reconstructs a request's critical path."""
+    with open(trace_path, encoding="utf8") as handle:
+        records = [json.loads(line) for line in handle]
+    by_id = {r["span"]: r for r in records}
+    assert len(by_id) == len(records), "duplicate span ids"
+    predicts = {r["span"] for r in records if r["name"] == "serve.predict"}
+    assert predicts, "no serve.predict spans traced"
+
+    def children(name, parents):
+        return [r for r in records
+                if r["name"] == name and r["parent"] in parents]
+
+    queue = children("serve.queue", predicts)
+    coalesce = children("serve.coalesce", predicts)
+    compute = children("serve.compute", predicts)
+    assert queue and coalesce and compute, (
+        "queue/coalesce/compute spans missing or unstitched")
+    computes = {r["span"] for r in compute}
+    forward = children("engine.forward", computes)
+    assert forward, "engine.forward not parented under serve.compute"
+    layers = children("engine.layer", {r["span"] for r in forward})
+    assert layers, "no per-layer spans under engine.forward"
+    print(f"trace: {len(records)} spans, critical path "
+          f"queue -> coalesce -> compute -> forward -> "
+          f"{len(layers)} layer spans reconstructed")
 
 
 def _wait_for_port(proc) -> int:
@@ -132,6 +237,11 @@ def main() -> int:
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                          if env.get("PYTHONPATH") else src)
     env["REPRO_FAULTS"] = DRAIN_FAULTS
+    # Arm tracing in the server; CI sets REPRO_TRACE to a path it later
+    # uploads as an artifact, otherwise a temp file is used.
+    trace_path = env.get("REPRO_TRACE") or os.path.join(
+        tempfile.gettempdir(), f"smoke_serve_trace_{os.getpid()}.jsonl")
+    env["REPRO_TRACE"] = trace_path
     proc = subprocess.Popen(
         [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
          "--length", "64", "--train", "300", "--epochs", "1",
@@ -167,7 +277,9 @@ def main() -> int:
         assert stats["service"]["latency_ms"]["p95"] > 0, stats
         print("GET /stats:", json.dumps(stats["service"]))
 
+        _metrics_phase(base)
         _drain_phase(proc, base)
+        _check_trace(trace_path)
         print("serve smoke test passed")
         return 0
     finally:

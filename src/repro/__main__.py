@@ -523,6 +523,74 @@ def _dse(argv) -> int:
     return 0
 
 
+def _stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Scrape a running repro-serve instance and print "
+                    "its telemetry (/stats JSON or /metrics text).")
+    parser.add_argument("--url", default="http://127.0.0.1:8100",
+                        help="server base URL (default %(default)s)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw /stats JSON instead of the "
+                             "summary table")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the Prometheus /metrics exposition "
+                             "verbatim")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="HTTP timeout in seconds "
+                             "(default %(default)s)")
+    return parser
+
+
+def _stats(argv) -> int:
+    """Scrape /stats (or /metrics) from a running server and print it."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    args = _stats_parser().parse_args(argv)
+    base = args.url.rstrip("/")
+    path = "/metrics" if args.metrics else "/stats"
+    try:
+        with urllib.request.urlopen(base + path,
+                                    timeout=args.timeout) as resp:
+            body = resp.read().decode("utf8")
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base + path}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.metrics:
+        print(body, end="")
+        return 0
+    stats = json.loads(body)
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    service = stats.get("service", {})
+    batcher = stats.get("batcher", {})
+    pool = stats.get("pool", {})
+    print(f"server:                {base}")
+    print(f"draining:              {stats.get('draining')}")
+    print(f"requests:              {service.get('requests')} "
+          f"(errors={service.get('errors')}, "
+          f"sheds={service.get('sheds')})")
+    print(f"throughput (lifetime): {service.get('throughput_rps')} rps")
+    print(f"throughput (window):   "
+          f"{service.get('throughput_rps_window')} rps over "
+          f"{service.get('throughput_window_s')}s")
+    lat = service.get("latency_ms")
+    if lat:
+        print(f"latency ms:            p50={lat['p50']} p95={lat['p95']} "
+              f"mean={lat['mean']} max={lat['max']}")
+    print(f"queue depth:           {batcher.get('queued')} "
+          f"(inflight batches={batcher.get('inflight_batches')})")
+    print(f"batches:               {batcher.get('batches')} "
+          f"(mean size={batcher.get('mean_batch_size')})")
+    print(f"pool:                  engines={pool.get('engines')} "
+          f"plans={pool.get('plans')} hit_rate={pool.get('hit_rate')}")
+    return 0
+
+
 def _kernel_tier_line(status: dict) -> str:
     """One-line native-tier summary for ``python -m repro list``."""
     if status["available"]:
@@ -536,7 +604,44 @@ def _kernel_tier_line(status: dict) -> str:
     return line
 
 
-SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse}
+def _observability_line() -> str:
+    """One-line tracing/profiling arming status for ``repro list``."""
+    from repro import obs
+    rec = obs.trace.recorder()
+    trace = f"trace -> {rec.path}" if rec is not None else \
+        "trace off (REPRO_TRACE=path to arm)"
+    profile = "kernel profiling on" if obs.kernels.armed() else \
+        "kernel profiling off (REPRO_PROFILE=1 to arm)"
+    return f"{trace}; {profile}"
+
+
+def _maybe_print_kernel_profile() -> None:
+    """With REPRO_PROFILE=1, exercise each kernel once and print the
+    per-kernel per-tier attribution table."""
+    from repro import obs
+    if not obs.kernels.armed():
+        return
+    import numpy as np
+
+    from repro.sc import activation, ops
+    rng = np.random.default_rng(0)
+    bank = rng.integers(0, 256, size=(64, 128), dtype=np.uint8)
+    bank[:, -1] &= ops.pad_mask(1024)[-1]
+    ops.popcount(bank, 1024)
+    xT = ops.transpose_pack(bank[None], 1024)
+    ops.popcount_sum(xT)
+    ops.mux_select(bank[None], rng.integers(0, 64, size=1024), 1024)
+    activation.stanh_packed(bank, 1024, 16)
+    rows = obs.kernels.summary()
+    print("kernel profile (one exercise pass per kernel):")
+    print(f"  {'kernel':16s} {'tier':12s} {'calls':>6s} {'ms':>10s}")
+    for row in rows:
+        print(f"  {row['kernel']:16s} {row['tier']:12s} "
+              f"{row['calls']:6d} {1e3 * row['seconds']:10.3f}")
+
+
+SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse,
+               "stats": _stats}
 
 
 def main(argv=None) -> int:
@@ -544,8 +649,11 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     # Deterministic fault injection for chaos tests / CI smoke runs:
     # REPRO_FAULTS="seed=1;site=dse.evaluate,action=kill,hits=3" etc.
-    from repro import faults
+    from repro import faults, obs
     faults.maybe_install_from_env()
+    # Observability arming: REPRO_TRACE=path writes a JSONL span trace,
+    # REPRO_PROFILE=1 attributes kernel wall time per dispatch tier.
+    obs.maybe_enable_from_env()
     if argv and argv[0] in SUBCOMMANDS:
         return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
@@ -572,12 +680,15 @@ def main(argv=None) -> int:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("registered backends:  ", ", ".join(list_backends()))
         print("kernel tier:          ", _kernel_tier_line(native.status()))
+        print("observability:        ", _observability_line())
         print("model zoo:")
         for name in zoo_names():
             print(f"  {name:10s} {ZOO[name].description}")
+        _maybe_print_kernel_profile()
         print("engine inference:      python -m repro infer --help")
         print("inference service:     python -m repro serve --help")
         print("design-space search:   python -m repro dse --help")
+        print("server telemetry:      python -m repro stats --help")
         print("full suite: pytest benchmarks/ --benchmark-only")
         return 0
     EXPERIMENTS[args.experiment]()

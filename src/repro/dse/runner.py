@@ -74,7 +74,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
-from repro import faults
+from repro import faults, obs
 
 from repro.core.config import NetworkConfig
 from repro.core.optimizer import DesignPoint
@@ -190,18 +190,37 @@ class _EvalContext:
         """Error rate (%) of one task — a pure function of the task."""
         faults.fire("dse.evaluate",
                     label=f"{task.combo_label}@{task.length}:{task.stage}")
-        config = task.config()
-        plan = self._base_plan(task.kinds, task.pooling, task.weight_bits
-                               ).with_length(task.length, name=config.name)
-        if task.stage == "screen":
-            backend, opts, images = (self.screen_backend, self.screen_opts,
-                                     self.screen_images)
-        else:
-            backend, opts, images = (self.full_backend, self.full_opts,
-                                     self.full_images)
-        engine = Engine(plan=plan, backend=backend, seed=task.seed, **opts)
-        return engine.error_rate(self.x[:images], self.y[:images],
-                                 batch_size=EVAL_BATCH)
+        with obs.span("dse.evaluate", combo=task.combo_label,
+                      length=task.length, stage=task.stage):
+            config = task.config()
+            plan = self._base_plan(task.kinds, task.pooling,
+                                   task.weight_bits
+                                   ).with_length(task.length,
+                                                 name=config.name)
+            if task.stage == "screen":
+                backend, opts, images = (self.screen_backend,
+                                         self.screen_opts,
+                                         self.screen_images)
+            else:
+                backend, opts, images = (self.full_backend, self.full_opts,
+                                         self.full_images)
+            engine = Engine(plan=plan, backend=backend, seed=task.seed,
+                            **opts)
+            return engine.error_rate(self.x[:images], self.y[:images],
+                                     batch_size=EVAL_BATCH)
+
+
+def _bump(stats: dict, key: str, n: int = 1) -> None:
+    """Increment a runner stat and mirror it into the metrics registry.
+
+    Chaos tests (and ``/metrics`` on a co-resident server) read the
+    mirrored ``repro_dse_<key>_total`` counters instead of reaching into
+    the runner's private stats dict.
+    """
+    stats[key] += n
+    if n:
+        obs.counter(f"repro_dse_{key}_total",
+                    "Design-space-exploration runner events.").inc(n)
 
 
 #: Worker-global context, set once per process by the pool initializer.
@@ -211,6 +230,10 @@ _WORKER_CTX = None
 def _init_worker(payload: dict) -> None:
     global _WORKER_CTX
     _WORKER_CTX = _EvalContext(**payload)
+    # Re-arm tracing/profiling from the environment: a spawn-started
+    # worker reimports everything, and a fork-started one inherits a
+    # recorder whose pid guard reopens the JSONL file on first emit.
+    obs.maybe_enable_from_env()
 
 
 def _worker_evaluate(task: EvalTask) -> float:
@@ -437,7 +460,7 @@ class ParallelRunner:
                 self.store.record(self._store_key(task), payload)
                 return
             except OSError:
-                stats["store_errors"] += 1
+                _bump(stats, "store_errors")
                 time.sleep(self.backoff_s * (2 ** attempt))
         self._store_disabled = True
         if self.verbose:  # pragma: no cover - console output
@@ -470,7 +493,7 @@ class ParallelRunner:
         if pool is None:
             return
         state["pool"] = None
-        stats["respawns"] += 1
+        _bump(stats, "respawns")
         # Terminate before shutdown: a hung worker would never drain its
         # work queue, and shutdown(wait=False) alone leaves it running.
         for proc in list(getattr(pool, "_processes", {}).values()):
@@ -526,7 +549,7 @@ class ParallelRunner:
                     except _FutureTimeout:
                         failed.append(i)
                         broken = True
-                        stats["timeouts"] += 1
+                        _bump(stats, "timeouts")
                     except BrokenProcessPool:
                         failed.append(i)
                         broken = True
@@ -546,11 +569,11 @@ class ParallelRunner:
                 if attempts[i] > self.retries:
                     poisoned[i] = True
                     errors[i] = None
-                    stats["poisoned"] += 1
+                    _bump(stats, "poisoned")
                 else:
                     pending.append(i)
             if pending:
-                stats["retries"] += len(pending)
+                _bump(stats, "retries", len(pending))
                 time.sleep(min(self.backoff_s * (2 ** retry_round), 2.0))
                 retry_round += 1
         return errors, reused, poisoned
@@ -596,7 +619,7 @@ class ParallelRunner:
                                 poisoned=True))
                             self._store_record(task, None, None, False,
                                                None, stats, poisoned=True)
-                            stats["reused"] += 1 if was_reused else 0
+                            _bump(stats, "reused", 1 if was_reused else 0)
                             continue
                         degradation = error - software
                         ok = self.screen.promotes(degradation,
@@ -609,12 +632,12 @@ class ParallelRunner:
                             reused=was_reused))
                         self._store_record(task, error, degradation, ok,
                                            None, stats)
-                        stats["screen_evals"] += 0 if was_reused else 1
-                        stats["reused"] += 1 if was_reused else 0
+                        _bump(stats, "screen_evals", 0 if was_reused else 1)
+                        _bump(stats, "reused", 1 if was_reused else 0)
                         if ok:
                             promoted.append(cell)
                         else:
-                            stats["screened_out"] += 1
+                            _bump(stats, "screened_out")
                             if self.verbose:  # pragma: no cover - console
                                 print(f"{task.config().describe():34s} "
                                       f"screen={degradation:+.2f}% "
@@ -636,7 +659,7 @@ class ParallelRunner:
                             reused=was_reused, poisoned=True))
                         self._store_record(task, None, None, False, None,
                                            stats, poisoned=True)
-                        stats["reused"] += 1 if was_reused else 0
+                        _bump(stats, "reused", 1 if was_reused else 0)
                         if self.verbose:  # pragma: no cover - console
                             print(f"{task.config().describe():34s} "
                                   "POISONED (quarantined)")
@@ -658,9 +681,9 @@ class ParallelRunner:
                         reused=was_reused, point=point))
                     self._store_record(task, error, degradation, ok, cost,
                                        stats)
-                    stats["full_evals"] += 0 if was_reused else 1
-                    stats["reused"] += 1 if was_reused else 0
-                    stats["points"] += 1
+                    _bump(stats, "full_evals", 0 if was_reused else 1)
+                    _bump(stats, "reused", 1 if was_reused else 0)
+                    _bump(stats, "points")
                     if self.verbose:  # pragma: no cover - console output
                         print(f"{point.summary()}  "
                               f"{'PASS' if ok else 'FAIL'}")

@@ -24,6 +24,7 @@ import threading
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import NetworkConfig
 from repro.engine.backends import get_backend
 from repro.engine.graph import build_graph
@@ -141,9 +142,12 @@ class Engine:
         flat = self._as_batch(images)
         step = len(flat) if batch_size is None else int(batch_size)
         preds = []
-        for start in range(0, len(flat), max(step, 1)):
-            logits = self.backend.forward(flat[start:start + max(step, 1)])
-            preds.append(np.argmax(logits, axis=1))
+        with obs.span("engine.predict", backend=self.backend_name,
+                      images=len(flat)):
+            for start in range(0, len(flat), max(step, 1)):
+                logits = self.backend.forward(
+                    flat[start:start + max(step, 1)])
+                preds.append(np.argmax(logits, axis=1))
         return (np.concatenate(preds) if preds
                 else np.empty(0, dtype=np.int64))
 

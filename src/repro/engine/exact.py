@@ -35,6 +35,8 @@ from __future__ import annotations
 import numpy as np
 
 import repro.native as native
+from repro import obs
+from repro.obs import kernels as _prof
 from repro.blocks.pooling import (
     DEFAULT_SEGMENT,
     apc_average_pool,
@@ -154,11 +156,13 @@ class ExactBackend:
         — argmax-compatible with the float model.
         """
         flat = self._validated(images)
-        out = np.empty((flat.shape[0], self.plan.layers[-1].units))
-        step = self._max_batch()
-        for start in range(0, flat.shape[0], step):
-            stop = min(start + step, flat.shape[0])
-            out[start:stop] = self._forward_batch(flat[start:stop])
+        with obs.span("engine.forward", backend=self.name,
+                      batch=int(flat.shape[0]), length=self.length):
+            out = np.empty((flat.shape[0], self.plan.layers[-1].units))
+            step = self._max_batch()
+            for start in range(0, flat.shape[0], step):
+                stop = min(start + step, flat.shape[0])
+                out[start:stop] = self._forward_batch(flat[start:stop])
         return out
 
     def forward_independent(self, images: np.ndarray) -> np.ndarray:
@@ -178,16 +182,22 @@ class ExactBackend:
         workers are safe on a shared backend.
         """
         flat = self._validated(images)
-        out = np.empty((flat.shape[0], self.plan.layers[-1].units))
-        step = self._max_batch()
-        for start in range(0, flat.shape[0], step):
-            stop = min(start + step, flat.shape[0])
-            selects, banks = [], []
-            for img in flat[start:stop]:
-                factory = self._fresh_factory.fork()
-                selects.extend(self._draw_selects(1, factory=factory))
-                banks.append(factory.packed(img, self.length))
-            out[start:stop] = self._run_layers(np.stack(banks), selects)
+        with obs.span("engine.forward", backend=self.name,
+                      batch=int(flat.shape[0]), length=self.length,
+                      independent=True):
+            out = np.empty((flat.shape[0], self.plan.layers[-1].units))
+            step = self._max_batch()
+            for start in range(0, flat.shape[0], step):
+                stop = min(start + step, flat.shape[0])
+                with obs.span("engine.encode", images=stop - start):
+                    selects, banks = [], []
+                    for img in flat[start:stop]:
+                        factory = self._fresh_factory.fork()
+                        selects.extend(self._draw_selects(1,
+                                                          factory=factory))
+                        banks.append(factory.packed(img, self.length))
+                out[start:stop] = self._run_layers(np.stack(banks),
+                                                   selects)
         return out
 
     # ------------------------------------------------------------------
@@ -259,7 +269,11 @@ class ExactBackend:
         if native.enabled():
             # Native tier: transposition, XOR, row popcount and the LSB
             # patch fused into one cache-tiled pass over the bank.
-            return native.apc_inner_counts(x, wT, n, L, approximate=True)
+            t0 = _prof.tick()
+            counts = native.apc_inner_counts(x, wT, n, L, approximate=True)
+            _prof.tock(t0, "apc_counts", "native")
+            return counts
+        t0 = _prof.tick()
         w_last = self._weight_last[i]
         R = x.shape[0]
         xT = ops.transpose_pack(x, L,
@@ -283,6 +297,10 @@ class ExactBackend:
                              ^ w_last[c0:c1, None])
                 counts[c0:c1, r0:r1] = ((exact & ~one)
                                         | ((exact ^ prod_last) & one))
+        # The whole transposed-counting pass (its transpose_pack /
+        # popcount_sum callees time themselves too, so subtracting them
+        # from this line isolates the XOR + LSB-patch glue).
+        _prof.tock(t0, "apc_counts", ops._NUMPY_TIER)
         return counts
 
     def _mux_ip_streams(self, x: np.ndarray, w_streams: np.ndarray,
@@ -300,27 +318,31 @@ class ExactBackend:
     # layer execution
     # ------------------------------------------------------------------
     def _forward_batch(self, imgs: np.ndarray) -> np.ndarray:
-        selects = self._draw_selects(imgs.shape[0])
-        if isinstance(self.factory.sng, IdealSNG):
-            # One SNG call for the whole batch: numpy fills the uniform
-            # block in C order, the same PRNG sequence as per-image calls.
-            x = self.factory.packed(imgs, self.length)  # (B, 784, nb)
-        else:
-            # Pooled-LFSR SNGs advance per *call* (slot rotation and
-            # window offsets key on it), so batched encoding must keep
-            # the legacy one-call-per-image sequence to stay
-            # batch-size-invariant.
-            x = np.stack([self.factory.packed(img, self.length)
-                          for img in imgs])
+        with obs.span("engine.encode", images=int(imgs.shape[0])):
+            selects = self._draw_selects(imgs.shape[0])
+            if isinstance(self.factory.sng, IdealSNG):
+                # One SNG call for the whole batch: numpy fills the
+                # uniform block in C order, the same PRNG sequence as
+                # per-image calls.
+                x = self.factory.packed(imgs, self.length)  # (B, 784, nb)
+            else:
+                # Pooled-LFSR SNGs advance per *call* (slot rotation and
+                # window offsets key on it), so batched encoding must
+                # keep the legacy one-call-per-image sequence to stay
+                # batch-size-invariant.
+                x = np.stack([self.factory.packed(img, self.length)
+                              for img in imgs])
         return self._run_layers(x, selects)
 
     def _run_layers(self, x: np.ndarray, selects) -> np.ndarray:
         """Execute the layer pipeline on an encoded ``(B, pixels, nb)`` bank."""
         for i, lp in enumerate(self.plan.layers):
-            if lp.op == "conv":
-                x = self._conv_layer(i, lp, x, selects)
-            else:
-                x = self._fc_layer(i, lp, x, selects)
+            with obs.span("engine.layer", index=i, op=lp.op,
+                          kind=lp.kind.value, units=lp.units):
+                if lp.op == "conv":
+                    x = self._conv_layer(i, lp, x, selects)
+                else:
+                    x = self._fc_layer(i, lp, x, selects)
         return x
 
     def _conv_layer(self, i, lp, x, selects):

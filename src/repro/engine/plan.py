@@ -32,6 +32,7 @@ import threading
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import FEBKind, NetworkConfig
 from repro.core.state_numbers import select_states
 from repro.engine.graph import LayerGraph, build_graph
@@ -295,15 +296,17 @@ class CompiledPlan:
             name=self.config.name if name is None else name,
         )
         graph = dataclasses.replace(self.graph, config=config)
-        states = _state_numbers(graph)
-        if states == tuple(l.n_states for l in self.layers):
-            # Layer plans are reusable, but backend-derived artifacts
-            # (calibration curves, noise sigmas) are measured at this
-            # plan's stream length — the re-targeted plan must start a
-            # fresh derived store so no length-specific artifact leaks.
-            return CompiledPlan(graph, self.layers, self.weight_bits,
-                                self._raw_cache)
-        return _compile(graph, self.weight_bits, self._raw_cache)
+        with obs.span("engine.with_length", length=length):
+            states = _state_numbers(graph)
+            if states == tuple(l.n_states for l in self.layers):
+                # Layer plans are reusable, but backend-derived artifacts
+                # (calibration curves, noise sigmas) are measured at this
+                # plan's stream length — the re-targeted plan must start
+                # a fresh derived store so no length-specific artifact
+                # leaks.
+                return CompiledPlan(graph, self.layers, self.weight_bits,
+                                    self._raw_cache)
+            return _compile(graph, self.weight_bits, self._raw_cache)
 
 
 def _state_numbers(graph: LayerGraph):
@@ -351,4 +354,5 @@ def compile_plan(graph_or_model, config: NetworkConfig | None = None,
         if config is None:
             raise ValueError("compile_plan(model, ...) needs a NetworkConfig")
         graph = build_graph(graph_or_model, config)
-    return _compile(graph, weight_bits, raw_cache={})
+    with obs.span("engine.compile", length=graph.config.length):
+        return _compile(graph, weight_bits, raw_cache={})

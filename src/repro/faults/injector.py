@@ -56,6 +56,8 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro import obs
+
 __all__ = ["ComputeFault", "InjectedIOError", "FaultSpec", "FaultInjector",
            "install", "active", "clear", "armed", "fire",
            "maybe_install_from_env", "KILL_EXIT_CODE"]
@@ -238,6 +240,12 @@ class FaultInjector:
                     break
         if due is None:
             return
+        # Mirror the trip into the metrics registry before the action
+        # runs — a "kill" action never returns, and chaos tests assert
+        # on the scraped counter instead of reaching into ``trips``.
+        obs.counter("repro_fault_trips_total",
+                    "Injected fault trips, by site and action.",
+                    site=site, action=due.action).inc()
         if due.action == "sleep":
             time.sleep(due.sleep_s)
         elif due.action == "kill":

@@ -1,0 +1,118 @@
+"""repro.obs — unified telemetry: metrics, tracing, kernel profiling.
+
+Three independent facilities with one shared contract — instrumentation
+is *pure observation* (clocks and counters only, never an RNG, never a
+behavioral branch), so armed or disarmed the simulator's output bits
+are identical (asserted by ``tests/test_conformance``):
+
+* **metrics** (:mod:`.registry`, :mod:`.exposition`) — process-wide
+  counters / gauges / log-bucket histograms, scraped at ``GET /metrics``
+  and ``python -m repro stats``;
+* **tracing** (:mod:`.trace`) — hierarchical spans over the request
+  lifecycle and DSE evaluations, JSONL via ``REPRO_TRACE=path``;
+* **kernel profiling** (:mod:`.kernels`) — wall time per kernel per
+  dispatch tier, ``REPRO_PROFILE=1``.
+
+Event-time call sites use the module-level conveniences below
+(``obs.counter(...).inc()``), which resolve the *current* registry per
+event — so :func:`scoped_registry` can isolate a test without patching
+any instrumented module.
+
+This package sits at the bottom of the import graph: it must not import
+from ``repro.sc``, ``repro.engine``, ``repro.serve``, ``repro.dse``,
+``repro.faults`` or ``repro.native`` (they all import *it*).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from . import kernels, trace
+from .exposition import parse, render
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    armed,
+    get_registry,
+    log_buckets,
+    set_armed,
+    set_registry,
+)
+from .trace import current, record_span, span
+
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "log_buckets",
+    "get_registry",
+    "set_registry",
+    "set_armed",
+    "armed",
+    "scoped_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+    "parse",
+    "span",
+    "record_span",
+    "current",
+    "trace",
+    "kernels",
+    "maybe_enable_from_env",
+]
+
+
+def counter(name: str, help: str = "", **labels):
+    """Event-time counter child in the *current* registry.
+
+    Label names are derived from the keyword arguments (sorted), so a
+    given metric name must always be called with the same label keys.
+    """
+    family = get_registry().counter(name, help,
+                                    labelnames=tuple(sorted(labels)))
+    return family.labels(**labels) if labels else family
+
+
+def gauge(name: str, help: str = "", **labels):
+    """Event-time gauge child in the *current* registry."""
+    family = get_registry().gauge(name, help,
+                                  labelnames=tuple(sorted(labels)))
+    return family.labels(**labels) if labels else family
+
+
+def histogram(name: str, help: str = "", buckets=None, **labels):
+    """Event-time histogram child in the *current* registry."""
+    family = get_registry().histogram(name, help,
+                                      labelnames=tuple(sorted(labels)),
+                                      buckets=buckets)
+    return family.labels(**labels) if labels else family
+
+
+@contextmanager
+def scoped_registry(registry=None):
+    """Swap in an isolated registry for the block (test isolation).
+
+    Yields the scoped registry; the previous one is restored on exit
+    even on error.  Note the scope is process-global, not thread-local —
+    concurrent writers inside the block land in the scoped registry,
+    which is exactly what the serve-path tests need.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def maybe_enable_from_env() -> dict:
+    """Arm tracing/profiling from ``REPRO_TRACE`` / ``REPRO_PROFILE``.
+
+    Called once at CLI entry (like ``faults.maybe_install_from_env``).
+    Returns ``{"trace": bool, "profile": bool}`` for status display.
+    """
+    return {
+        "trace": trace.maybe_enable_from_env(),
+        "profile": kernels.maybe_enable_from_env(),
+    }

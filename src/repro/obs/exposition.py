@@ -1,0 +1,193 @@
+"""Prometheus text exposition: render a registry snapshot, parse it back.
+
+``render`` emits the classic text format (``# HELP`` / ``# TYPE``
+headers, one sample per line, histograms expanded into cumulative
+``_bucket{le="..."}`` series plus ``_sum`` and ``_count``).  ``parse``
+is the inverse — not a full scraper, just enough structure recovery
+for the round-trip conformance test and the ``python -m repro stats``
+CLI to re-tabulate a scrape.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render", "parse"]
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def _escape(value: str) -> str:
+    return "".join(_ESCAPES.get(c, c) for c in str(value))
+
+
+def _unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        pair = value[i:i + 2]
+        if pair in _UNESCAPES:
+            out.append(_UNESCAPES[pair])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labelstr(labelnames, labelvalues, extra=()) -> str:
+    parts = [f'{n}="{_escape(v)}"'
+             for n, v in list(zip(labelnames, labelvalues)) + list(extra)]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render(source) -> str:
+    """Prometheus text (version 0.0.4) for a registry or snapshot dict.
+
+    Accepts either a :class:`~repro.obs.registry.MetricsRegistry` or a
+    ``registry.snapshot()`` dict, so exporters can scrape live or from
+    a frozen copy.
+    """
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    lines = []
+    for name in sorted(snapshot):
+        meta = snapshot[name]
+        kind, labelnames = meta["kind"], tuple(meta["labelnames"])
+        if meta["help"]:
+            lines.append(f"# HELP {name} {_escape(meta['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labelvalues in sorted(meta["samples"]):
+            sample = meta["samples"][labelvalues]
+            if kind == "histogram":
+                for bound, cum in sample["buckets"]:
+                    le = "+Inf" if bound == math.inf else f"{bound:g}"
+                    labels = _labelstr(labelnames, labelvalues,
+                                       extra=[("le", le)])
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                labels = _labelstr(labelnames, labelvalues)
+                lines.append(f"{name}_sum{labels} {_fmt(sample['sum'])}")
+                lines.append(f"{name}_count{labels} {sample['count']}")
+            else:
+                labels = _labelstr(labelnames, labelvalues)
+                lines.append(f"{name}{labels} {_fmt(sample)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(body: str) -> dict:
+    labels, i = {}, 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq].strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {body[eq:]!r}")
+        j = eq + 2
+        raw = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                raw.append(body[j:j + 2])
+                j += 2
+            else:
+                raw.append(body[j])
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse(text: str) -> dict:
+    """Structure a text exposition back into
+    ``{name: {"kind", "help", "samples": {label-frozenset: value}}}``.
+
+    Histogram series come back under their base name with the
+    synthetic ``le``/``_sum``/``_count`` structure reassembled into
+    ``{"buckets": [(le, cum), ...], "sum": s, "count": n}`` keyed by
+    the non-``le`` labels.
+    """
+    metrics = {}
+    types = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            metrics.setdefault(name, {"kind": "untyped", "help": "",
+                                      "samples": {}})
+            metrics[name]["help"] = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            metrics.setdefault(name, {"kind": kind, "help": "",
+                                      "samples": {}})
+            metrics[name]["kind"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        # sample line: name{labels} value  (a label value may contain
+        # spaces, so split on the brace first when one starts the name)
+        brace = line.find("{")
+        if brace != -1 and (" " not in line or brace < line.index(" ")):
+            name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip().split()[0]
+        else:
+            name, _, rest = line.partition(" ")
+            labels = {}
+            value_text = rest.strip().split()[0]
+        value = _parse_value(value_text)
+
+        base = name
+        part = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = name[:-len(suffix)] if name.endswith(suffix) else None
+            if candidate and types.get(candidate) == "histogram":
+                base, part = candidate, suffix
+                break
+        entry = metrics.setdefault(
+            base, {"kind": types.get(base, "untyped"), "help": "",
+                   "samples": {}})
+        if part is None:
+            entry["samples"][frozenset(labels.items())] = value
+            continue
+        le = labels.pop("le", None)
+        key = frozenset(labels.items())
+        hist = entry["samples"].setdefault(
+            key, {"buckets": [], "sum": 0.0, "count": 0})
+        if part == "_bucket":
+            hist["buckets"].append((_parse_value(le), value))
+        elif part == "_sum":
+            hist["sum"] = value
+        else:
+            hist["count"] = int(value)
+    for entry in metrics.values():
+        if entry["kind"] == "histogram":
+            for hist in entry["samples"].values():
+                hist["buckets"].sort(key=lambda pair: pair[0])
+                hist["count"] = int(hist["count"])
+    return metrics

@@ -1,0 +1,207 @@
+"""Request tracing: hierarchical spans exported as JSONL.
+
+A *span* is one timed stage of work (``serve.queue``, ``serve.compute``,
+``engine.layer``...) with a unique id, an optional parent id, wall-clock
+start, duration and free-form tags.  Spans from one request share the
+ancestry chain, so a test (or any trace viewer that reads JSONL) can
+reconstruct the critical path: HTTP parse → queue wait → coalesce →
+encode → per-layer kernel → respond.
+
+Recording is armed by ``REPRO_TRACE=/path/to/trace.jsonl`` (or
+:func:`configure`); disarmed, :func:`span` costs one global load and a
+branch and yields ``None``.  The contract mirrors the metrics registry:
+tracing reads clocks and writes JSON — it never touches an RNG or
+changes control flow, so output bits are identical armed or not.
+
+Cross-thread propagation is explicit: the serve path hands a ticket the
+caller's current span token (:func:`current`), and the batcher worker
+passes it back as ``parent=`` when it opens the compute span on its own
+thread.  Within a thread, nesting is automatic via a thread-local stack.
+
+Fork safety: span ids embed the pid and the output file is reopened
+(append mode) after a fork, so DSE fork-server workers interleave
+complete lines into the same trace file instead of double-flushing an
+inherited buffer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "TraceRecorder",
+    "span",
+    "record_span",
+    "current",
+    "configure",
+    "recorder",
+    "armed",
+    "maybe_enable_from_env",
+]
+
+_lock = threading.Lock()
+_RECORDER = None  # type: TraceRecorder | None
+_local = threading.local()
+
+
+class TraceRecorder:
+    """Appends span records to a JSONL file; safe across threads/forks."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._file = None
+        self._pid = None
+        self._ids = itertools.count(1)
+
+    def _handle(self):
+        # Reopen after fork: an inherited handle shares the parent's
+        # buffer and offset, so each pid gets its own append-mode file.
+        pid = os.getpid()
+        if self._file is None or self._pid != pid:
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._pid = pid
+        return self._file
+
+    def next_id(self) -> str:
+        return f"{os.getpid():x}.{next(self._ids):x}"
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            handle = self._handle()
+            handle.write(line + "\n")
+            handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and self._pid == os.getpid():
+                self._file.close()
+            self._file = None
+            self._pid = None
+
+
+def configure(path) -> None:
+    """Arm tracing to ``path`` (JSONL, append); ``None`` disarms."""
+    global _RECORDER
+    with _lock:
+        old, _RECORDER = _RECORDER, None
+        if old is not None:
+            old.close()
+        if path:
+            _RECORDER = TraceRecorder(path)
+
+
+def recorder():
+    """The active :class:`TraceRecorder`, or ``None`` when disarmed."""
+    return _RECORDER
+
+
+def armed() -> bool:
+    return _RECORDER is not None
+
+
+def maybe_enable_from_env(var: str = "REPRO_TRACE") -> bool:
+    """Arm tracing if ``$REPRO_TRACE`` names a path. Returns armed()."""
+    path = os.environ.get(var, "").strip()
+    if path:
+        configure(path)
+    return armed()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current():
+    """The current thread's innermost open span id (or ``None``).
+
+    This is the token to hand across a thread boundary: the receiving
+    thread passes it back as ``parent=`` to stitch the trace together.
+    """
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+# Offset between the monotonic and wall clocks, taken once: spans time
+# with time.monotonic (the clock the serving layer already stamps
+# ticket arrivals/deadlines with, immune to wall-clock steps) but
+# export wall-clock timestamps so traces from different processes
+# line up.
+_WALL_OFFSET = time.time() - time.monotonic()
+
+
+def _emit(rec, name, span_id, parent, start_mono, end_mono, tags):
+    record = {
+        "name": name,
+        "span": span_id,
+        "parent": parent,
+        "ts": round(start_mono + _WALL_OFFSET, 6),
+        "dur_ms": round((end_mono - start_mono) * 1e3, 6),
+        "pid": os.getpid(),
+        "thread": threading.current_thread().name,
+    }
+    if tags:
+        record["tags"] = {k: v for k, v in tags.items() if v is not None}
+    rec.emit(record)
+
+
+@contextmanager
+def span(name: str, parent=None, **tags):
+    """Open a span around a block; yields the span id (None disarmed).
+
+    Parentage defaults to the thread's innermost open span; pass
+    ``parent=token`` (from :func:`current` on another thread) to stitch
+    across threads.  Exceptions propagate untouched — the span is still
+    recorded, tagged ``error`` with the exception class name.
+    """
+    rec = _RECORDER
+    if rec is None:
+        yield None
+        return
+    stack = _stack()
+    if parent is None and stack:
+        parent = stack[-1]
+    span_id = rec.next_id()
+    stack.append(span_id)
+    start = time.monotonic()
+    try:
+        yield span_id
+    except BaseException as exc:
+        tags = dict(tags)
+        tags["error"] = type(exc).__name__
+        raise
+    finally:
+        end = time.monotonic()
+        # The stack is strictly LIFO per thread, but guard against a
+        # generator-close unwinding out of order.
+        if stack and stack[-1] == span_id:
+            stack.pop()
+        elif span_id in stack:
+            stack.remove(span_id)
+        _emit(rec, name, span_id, parent, start, end, tags)
+
+
+def record_span(name: str, start_mono: float, end_mono: float,
+                parent=None, **tags):
+    """Record a span retrospectively from two time.monotonic readings.
+
+    Used where the interval is only known after the fact — e.g. the
+    batcher worker records each ticket's queue wait as
+    ``record_span("serve.queue", ticket.arrival, take_time,
+    parent=ticket.trace)``.  Returns the span id (None when disarmed).
+    """
+    rec = _RECORDER
+    if rec is None:
+        return None
+    span_id = rec.next_id()
+    _emit(rec, name, span_id, parent, start_mono, end_mono, tags)
+    return span_id

@@ -32,6 +32,7 @@ import functools
 import numpy as np
 
 import repro.native as native
+from repro.obs import kernels as _prof
 from repro.sc import ops
 from repro.sc.bitstream import Bitstream
 from repro.sc.encoding import Encoding
@@ -99,7 +100,11 @@ def stanh_packed(data: np.ndarray, length: int, n_states: int,
     if native.enabled():
         # Native tier: the same byte-LUT walk, but the per-byte gather
         # loop runs compiled instead of one numpy dispatch per column.
-        return native.stanh_lut(data, length, nxt, outb, n_states // 2)
+        t0 = _prof.tick()
+        out = native.stanh_lut(data, length, nxt, outb, n_states // 2)
+        _prof.tock(t0, "stanh", "native")
+        return out
+    t0 = _prof.tick()
     state = np.full(data.shape[:-1], n_states // 2, dtype=np.uint8)
     out = np.empty_like(data)
     for j in range(data.shape[-1]):
@@ -108,6 +113,9 @@ def stanh_packed(data: np.ndarray, length: int, n_states: int,
         state = nxt[state, col]
     if length % 8:
         out[..., -1] &= ops.pad_mask(length)[-1]
+    # The byte-LUT walk is the numpy tier's only strategy here (there
+    # is no bitwise_count variant), so the label is just "numpy-lut".
+    _prof.tock(t0, "stanh", "numpy-lut")
     return out
 
 

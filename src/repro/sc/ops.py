@@ -32,6 +32,7 @@ import functools
 import numpy as np
 
 import repro.native as native
+from repro.obs import kernels as _prof
 from repro.utils.validation import check_stream_length
 
 __all__ = [
@@ -54,6 +55,10 @@ __all__ = [
 
 #: True when numpy provides a native SIMD popcount (NumPy >= 2.0).
 HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Profiling tier label for the NumPy fallback actually in effect
+#: (``REPRO_PROFILE=1`` attributes kernel wall time per tier).
+_NUMPY_TIER = "numpy-simd" if HAVE_BITWISE_COUNT else "numpy-lut"
 
 # Number of set bits for every byte value; fallback popcount for NumPy < 2.
 _POPCOUNT_TABLE = np.array(
@@ -163,10 +168,17 @@ def popcount(data: np.ndarray, length: int | None = None) -> np.ndarray:
                 f"length {length} requires {nbytes}"
             )
     if data.dtype == np.uint8 and data.ndim and native.enabled():
-        return native.popcount_rows(data)
+        t0 = _prof.tick()
+        out = native.popcount_rows(data)
+        _prof.tock(t0, "popcount", "native")
+        return out
+    t0 = _prof.tick()
     if HAVE_BITWISE_COUNT:
-        return np.bitwise_count(_as_words(data)).sum(axis=-1, dtype=np.int64)
-    return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
+        out = np.bitwise_count(_as_words(data)).sum(axis=-1, dtype=np.int64)
+    else:
+        out = _POPCOUNT_TABLE[data].sum(axis=-1, dtype=np.int64)
+    _prof.tock(t0, "popcount", _NUMPY_TIER)
+    return out
 
 
 def transpose_pack(data: np.ndarray, length: int, align: int = 4,
@@ -198,7 +210,11 @@ def transpose_pack(data: np.ndarray, length: int, align: int = 4,
     if data.shape[-1] * 8 >= length and native.enabled():
         # Native tier: one cache-tiled 8x8-block pass, no unpacked
         # transient at all (chunk_budget is moot — results identical).
-        return native.transpose_pack(data, length, align)
+        t0 = _prof.tick()
+        out = native.transpose_pack(data, length, align)
+        _prof.tock(t0, "transpose_pack", "native")
+        return out
+    t0 = _prof.tick()
     batch = data.shape[:-2]
     n = data.shape[-2]
     width = (n + 7) // 8
@@ -215,7 +231,9 @@ def transpose_pack(data: np.ndarray, length: int, align: int = 4,
         bits = unpack_bits(flat[r0:r1], length)            # (r, n, L)
         out[r0:r1, :, :(n + 7) // 8] = np.packbits(
             np.swapaxes(bits, -1, -2), axis=-1)
-    return out.reshape(batch + (length, width))
+    out = out.reshape(batch + (length, width))
+    _prof.tock(t0, "transpose_pack", _NUMPY_TIER)
+    return out
 
 
 def popcount_sum(data: np.ndarray, dtype=np.int64) -> np.ndarray:
@@ -231,15 +249,26 @@ def popcount_sum(data: np.ndarray, dtype=np.int64) -> np.ndarray:
     """
     data = np.ascontiguousarray(data)
     if data.dtype == np.uint8 and data.ndim and native.enabled():
-        return native.popcount_rows(data).astype(dtype, copy=False)
+        t0 = _prof.tick()
+        out = native.popcount_rows(data).astype(dtype, copy=False)
+        _prof.tock(t0, "popcount_sum", "native")
+        return out
+    t0 = _prof.tick()
     if not HAVE_BITWISE_COUNT:
-        return _POPCOUNT_TABLE[data].sum(axis=-1, dtype=dtype)
-    nbytes = data.shape[-1]
-    for word, width in ((np.uint64, 8), (np.uint32, 4), (np.uint16, 2)):
-        if nbytes % width == 0:
-            return np.bitwise_count(data.view(word)).sum(axis=-1,
-                                                         dtype=dtype)
-    return np.bitwise_count(data).sum(axis=-1, dtype=dtype)
+        out = _POPCOUNT_TABLE[data].sum(axis=-1, dtype=dtype)
+    else:
+        out = None
+        nbytes = data.shape[-1]
+        for word, width in ((np.uint64, 8), (np.uint32, 4),
+                            (np.uint16, 2)):
+            if nbytes % width == 0:
+                out = np.bitwise_count(data.view(word)).sum(axis=-1,
+                                                            dtype=dtype)
+                break
+        if out is None:
+            out = np.bitwise_count(data).sum(axis=-1, dtype=dtype)
+    _prof.tock(t0, "popcount_sum", _NUMPY_TIER)
+    return out
 
 
 def and_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -312,10 +341,14 @@ def mux_select(streams: np.ndarray, select: np.ndarray, length: int) -> np.ndarr
     if select.size and (select.min() < 0 or select.max() >= n):
         raise ValueError(f"select values must lie in [0, {n}), got "
                          f"[{select.min()}, {select.max()}]")
+    t0 = _prof.tick()
     masks = np.packbits(
         select[None, :] == np.arange(n)[:, None], axis=-1
     )  # (n, nbytes)
-    return np.bitwise_or.reduce(np.bitwise_and(streams, masks), axis=-2)
+    out = np.bitwise_or.reduce(np.bitwise_and(streams, masks), axis=-2)
+    # Always the packed-domain byte path, whatever the counting tier.
+    _prof.tock(t0, "mux_select", "numpy")
+    return out
 
 
 def segment_popcount(data: np.ndarray, length: int, segment: int) -> np.ndarray:

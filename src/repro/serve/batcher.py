@@ -52,7 +52,15 @@ import threading
 import time
 from collections import Counter
 
+from repro import obs
+
 __all__ = ["MicroBatcher", "Ticket", "QueueFull", "DeadlineExceeded"]
+
+#: Powers of two up to a generous ceiling — batch sizes are small ints,
+#: so log-spaced time buckets would waste resolution where it matters.
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+_SHED_TOTAL = "repro_serve_sheds_total"
+_SHED_HELP = "Tickets shed before compute, by reason."
 
 
 class QueueFull(RuntimeError):
@@ -73,14 +81,18 @@ class Ticket:
     returns the per-request result or re-raises the batch's error.
     """
 
-    __slots__ = ("key", "payload", "arrival", "deadline", "_lock",
-                 "_done", "_result", "_error", "_cancelled")
+    __slots__ = ("key", "payload", "arrival", "deadline", "trace",
+                 "_lock", "_done", "_result", "_error", "_cancelled")
 
     def __init__(self, key, payload, arrival: float, deadline=None):
         self.key = key
         self.payload = payload
         self.arrival = arrival
         self.deadline = deadline  # monotonic instant, or None
+        # The submitting thread's open span (``serve.predict``): batcher
+        # workers parent the queue/compute spans on it so the trace
+        # stitches across the thread boundary.
+        self.trace = obs.current()
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._result = None
@@ -184,6 +196,7 @@ class MicroBatcher:
         self._shed_cancelled = 0
         self._bisections = 0
         self._batch_failures = 0
+        self._inflight = 0
         self._threads = [
             threading.Thread(target=self._worker, name=f"micro-batcher-{i}",
                              daemon=True)
@@ -268,6 +281,13 @@ class MicroBatcher:
                                    if id(t) not in taken]
                     self._batches += 1
                     self._batch_sizes[len(batch)] += 1
+                    self._inflight += 1
+                    obs.counter("repro_serve_batches_total",
+                                "Batches dispatched to the runner.").inc()
+                    obs.histogram(
+                        "repro_serve_batch_size",
+                        "Coalesced requests per dispatched batch.",
+                        buckets=_BATCH_SIZE_BUCKETS).observe(len(batch))
                     return batch
                 waits = [self.quantum - (now - gathering[1]),
                          deadline - now]
@@ -291,8 +311,12 @@ class MicroBatcher:
         for ticket in self._queue:
             if ticket.cancelled:
                 self._shed_cancelled += 1
+                obs.counter(_SHED_TOTAL, _SHED_HELP,
+                            reason="cancelled").inc()
             elif ticket.expired:
                 self._shed_deadline += 1
+                obs.counter(_SHED_TOTAL, _SHED_HELP,
+                            reason="deadline").inc()
                 ticket._resolve(error=DeadlineExceeded(
                     "deadline expired before compute; request shed"))
             else:
@@ -315,12 +339,17 @@ class MicroBatcher:
             sub = stack.pop()
             batch = [t for t in sub if not t.cancelled]
             if len(batch) != len(sub):
+                dropped = len(sub) - len(batch)
                 with self._lock:
-                    self._shed_cancelled += len(sub) - len(batch)
+                    self._shed_cancelled += dropped
+                obs.counter(_SHED_TOTAL, _SHED_HELP,
+                            reason="cancelled").inc(dropped)
             if not batch:
                 continue
             try:
-                results = self._runner(key, [t.payload for t in batch])
+                with obs.span("serve.compute", parent=batch[0].trace,
+                              batch=len(batch)):
+                    results = self._runner(key, [t.payload for t in batch])
                 if len(results) != len(batch):
                     raise RuntimeError(
                         f"runner returned {len(results)} results for a "
@@ -328,12 +357,16 @@ class MicroBatcher:
             except Exception as exc:
                 with self._lock:
                     self._batch_failures += 1
+                obs.counter("repro_serve_batch_failures_total",
+                            "Runner calls that raised.").inc()
                 if len(batch) == 1:
                     batch[0]._resolve(error=exc)
                     continue
                 mid = len(batch) // 2
                 with self._lock:
                     self._bisections += 1
+                obs.counter("repro_serve_bisections_total",
+                            "Failing batches split for retry.").inc()
                 stack.append(batch[mid:])
                 stack.append(batch[:mid])
                 continue
@@ -345,7 +378,23 @@ class MicroBatcher:
             batch = self._take_batch()
             if batch is None:
                 return
-            self._run_group(batch[0].key, batch)
+            if obs.trace.armed():
+                # Retrospective spans for the gather the worker just
+                # completed: each ticket's queue wait (arrival -> take)
+                # plus one coalesce span describing the batch itself,
+                # parented on the head request so a trace viewer sees
+                # queue -> coalesce -> compute as one critical path.
+                taken = time.monotonic()
+                for ticket in batch:
+                    obs.record_span("serve.queue", ticket.arrival, taken,
+                                    parent=ticket.trace)
+                obs.record_span("serve.coalesce", batch[0].arrival, taken,
+                                parent=batch[0].trace, batch=len(batch))
+            try:
+                self._run_group(batch[0].key, batch)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -358,11 +407,13 @@ class MicroBatcher:
             shed_cancelled = self._shed_cancelled
             bisections = self._bisections
             batch_failures = self._batch_failures
+            inflight = self._inflight
         requests = sum(size * count for size, count in sizes.items())
         return {
             "batches": batches,
             "batched_requests": requests,
             "queued": queued,
+            "inflight_batches": inflight,
             "batch_size_histogram": {str(k): v for k, v in sizes.items()},
             "mean_batch_size": round(requests / batches, 3) if batches
             else None,

@@ -34,6 +34,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.config import NetworkConfig
 from repro.engine import Engine, build_graph, compile_plan
 from repro.engine.plan import normalize_weight_bits
@@ -42,6 +43,11 @@ from repro.nn.zoo import model_digest, weight_layer_count
 __all__ = ["EnginePool", "config_digest"]
 
 DEFAULT_MODEL = "default"
+
+_LOOKUPS_TOTAL = "repro_pool_lookups_total"
+_LOOKUPS_HELP = "Engine-pool lookups, by outcome."
+_PLANS_TOTAL = "repro_pool_plan_builds_total"
+_PLANS_HELP = "Plan-tier builds, by how the plan was obtained."
 
 
 def config_digest(config: NetworkConfig) -> str:
@@ -149,10 +155,12 @@ class EnginePool:
         if sibling is not None:
             plan = sibling.with_length(config.length, name=config.name)
             self._plans_rederived += 1
+            obs.counter(_PLANS_TOTAL, _PLANS_HELP, how="rederived").inc()
         else:
             plan = compile_plan(build_graph(self.models[name], config),
                                 weight_bits=bits)
             self._plans_compiled += 1
+            obs.counter(_PLANS_TOTAL, _PLANS_HELP, how="compiled").inc()
         self._plans[key] = plan
         while len(self._plans) > self.max_plans:
             self._plans.popitem(last=False)
@@ -175,8 +183,12 @@ class EnginePool:
             if engine is not None:
                 self._engines.move_to_end(key)
                 self._hits += 1
+                obs.counter(_LOOKUPS_TOTAL, _LOOKUPS_HELP,
+                            outcome="hit").inc()
                 return engine
             self._misses += 1
+            obs.counter(_LOOKUPS_TOTAL, _LOOKUPS_HELP,
+                        outcome="miss").inc()
             plan = self._plan_for(name, config, bits)
             engine = Engine(backend=backend, seed=seed, plan=plan,
                             **backend_opts)
@@ -184,6 +196,8 @@ class EnginePool:
             while len(self._engines) > self.max_engines:
                 self._engines.popitem(last=False)
                 self._evictions += 1
+                obs.counter("repro_pool_evictions_total",
+                            "Engines evicted from the pool (LRU).").inc()
             return engine
 
     def warm_up(self, specs) -> int:

@@ -21,10 +21,19 @@ Endpoints:
     balancer stops routing here while in-flight requests finish.
 
 ``GET /stats``
-    Full telemetry: request latency p50/p95, throughput, shed counts,
-    the batcher's batch-size histogram and mean batch size, and the
-    engine pool's hit rate — the observable effect of micro-batching
-    under load.
+    Full telemetry: request latency p50/p95, throughput (lifetime and
+    rolling-window), live queue depth and in-flight batch count, shed
+    counts, the batcher's batch-size histogram and mean batch size, and
+    the engine pool's hit rate — the observable effect of
+    micro-batching under load.
+
+``GET /metrics``
+    Prometheus text exposition of the process-wide
+    :mod:`repro.obs` registry: serve counters/histograms, live gauges
+    (queue depth, in-flight batches, pool residency — published at
+    scrape time by ``service.export_gauges()``), per-kernel per-tier
+    wall time when ``REPRO_PROFILE=1``, and fault-injection trip
+    counters.
 
 The server is a threading HTTP server: each connection gets a thread,
 so concurrent clients genuinely enqueue concurrently and the
@@ -52,6 +61,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro import obs
 from repro.serve.batcher import DeadlineExceeded, QueueFull
 from repro.serve.service import ServiceDraining
 
@@ -101,6 +111,16 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, body: str,
+                    content_type: str = "text/plain; version=0.0.4") \
+            -> None:
+        data = body.encode("utf8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     # ------------------------------------------------------------------
     def do_GET(self):  # noqa: N802 - stdlib naming
         with self.server.track():
@@ -117,28 +137,37 @@ class ServeHandler(BaseHTTPRequestHandler):
                     })
             elif self.path == "/stats":
                 self._reply(200, service.stats())
+            elif self.path == "/metrics":
+                # Gauges describe *now*: publish them at scrape time so
+                # the hot path never churns them.
+                service.export_gauges()
+                self._reply_text(200, obs.render(obs.get_registry()))
             else:
                 self._reply(404, {
                     "error": f"unknown path {self.path!r}; "
-                             "try /predict, /healthz, /stats"})
+                             "try /predict, /healthz, /stats, /metrics"})
 
     def do_POST(self):  # noqa: N802 - stdlib naming
-        with self.server.track():
+        with self.server.track(), obs.span("serve.http", path=self.path):
             self._body_read = False
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path!r}; "
                                            "POST /predict"})
                 return
             try:
-                length = int(self.headers.get("Content-Length", 0))
-                if length <= 0 or length > MAX_BODY_BYTES:
-                    raise ValueError("request body required (JSON)")
-                raw = self.rfile.read(length)
-                self._body_read = True
-                request = json.loads(raw)
-                if not isinstance(request, dict):
-                    raise ValueError("request body must be a JSON object")
-                self._reply(200, self._predict(request))
+                with obs.span("serve.parse"):
+                    length = int(self.headers.get("Content-Length", 0))
+                    if length <= 0 or length > MAX_BODY_BYTES:
+                        raise ValueError("request body required (JSON)")
+                    raw = self.rfile.read(length)
+                    self._body_read = True
+                    request = json.loads(raw)
+                    if not isinstance(request, dict):
+                        raise ValueError(
+                            "request body must be a JSON object")
+                reply = self._predict(request)
+                with obs.span("serve.respond"):
+                    self._reply(200, reply)
             except ServiceDraining as exc:
                 self._reply(503, {"error": str(exc),
                                   "status": "draining"},

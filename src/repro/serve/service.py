@@ -42,7 +42,7 @@ import time
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.core.config import (
     NetworkConfig,
     resolve_kinds,
@@ -262,15 +262,24 @@ class InferenceService:
         with self._idle:
             self._inflight += 1
         try:
-            key, _, _ = self._resolve(overrides)
-            batch = self._as_images(images, model=key[0])
-            tickets = [self.batcher.submit(key, image, deadline=deadline)
-                       for image in batch]
-            preds = np.array(
-                [t.result(None if deadline is None
-                          else max(deadline - time.monotonic(), 0.0))
-                 for t in tickets],
-                dtype=np.int64)
+            # Root span of the request lifecycle: tickets capture it at
+            # submit time, so the batcher's queue/coalesce/compute spans
+            # (recorded on worker threads) all parent back here.
+            with obs.span("serve.predict",
+                          model=str(overrides.get(
+                              "model", self.defaults["model"])),
+                          backend=str(overrides.get(
+                              "backend", self.defaults["backend"]))):
+                key, _, _ = self._resolve(overrides)
+                batch = self._as_images(images, model=key[0])
+                tickets = [self.batcher.submit(key, image,
+                                               deadline=deadline)
+                           for image in batch]
+                preds = np.array(
+                    [t.result(None if deadline is None
+                              else max(deadline - time.monotonic(), 0.0))
+                     for t in tickets],
+                    dtype=np.int64)
         except (DeadlineExceeded, TimeoutError):
             # Abandon the whole request: sibling tickets still queued
             # would otherwise be computed for nobody.
@@ -332,6 +341,31 @@ class InferenceService:
                 "seed": self.defaults["seed"],
             },
         }
+
+    def export_gauges(self) -> None:
+        """Publish point-in-time gauges into the current registry.
+
+        Called by scrapers (the ``/metrics`` handler, tests) rather than
+        continuously: gauges describe *now*, so setting them at scrape
+        time keeps the hot path free of gauge churn and means a registry
+        swapped in by a test sees values the moment it scrapes.
+        """
+        batcher = self.batcher.stats()
+        obs.gauge("repro_serve_queue_depth",
+                  "Requests waiting in the batcher queue.").set(
+                      batcher["queued"])
+        obs.gauge("repro_serve_inflight_batches",
+                  "Batches currently being computed.").set(
+                      batcher["inflight_batches"])
+        obs.gauge("repro_serve_draining",
+                  "1 while the service refuses new requests.").set(
+                      1 if self._draining else 0)
+        pool = self.pool.stats()
+        obs.gauge("repro_pool_engines",
+                  "Engines resident in the pool.").set(pool["engines"])
+        obs.gauge("repro_pool_plans",
+                  "Compiled plans resident in the pool.").set(
+                      pool["plans"])
 
     def close(self) -> None:
         """Drain the queue and stop the batcher workers (idempotent)."""

@@ -5,6 +5,17 @@ are kept in a bounded ring (the most recent ``window`` samples) so a
 long-lived server's ``/stats`` endpoint reflects current behaviour
 rather than its whole history, while the monotonically-growing counters
 (requests, errors) and the start timestamp give lifetime throughput.
+
+Throughput is reported two ways: ``throughput_rps`` divides lifetime
+requests by lifetime uptime (stable, but on a long-lived server it
+never converges to current load), and ``throughput_rps_window`` counts
+completions inside the trailing ``window_s`` seconds — the figure an
+operator should watch during a load change.
+
+Every record also mirrors into the current :mod:`repro.obs` registry
+(``repro_serve_requests_total`` by outcome and the
+``repro_serve_latency_seconds`` histogram), so ``/metrics`` and
+``/stats`` can never disagree about what was counted.
 """
 
 from __future__ import annotations
@@ -14,6 +25,8 @@ import time
 from collections import deque
 
 import numpy as np
+
+from repro import obs
 
 __all__ = ["LatencyTracker"]
 
@@ -26,30 +39,52 @@ class LatencyTracker:
     window:
         How many of the most recent per-request latencies the quantile
         estimates are computed over.
+    window_s:
+        Width (seconds) of the trailing window the rolling throughput
+        is measured over.
     clock:
         Injectable monotonic clock (tests pin it to fake time).
     """
 
-    def __init__(self, window: int = 4096, clock=time.monotonic):
+    def __init__(self, window: int = 4096, window_s: float = 30.0,
+                 clock=time.monotonic):
         self._clock = clock
         self._lock = threading.Lock()
         self._latencies = deque(maxlen=int(window))
+        # Completion timestamps for the rolling-throughput estimate.
+        # Bounded so a sustained burst can't grow it without limit:
+        # if the deque saturates, the window shrinks to the span the
+        # newest `maxlen` completions cover — still a valid rate.
+        self._completions = deque(maxlen=max(int(window), 1024))
+        self._window_s = float(window_s)
         self._started = clock()
         self._requests = 0
         self._errors = 0
         self._sheds = 0
 
+    def _count(self, outcome: str, latency_s=None) -> None:
+        now = self._clock()
+        self._requests += 1
+        self._completions.append(now)
+        obs.counter("repro_serve_requests_total",
+                    "Requests completed, by outcome.",
+                    outcome=outcome).inc()
+        if latency_s is not None:
+            self._latencies.append(float(latency_s))
+            obs.histogram("repro_serve_latency_seconds",
+                          "End-to-end served request latency.").observe(
+                              float(latency_s))
+
     def record(self, latency_s: float) -> None:
         """Record one successfully-served request."""
         with self._lock:
-            self._requests += 1
-            self._latencies.append(float(latency_s))
+            self._count("ok", latency_s)
 
     def record_error(self) -> None:
         """Record one failed request."""
         with self._lock:
-            self._requests += 1
             self._errors += 1
+            self._count("error")
 
     def record_shed(self) -> None:
         """Record one request shed before compute (deadline/cancel).
@@ -59,26 +94,46 @@ class LatencyTracker:
         ``errors``, so an operator can tell overload from breakage.
         """
         with self._lock:
-            self._requests += 1
             self._sheds += 1
+            self._count("shed")
+
+    def _window_rate(self, now: float) -> float:
+        """Completions per second over the trailing ``window_s``."""
+        cutoff = now - self._window_s
+        while self._completions and self._completions[0] < cutoff:
+            self._completions.popleft()
+        if not self._completions:
+            return 0.0
+        # Early in life (or right after a quiet spell) the oldest
+        # retained completion bounds the effective window, so a server
+        # 2 s old doesn't divide 100 requests by 30 s.
+        span = min(self._window_s, max(now - self._started, 1e-9))
+        return len(self._completions) / max(span, 1e-9)
 
     def summary(self) -> dict:
-        """Snapshot: counters, lifetime throughput and latency quantiles.
+        """Snapshot: counters, throughput and latency quantiles.
 
-        Latency quantiles are ``None`` before the first served request.
+        ``throughput_rps`` is lifetime requests / lifetime uptime;
+        ``throughput_rps_window`` is the rate over the trailing
+        ``window_s`` seconds.  Latency quantiles are ``None`` before
+        the first served request.
         """
         with self._lock:
+            now = self._clock()
             latencies = np.asarray(self._latencies, dtype=np.float64)
             requests = self._requests
             errors = self._errors
             sheds = self._sheds
-            uptime = max(self._clock() - self._started, 1e-9)
+            uptime = max(now - self._started, 1e-9)
+            window_rate = self._window_rate(now)
         summary = {
             "requests": requests,
             "errors": errors,
             "sheds": sheds,
             "uptime_s": round(uptime, 3),
             "throughput_rps": round(requests / uptime, 3),
+            "throughput_rps_window": round(window_rate, 3),
+            "throughput_window_s": self._window_s,
             "latency_ms": None,
         }
         if latencies.size:

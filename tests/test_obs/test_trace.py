@@ -1,0 +1,145 @@
+"""Span tracing: JSONL records, parent/child stitching, arming."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """Arm tracing to a temp JSONL; yields a loader for its records."""
+    path = tmp_path / "trace.jsonl"
+    trace.configure(str(path))
+    try:
+        yield lambda: [json.loads(line)
+                       for line in path.read_text().splitlines()]
+    finally:
+        trace.configure(None)
+
+
+class TestDisarmed:
+    def test_span_yields_none_and_writes_nothing(self, tmp_path):
+        assert not trace.armed()
+        with obs.span("noop") as sid:
+            assert sid is None
+        assert trace.current() is None
+
+    def test_record_span_returns_none(self):
+        assert obs.record_span("noop", 0.0, 1.0) is None
+
+
+class TestSpans:
+    def test_record_fields(self, trace_file):
+        with obs.span("unit", batch=4, skipped=None):
+            pass
+        (rec,) = trace_file()
+        assert rec["name"] == "unit"
+        assert rec["parent"] is None
+        assert rec["dur_ms"] >= 0
+        assert rec["tags"] == {"batch": 4}  # None-valued tags dropped
+        assert abs(rec["ts"] - time.time()) < 5.0
+
+    def test_nesting_builds_parent_chain(self, trace_file):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert obs.current() == inner
+            assert obs.current() == outer
+        recs = {r["name"]: r for r in trace_file()}
+        assert recs["inner"]["parent"] == recs["outer"]["span"]
+        assert recs["outer"]["parent"] is None
+
+    def test_ids_unique_across_spans(self, trace_file):
+        for _ in range(5):
+            with obs.span("s"):
+                obs.record_span("r", 0.0, 0.0)
+        ids = [r["span"] for r in trace_file()]
+        assert len(ids) == len(set(ids)) == 10
+
+    def test_cross_thread_parent_token(self, trace_file):
+        token = {}
+
+        def worker():
+            with obs.span("child", parent=token["parent"]):
+                pass
+
+        with obs.span("root") as root:
+            token["parent"] = obs.current()
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        recs = {r["name"]: r for r in trace_file()}
+        assert recs["child"]["parent"] == root
+        assert recs["child"]["thread"] != recs["root"]["thread"]
+
+    def test_retrospective_record_span(self, trace_file):
+        t0 = time.monotonic()
+        t1 = t0 + 0.25
+        sid = obs.record_span("queue", t0, t1, parent="abc.1", reason="wait")
+        (rec,) = trace_file()
+        assert rec["span"] == sid
+        assert rec["parent"] == "abc.1"
+        assert rec["dur_ms"] == pytest.approx(250.0, abs=1e-6)
+        assert rec["tags"] == {"reason": "wait"}
+
+    def test_exception_tags_error_and_propagates(self, trace_file):
+        with pytest.raises(KeyError):
+            with obs.span("boom"):
+                raise KeyError("x")
+        (rec,) = trace_file()
+        assert rec["tags"]["error"] == "KeyError"
+        assert obs.current() is None  # stack unwound
+
+
+class TestConfiguration:
+    def test_maybe_enable_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        try:
+            assert trace.maybe_enable_from_env()
+            with obs.span("from-env"):
+                pass
+            assert path.exists()
+        finally:
+            trace.configure(None)
+
+    def test_unset_env_leaves_disarmed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not trace.maybe_enable_from_env()
+
+    def test_configure_none_disarms(self, tmp_path):
+        trace.configure(str(tmp_path / "t.jsonl"))
+        trace.configure(None)
+        assert not trace.armed()
+        with obs.span("after") as sid:
+            assert sid is None
+
+    def test_append_across_reconfigure(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            trace.configure(str(path))
+            with obs.span("round"):
+                pass
+            trace.configure(None)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_concurrent_emits_stay_line_atomic(self, trace_file):
+        def worker(n):
+            for _ in range(50):
+                with obs.span(f"w{n}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = trace_file()  # json.loads fails on any torn line
+        assert len(recs) == 200
+        ids = {r["span"] for r in recs}
+        assert len(ids) == 200
