@@ -28,6 +28,16 @@ float-domain scenarios show the pure matrix-amortization win.  On
 multi-core machines the batched counting kernels additionally win on
 memory locality.
 
+A fourth mode, **multi_process**, drives the :class:`ProcServeFacade`
+tier.  Routing there is spec-affine (same spec → same worker, so
+coalescing survives the process split), which means a single-spec load
+lands on one worker by design — the multi-process cell therefore gives
+each client its own per-request seed and compares against the *same*
+multi-spec load on the single-process service.  The ≥ 2x scaling gate
+is active only on machines with ≥ 4 cores; single-core CI records the
+honest (≈ 1x, IPC-taxed) number alongside ``cpu_count`` so the report
+can never dress up a serial box as a scaling result.
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
 via ``benchmarks/run_all.py --serve``, which records the result in
 ``benchmarks/BENCH_serve.json``.
@@ -35,6 +45,7 @@ via ``benchmarks/run_all.py --serve``, which records the result in
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -43,7 +54,7 @@ from repro.data.synthetic_mnist import generate_dataset, to_bipolar
 from repro.engine import Engine
 from repro.nn.lenet import build_lenet5
 from repro.nn.trainer import Trainer
-from repro.serve import InferenceService
+from repro.serve import InferenceService, ProcServeFacade
 
 MAX_BATCH = 16
 MAX_WAIT_MS = 25.0
@@ -58,6 +69,12 @@ SCENARIOS = (
     ("exact_L128", "exact", 128, (8,), 3),
     ("surrogate_L64", "surrogate", 64, (8,), 16),
 )
+
+#: Multi-process cell: worker count, and the core floor below which the
+#: scaling gate stays informational (a 1-core box cannot scale).
+PROCS = max(2, min(4, os.cpu_count() or 1))
+PROC_GATE_MIN_CORES = 4
+PROC_ACCEPT_SPEEDUP = 2.0
 
 
 def _trained_model():
@@ -167,6 +184,104 @@ def _service_mode(model, images, backend, length, clients, requests_each,
     return cell, responses
 
 
+def _multi_spec_loop(predict_one, images, clients, requests_each):
+    """Closed loop where client ``c`` pins per-request ``seed=c``.
+
+    Distinct seeds are distinct specs, so on the multi-process tier the
+    load hash-routes across workers; responses come back as
+    ``(seed, image_index, prediction)`` for the per-seed oracle.
+    """
+    responses = []
+    errors = []
+    log_lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(c):
+        barrier.wait()
+        for r in range(requests_each):
+            idx = (c * requests_each + r) % len(images)
+            try:
+                pred = predict_one(images[idx], timeout=300.0, seed=c)
+            except Exception as exc:  # pragma: no cover - diagnostics
+                with log_lock:
+                    errors.append(exc)
+                return
+            with log_lock:
+                responses.append((c, idx, pred))
+
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, responses
+
+
+def _multi_process_cell(model, images, backend, length, clients,
+                        requests_each):
+    """Single-process vs multi-process service under a multi-spec load.
+
+    Returns the cell dict and the two response lists (single, multi)
+    for the per-seed bit-identity oracle.
+    """
+    common = dict(backend=backend, length=length, kinds=KINDS,
+                  pooling="max", seed=SEED, max_batch=MAX_BATCH,
+                  max_wait_ms=MAX_WAIT_MS, workers=1, warm=True)
+    total = clients * requests_each
+    service = InferenceService(model, **common)
+    try:
+        service.predict_one(images[0])  # warm allocation paths, untimed
+        single_s, single_out = _multi_spec_loop(
+            service.predict_one, images, clients, requests_each)
+    finally:
+        service.close()
+    facade = ProcServeFacade(model, procs=PROCS, **common)
+    try:
+        facade.predict_one(images[0])
+        multi_s, multi_out = _multi_spec_loop(
+            facade.predict_one, images, clients, requests_each)
+        routed = {facade._route(facade.resolver.resolve({"seed": c})[0])
+                  for c in range(clients)}
+    finally:
+        facade.close()
+    cell = {
+        "procs": PROCS,
+        "cpu_count": os.cpu_count(),
+        "workers_hit": len(routed),
+        "single_process": {"elapsed_s": round(single_s, 4),
+                           "rps": round(total / single_s, 2)},
+        "multi_process": {"elapsed_s": round(multi_s, 4),
+                          "rps": round(total / multi_s, 2)},
+        "speedup_vs_single_process": round(single_s / multi_s, 2),
+        "gate_active": (os.cpu_count() or 1) >= PROC_GATE_MIN_CORES,
+    }
+    return cell, single_out, multi_out
+
+
+def _check_seeded_oracle(label, mode, responses, model, images, backend,
+                         length):
+    """Every ``(seed, idx, pred)`` must match a dedicated fresh engine."""
+    config = NetworkConfig.from_kinds(PoolKind.MAX, length, KINDS)
+    cache = {}
+    for seed, idx, pred in responses:
+        if (seed, idx) not in cache:
+            cache[(seed, idx)] = int(
+                Engine(model, config, backend=backend, seed=seed)
+                .predict(images[idx][None])[0])
+        if pred != cache[(seed, idx)]:
+            raise AssertionError(
+                f"{label}/{mode}: response for image {idx} seed {seed} "
+                f"diverged from the single-request engine oracle "
+                f"({pred} != {cache[(seed, idx)]}) — bit-exactness "
+                f"broken")
+
+
 def _check_oracle(label, mode, responses, oracle):
     for idx, pred in responses:
         if pred != oracle[idx]:
@@ -217,6 +332,15 @@ def measure_serve() -> dict:
                 "speedup_vs_pooled": round(batched["rps"]
                                            / pooled["rps"], 2),
             }
+        if label == "exact_L64":
+            cell, single_out, multi_out = _multi_process_cell(
+                model, images, backend, length, ACCEPT_CLIENTS,
+                requests_each)
+            _check_seeded_oracle(label, "single_process", single_out,
+                                 model, images, backend, length)
+            _check_seeded_oracle(label, "multi_process", multi_out,
+                                 model, images, backend, length)
+            scenario["multi_process"] = cell
         if oracle is not None:
             scenario["bit_identical"] = True
         results["scenarios"][label] = scenario
@@ -229,6 +353,19 @@ def measure_serve() -> dict:
             f"micro-batched throughput is only {accept}x the per-request "
             f"sequential baseline at {ACCEPT_CLIENTS} clients (exact, "
             f"L=64); acceptance requires >= {ACCEPT_SPEEDUP}x")
+    procs_cell = results["scenarios"]["exact_L64"]["multi_process"]
+    results["multi_process_speedup_exact_L64"] = \
+        procs_cell["speedup_vs_single_process"]
+    if (procs_cell["gate_active"]
+            and procs_cell["speedup_vs_single_process"]
+            < PROC_ACCEPT_SPEEDUP):
+        raise AssertionError(
+            f"multi-process throughput is only "
+            f"{procs_cell['speedup_vs_single_process']}x the "
+            f"single-process service at {PROCS} workers on "
+            f"{os.cpu_count()} cores; acceptance requires "
+            f">= {PROC_ACCEPT_SPEEDUP}x at "
+            f">= {PROC_GATE_MIN_CORES} cores")
     return results
 
 
@@ -245,6 +382,17 @@ def main() -> None:
                   f"req/s, batched {cell['micro_batched']['rps']} req/s "
                   f"({cell['speedup_vs_per_request']}x vs per-request, "
                   f"{cell['speedup_vs_pooled']}x vs pooled)")
+        if "multi_process" in scenario:
+            cell = scenario["multi_process"]
+            gate = ("gated" if cell["gate_active"]
+                    else "informational: < 4 cores")
+            print(f"  {label} multi-spec @ {ACCEPT_CLIENTS} clients: "
+                  f"1 proc {cell['single_process']['rps']} req/s, "
+                  f"{cell['procs']} procs "
+                  f"{cell['multi_process']['rps']} req/s "
+                  f"({cell['speedup_vs_single_process']}x, "
+                  f"{cell['workers_hit']} workers hit, "
+                  f"cpu_count={cell['cpu_count']}, {gate})")
 
 
 if __name__ == "__main__":

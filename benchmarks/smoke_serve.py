@@ -15,10 +15,19 @@ queue → coalesce → compute → engine critical path.  Uses only the
 standard library so it runs on every CI job unchanged::
 
     PYTHONPATH=src python benchmarks/smoke_serve.py
+
+``--procs N`` runs the same smoke against the multi-process tier
+(``python -m repro serve --procs N``): the ``/stats`` assertions switch
+to the aggregated multi-process schema, and after the SIGTERM drain the
+script additionally asserts every ``/dev/shm/repro-plan-*`` segment the
+server created has been unlinked.  The trace critical-path check is
+skipped in that mode — worker spans live in other processes and are not
+stitched to the frontend's ``serve.predict`` span.
 """
 
 from __future__ import annotations
 
+import glob
 import http.client
 import json
 import os
@@ -232,6 +241,12 @@ def _drain_phase(proc, base: str) -> None:
 
 
 def main() -> int:
+    procs = 1
+    argv = sys.argv[1:]
+    if argv[:1] == ["--procs"]:
+        procs = int(argv[1])
+    elif argv:
+        raise SystemExit(f"usage: smoke_serve.py [--procs N] (got {argv})")
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
@@ -245,9 +260,11 @@ def main() -> int:
     proc = subprocess.Popen(
         [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
          "--length", "64", "--train", "300", "--epochs", "1",
-         "--max-wait-ms", "5", "--drain-grace", "60"],
+         "--max-wait-ms", "5", "--drain-grace", "60",
+         "--procs", str(procs)],
         env=env, cwd=str(REPO_ROOT), stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True)
+    shm_glob = f"/dev/shm/repro-plan-{proc.pid}-*"
     try:
         port = _wait_for_port(proc)
         base = f"http://127.0.0.1:{port}"
@@ -272,15 +289,33 @@ def main() -> int:
         status, stats = _request(f"{base}/stats")
         assert status == 200, stats
         assert stats["service"]["requests"] >= 2, stats
-        assert stats["batcher"]["batches"] >= 2, stats
+        if procs > 1:
+            assert stats["procs"]["workers"] == procs, stats
+            assert stats["procs"]["alive"] == procs, stats
+            assert stats["procs"]["shared_plan_segments"] >= 1, stats
+            assert glob.glob(shm_glob), \
+                f"no shared plan segments matching {shm_glob}"
+        else:
+            assert stats["batcher"]["batches"] >= 2, stats
         assert stats["pool"]["engines"] >= 2, stats
         assert stats["service"]["latency_ms"]["p95"] > 0, stats
         print("GET /stats:", json.dumps(stats["service"]))
 
         _metrics_phase(base)
         _drain_phase(proc, base)
-        _check_trace(trace_path)
-        print("serve smoke test passed")
+        if procs > 1:
+            leftovers = glob.glob(shm_glob)
+            assert not leftovers, (
+                f"shared-memory segments survived SIGTERM drain: "
+                f"{leftovers}")
+            print(f"shm cleanup: no {shm_glob} segments after drain")
+        else:
+            # Worker spans live in other processes when --procs > 1 and
+            # are not stitched to the frontend span, so the critical-path
+            # reconstruction only applies to the in-process tier.
+            _check_trace(trace_path)
+        print("serve smoke test passed"
+              + (f" (procs={procs})" if procs > 1 else ""))
         return 0
     finally:
         proc.terminate()

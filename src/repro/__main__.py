@@ -298,6 +298,10 @@ def _serve_parser() -> argparse.ArgumentParser:
                              "get 503 (default: 1024)")
     parser.add_argument("--max-engines", type=int, default=8,
                         help="engine-pool LRU capacity (default: 8)")
+    parser.add_argument("--procs", type=int, default=1,
+                        help="worker processes; >1 serves through the "
+                             "multi-process tier with compiled plans in "
+                             "shared memory (default: 1, in-process)")
     parser.add_argument("--no-warm", action="store_true",
                         help="skip preloading the default spec's engine")
     parser.add_argument("--drain-grace", type=float, default=10.0,
@@ -314,23 +318,29 @@ def _serve(argv) -> int:
     parser = _serve_parser()
     args = parser.parse_args(argv)
     _check_backend(parser, args.backend)
-    from repro.serve import InferenceService, run_server
+    if args.procs < 1:
+        parser.error("--procs must be >= 1")
+    from repro.serve import InferenceService, ProcServeFacade, run_server
 
     kinds = _resolve_kinds_arg(parser, args.kinds, args.model)
     model, _, _ = _quick_model(args.train, args.epochs, n_test=16,
                                pooling=args.pooling,
                                model_name=args.model)
-    service = InferenceService(
-        {args.model: model}, backend=args.backend, length=args.length,
-        kinds=kinds,
+    service_kwargs = dict(
+        backend=args.backend, length=args.length, kinds=kinds,
         pooling=args.pooling, weight_bits=args.weight_bits, seed=args.seed,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         workers=args.workers, max_queue=args.max_queue,
         max_engines=args.max_engines, warm=not args.no_warm)
+    if args.procs > 1:
+        service = ProcServeFacade({args.model: model}, procs=args.procs,
+                                  **service_kwargs)
+    else:
+        service = InferenceService({args.model: model}, **service_kwargs)
     print(f"service ready: model={args.model} backend={args.backend} "
           f"L={args.length} kinds={','.join(kinds)} "
           f"max_batch={args.max_batch} "
-          f"max_wait_ms={args.max_wait_ms}")
+          f"max_wait_ms={args.max_wait_ms} procs={args.procs}")
     run_server(service, host=args.host, port=args.port,
                verbose=args.verbose, drain_grace=args.drain_grace)
     return 0

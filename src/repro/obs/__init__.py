@@ -28,7 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from . import kernels, trace
-from .exposition import parse, render
+from .exposition import merge, parse, render
 from .registry import (
     DEFAULT_TIME_BUCKETS,
     MetricsRegistry,
@@ -54,6 +54,7 @@ __all__ = [
     "histogram",
     "render",
     "parse",
+    "merge",
     "span",
     "record_span",
     "current",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["render", "parse"]
+__all__ = ["render", "parse", "merge"]
 
 _ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 _UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
@@ -191,3 +191,60 @@ def parse(text: str) -> dict:
                 hist["buckets"].sort(key=lambda pair: pair[0])
                 hist["count"] = int(hist["count"])
     return metrics
+
+
+def _merge_hist(into: dict, hist: dict) -> None:
+    cum = dict(into["buckets"])
+    for bound, value in hist["buckets"]:
+        cum[bound] = cum.get(bound, 0) + value
+    into["buckets"] = sorted(cum.items())
+    into["sum"] += hist["sum"]
+    into["count"] += hist["count"]
+
+
+def merge(texts) -> str:
+    """Merge several text expositions into one, summing samples.
+
+    The multi-process serving tier scrapes each worker's process-wide
+    registry, then merges the texts with the frontend's own — one
+    ``/metrics`` page for the whole server.  Counters and histogram
+    buckets are additive by construction; gauges are summed too, which
+    is the meaningful aggregate for every gauge the serving layer emits
+    (queue depths, resident engines/plans).  Point-in-time gauges that
+    must *not* be summed (``repro_serve_draining``) are the frontend's
+    to publish after merging.
+
+    Returns Prometheus text; ``help``/``kind`` metadata comes from the
+    first exposition that defines each metric.
+    """
+    merged = {}
+    for text in texts:
+        for name, entry in parse(text).items():
+            into = merged.setdefault(
+                name, {"kind": entry["kind"], "help": entry["help"],
+                       "samples": {}})
+            if not into["help"]:
+                into["help"] = entry["help"]
+            if into["kind"] == "untyped" and entry["kind"] != "untyped":
+                into["kind"] = entry["kind"]
+            for labels, sample in entry["samples"].items():
+                if isinstance(sample, dict):
+                    hist = into["samples"].setdefault(
+                        labels, {"buckets": [], "sum": 0.0, "count": 0})
+                    _merge_hist(hist, sample)
+                else:
+                    into["samples"][labels] = \
+                        into["samples"].get(labels, 0.0) + sample
+    # Re-shape into render()'s snapshot format: labelnames + tuple keys.
+    snapshot = {}
+    for name, entry in merged.items():
+        labelnames = sorted({k for labels in entry["samples"]
+                             for k, _ in labels})
+        samples = {}
+        for labels, sample in entry["samples"].items():
+            values = dict(labels)
+            samples[tuple(values.get(k, "") for k in labelnames)] = sample
+        snapshot[name] = {"kind": entry["kind"], "help": entry["help"],
+                          "labelnames": tuple(labelnames),
+                          "samples": samples}
+    return render(snapshot)

@@ -15,7 +15,12 @@ Layers, bottom-up:
   worker-thread coalescer with a ``max_batch``/``max_wait_ms`` policy;
 * :mod:`repro.serve.service` — :class:`InferenceService`, the
   embeddable in-process service tying pool, batcher and telemetry
-  together;
+  together (plus :class:`RequestResolver`, the engine-free request
+  validation shared with the multi-process frontend);
+* :mod:`repro.serve.procpool` — :class:`ProcServeFacade`, N worker
+  processes behind a spec-affine routing frontend, with compiled plans
+  shared zero-copy through a :class:`PlanArena` of
+  ``multiprocessing.shared_memory`` segments (``--procs N``);
 * :mod:`repro.serve.server` — the ``ThreadingHTTPServer`` JSON API
   (``POST /predict``, ``GET /healthz``, ``GET /stats``);
 * :mod:`repro.serve.stats` — :class:`LatencyTracker` telemetry.
@@ -44,9 +49,11 @@ from repro.serve.batcher import (
     Ticket,
 )
 from repro.serve.pool import EnginePool
+from repro.serve.procpool import PlanArena, ProcServeFacade
 from repro.serve.server import ServeHTTPServer, create_server, run_server
 from repro.serve.service import (
     InferenceService,
+    RequestResolver,
     ServiceDraining,
     payload_fingerprint,
 )
@@ -56,7 +63,10 @@ __all__ = [
     "DeadlineExceeded",
     "EnginePool",
     "MicroBatcher",
+    "PlanArena",
+    "ProcServeFacade",
     "QueueFull",
+    "RequestResolver",
     "ServeHTTPServer",
     "ServiceDraining",
     "Ticket",

@@ -48,6 +48,7 @@ never hung (the quiescent-consistency bar the drain path is held to):
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import Counter
@@ -81,14 +82,21 @@ class Ticket:
     returns the per-request result or re-raises the batch's error.
     """
 
-    __slots__ = ("key", "payload", "arrival", "deadline", "trace",
+    __slots__ = ("key", "payload", "arrival", "deadline", "trace", "seq",
                  "_lock", "_done", "_result", "_error", "_cancelled")
+
+    #: Process-wide monotonic ticket numbering.  The flush policy keys
+    #: its gather state on this, never on ``id(ticket)``: CPython reuses
+    #: a freed ticket's address, which would alias a brand-new head onto
+    #: a stale gather timestamp and flush it before its quantum.
+    _seq = itertools.count(1)
 
     def __init__(self, key, payload, arrival: float, deadline=None):
         self.key = key
         self.payload = payload
         self.arrival = arrival
         self.deadline = deadline  # monotonic instant, or None
+        self.seq = next(Ticket._seq)
         # The submitting thread's open span (``serve.predict``): batcher
         # workers parent the queue/compute spans on it so the trace
         # stitches across the thread boundary.
@@ -250,7 +258,7 @@ class MicroBatcher:
         first takes it and the rest keep waiting.
         """
         with self._work:
-            gathering = None  # ((id(head), len(same)), observed_at)
+            gathering = None  # ((head.seq, len(same)), observed_at)
             while True:
                 self._shed_dead_tickets()
                 if not self._queue:
@@ -269,7 +277,9 @@ class MicroBatcher:
                 # time (Condition.wait wakes on *every* submit's notify,
                 # so "woke with the group unchanged" alone is not a
                 # quiet quantum).
-                state = (id(head), len(same))
+                # Keyed on the ticket's monotonic sequence number, not
+                # id(head): object ids are reused after a head is freed.
+                state = (head.seq, len(same))
                 if gathering is None or gathering[0] != state:
                     gathering = (state, now)
                 quiet = now - gathering[1] >= self.quantum

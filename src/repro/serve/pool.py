@@ -149,10 +149,14 @@ class EnginePool:
         if plan is not None:
             self._plans.move_to_end(key)
             return plan
-        sibling = next(
-            (p for (m, d, b, _), p in reversed(self._plans.items())
-             if (m, d, b) == (mdigest, digest, bits)), None)
+        sibling_key, sibling = next(
+            ((k, p) for k, p in reversed(self._plans.items())
+             if k[:3] == (mdigest, digest, bits)), (None, None))
         if sibling is not None:
+            # Using a sibling as the re-target source is a use: refresh
+            # its LRU position so the family's canonical plan is not
+            # evicted while it is still what new lengths derive from.
+            self._plans.move_to_end(sibling_key)
             plan = sibling.with_length(config.length, name=config.name)
             self._plans_rederived += 1
             obs.counter(_PLANS_TOTAL, _PLANS_HELP, how="rederived").inc()

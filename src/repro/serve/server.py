@@ -139,9 +139,15 @@ class ServeHandler(BaseHTTPRequestHandler):
                 self._reply(200, service.stats())
             elif self.path == "/metrics":
                 # Gauges describe *now*: publish them at scrape time so
-                # the hot path never churns them.
-                service.export_gauges()
-                self._reply_text(200, obs.render(obs.get_registry()))
+                # the hot path never churns them.  A multi-process
+                # facade supplies its own merged exposition (frontend +
+                # every worker registry); the in-process service just
+                # renders this process's registry.
+                if hasattr(service, "metrics_text"):
+                    self._reply_text(200, service.metrics_text())
+                else:
+                    service.export_gauges()
+                    self._reply_text(200, obs.render(obs.get_registry()))
             else:
                 self._reply(404, {
                     "error": f"unknown path {self.path!r}; "

@@ -58,8 +58,8 @@ from repro.serve.stats import LatencyTracker
 
 # re-exported for serving callers; the parsers live with the config
 # domain in repro.core.config
-__all__ = ["InferenceService", "ServiceDraining", "payload_fingerprint",
-           "resolve_pooling", "resolve_kinds"]
+__all__ = ["InferenceService", "RequestResolver", "ServiceDraining",
+           "payload_fingerprint", "resolve_pooling", "resolve_kinds"]
 
 
 class ServiceDraining(RuntimeError):
@@ -76,6 +76,114 @@ def payload_fingerprint(image) -> str:
     """
     arr = np.ascontiguousarray(np.asarray(image, dtype=np.float64))
     return hashlib.sha1(arr.tobytes()).hexdigest()[:12]
+
+
+class RequestResolver:
+    """Request-spec resolution over a model set, engine-free.
+
+    Everything the serving layer must decide about a request *before*
+    touching an engine lives here: validating per-request overrides
+    against the hosted models, resolving them into a canonical
+    :class:`~repro.core.config.NetworkConfig`, and deriving the hashable
+    *group key* — the fields two requests must agree on to share one
+    batched engine call.  :class:`InferenceService` composes one, and the
+    multi-process frontend (:mod:`repro.serve.procpool`) uses its own to
+    reject malformed requests with a 400 and pick a worker **without**
+    crossing a process boundary.
+
+    All failures raise ``ValueError`` — the HTTP layer's 400 class.
+    """
+
+    def __init__(self, models: dict, *, default_model: str,
+                 backend: str = "exact", length: int = 64, kinds=None,
+                 pooling="max", weight_bits=None, seed: int = 0):
+        #: per-model (hidden layer count, input shape) — the request
+        #: facts validated before any engine work
+        self._models_meta = {
+            name: (hidden_layer_count(m), input_geometry(m))
+            for name, m in models.items()}
+        if default_model not in self._models_meta:
+            raise ValueError(f"default model {default_model!r} is not "
+                             "among the hosted models")
+        self.defaults = {
+            "model": default_model,
+            "backend": backend,
+            "length": int(length),
+            "kinds": None if kinds is None else resolve_kinds(kinds),
+            "pooling": resolve_pooling(pooling),
+            "weight_bits": weight_bits,
+            "seed": int(seed),
+        }
+        get_backend(backend)  # fail fast on an unknown default
+
+    def resolve(self, overrides: dict):
+        """Resolve per-request overrides into ``(group_key, config, spec)``.
+
+        Raises ``ValueError`` on any malformed field — the HTTP layer
+        maps that to a 400.
+        """
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise ValueError(
+                f"unknown request fields: {sorted(unknown)}; "
+                f"allowed: {sorted(self.defaults)}")
+        spec = dict(self.defaults)
+        spec.update(overrides)
+        backend = str(spec["backend"])
+        get_backend(backend)
+        model = str(spec["model"])
+        hidden, _ = self.model_meta(model)
+        try:
+            kinds = (("APC",) * hidden if spec["kinds"] is None
+                     else resolve_kinds(spec["kinds"], n_layers=hidden))
+            config = NetworkConfig.from_kinds(
+                resolve_pooling(spec["pooling"]), int(spec["length"]),
+                kinds)
+            bits = normalize_weight_bits(spec["weight_bits"],
+                                         n_layers=hidden + 1)
+            seed = int(spec["seed"])
+        except TypeError as exc:
+            # e.g. length=None or weight_bits=1.5 — a caller error, not
+            # an internal one; keep the ValueError contract of resolve
+            raise ValueError(f"malformed request field: {exc}") from exc
+        key = (model, backend, config, bits, seed)
+        return key, config, spec
+
+    def model_meta(self, model: str) -> tuple:
+        """(hidden layer count, input shape) for a hosted model name.
+
+        The single unknown-model check of the service layer; raises
+        ``ValueError`` (→ HTTP 400) listing what is hosted.
+        """
+        try:
+            return self._models_meta[model]
+        except KeyError:
+            raise ValueError(
+                f"unknown model {model!r}; this service hosts: "
+                f"{', '.join(sorted(self._models_meta))}") from None
+
+    def input_shape(self, model=None) -> tuple:
+        """A hosted model's ``(channels, height, width)`` input geometry."""
+        model = self.defaults["model"] if model is None else str(model)
+        return self.model_meta(model)[1]
+
+    def as_images(self, images, model: str) -> np.ndarray:
+        """Normalize request payload to the target model's pixel batch."""
+        return as_image_batch(images, bipolar=True,
+                              shape=self.model_meta(model)[1])
+
+    def describe(self) -> dict:
+        """JSON-ready rendering of the defaults (the ``/stats`` block)."""
+        return {
+            "model": self.defaults["model"],
+            "backend": self.defaults["backend"],
+            "length": self.defaults["length"],
+            "kinds": (None if self.defaults["kinds"] is None
+                      else ",".join(self.defaults["kinds"])),
+            "pooling": self.defaults["pooling"].value.lower(),
+            "weight_bits": self.defaults["weight_bits"],
+            "seed": self.defaults["seed"],
+        }
 
 
 class InferenceService:
@@ -111,21 +219,11 @@ class InferenceService:
                  max_queue: int = 1024, max_engines: int = 8,
                  warm: bool = True):
         self.pool = EnginePool(model, max_engines=max_engines)
-        #: per-model (hidden layer count, input shape) — the request
-        #: facts the service validates against before touching an engine
-        self._models_meta = {
-            name: (hidden_layer_count(m), input_geometry(m))
-            for name, m in self.pool.models.items()}
-        self.defaults = {
-            "model": self.pool.default_model,
-            "backend": backend,
-            "length": int(length),
-            "kinds": None if kinds is None else resolve_kinds(kinds),
-            "pooling": resolve_pooling(pooling),
-            "weight_bits": weight_bits,
-            "seed": int(seed),
-        }
-        get_backend(backend)  # fail fast on an unknown default
+        self.resolver = RequestResolver(
+            self.pool.models, default_model=self.pool.default_model,
+            backend=backend, length=length, kinds=kinds, pooling=pooling,
+            weight_bits=weight_bits, seed=seed)
+        self.defaults = self.resolver.defaults
         self.batcher = MicroBatcher(self._run_batch, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
                                     workers=workers, max_queue=max_queue)
@@ -140,53 +238,13 @@ class InferenceService:
                           model=self.pool.default_model)
 
     # ------------------------------------------------------------------
-    # request resolution
+    # request resolution (delegated to the shared resolver)
     # ------------------------------------------------------------------
     def _resolve(self, overrides: dict):
-        """Resolve per-request overrides into ``(group_key, config, spec)``.
-
-        Raises ``ValueError`` on any malformed field — the HTTP layer
-        maps that to a 400.
-        """
-        unknown = set(overrides) - set(self.defaults)
-        if unknown:
-            raise ValueError(
-                f"unknown request fields: {sorted(unknown)}; "
-                f"allowed: {sorted(self.defaults)}")
-        spec = dict(self.defaults)
-        spec.update(overrides)
-        backend = str(spec["backend"])
-        get_backend(backend)
-        model = str(spec["model"])
-        hidden, _ = self._model_meta(model)
-        try:
-            kinds = (("APC",) * hidden if spec["kinds"] is None
-                     else resolve_kinds(spec["kinds"], n_layers=hidden))
-            config = NetworkConfig.from_kinds(
-                resolve_pooling(spec["pooling"]), int(spec["length"]),
-                kinds)
-            bits = normalize_weight_bits(spec["weight_bits"],
-                                         n_layers=hidden + 1)
-            seed = int(spec["seed"])
-        except TypeError as exc:
-            # e.g. length=None or weight_bits=1.5 — a caller error, not
-            # an internal one; keep the ValueError contract of _resolve
-            raise ValueError(f"malformed request field: {exc}") from exc
-        key = (model, backend, config, bits, seed)
-        return key, config, spec
+        return self.resolver.resolve(overrides)
 
     def _model_meta(self, model: str) -> tuple:
-        """(hidden layer count, input shape) for a hosted model name.
-
-        The single unknown-model check of the service layer; raises
-        ``ValueError`` (→ HTTP 400) listing what is hosted.
-        """
-        try:
-            return self._models_meta[model]
-        except KeyError:
-            raise ValueError(
-                f"unknown model {model!r}; this service hosts: "
-                f"{', '.join(sorted(self._models_meta))}") from None
+        return self.resolver.model_meta(model)
 
     def input_shape(self, model=None) -> tuple:
         """A hosted model's ``(channels, height, width)`` input geometry.
@@ -194,13 +252,10 @@ class InferenceService:
         Raises ``ValueError`` for unregistered names (the HTTP layer maps
         that to a 400, same as :meth:`predict` would).
         """
-        model = self.defaults["model"] if model is None else str(model)
-        return self._model_meta(model)[1]
+        return self.resolver.input_shape(model)
 
     def _as_images(self, images, model: str) -> np.ndarray:
-        """Normalize request payload to the target model's pixel batch."""
-        return as_image_batch(images, bipolar=True,
-                              shape=self._model_meta(model)[1])
+        return self.resolver.as_images(images, model)
 
     # ------------------------------------------------------------------
     # batched execution (called by batcher workers)
@@ -253,14 +308,21 @@ class InferenceService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
-        if self._draining:
-            raise ServiceDraining(
-                "service is draining; not accepting new requests")
+        # The draining check and the inflight bump are atomic under
+        # ``_idle``: a request must either be refused or be visible to
+        # ``await_idle()`` from the instant it is accepted.  Checking
+        # ``_draining`` outside the lock left a window where a request
+        # racing ``drain()`` + ``await_idle()`` was accepted yet
+        # invisible to the idle wait — its reply could be dropped on
+        # SIGTERM.
+        with self._idle:
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining; not accepting new requests")
+            self._inflight += 1
         start = time.monotonic()
         deadline = None if timeout is None else start + timeout
         tickets = []
-        with self._idle:
-            self._inflight += 1
         try:
             # Root span of the request lifecycle: tickets capture it at
             # submit time, so the batcher's queue/coalesce/compute spans
@@ -315,7 +377,10 @@ class InferenceService:
         Idempotent.  Pair with :meth:`await_idle` then :meth:`close` for
         a graceful shutdown that never drops an accepted request.
         """
-        self._draining = True
+        # Under ``_idle`` so it serializes against the accept path: once
+        # drain() returns, every in-flight request is counted.
+        with self._idle:
+            self._draining = True
 
     def await_idle(self, timeout: float = None) -> bool:
         """Block until no request is in flight; False on timeout."""
@@ -330,16 +395,7 @@ class InferenceService:
             "service": self.tracker.summary(),
             "batcher": self.batcher.stats(),
             "pool": self.pool.stats(),
-            "defaults": {
-                "model": self.defaults["model"],
-                "backend": self.defaults["backend"],
-                "length": self.defaults["length"],
-                "kinds": (None if self.defaults["kinds"] is None
-                          else ",".join(self.defaults["kinds"])),
-                "pooling": self.defaults["pooling"].value.lower(),
-                "weight_bits": self.defaults["weight_bits"],
-                "seed": self.defaults["seed"],
-            },
+            "defaults": self.resolver.describe(),
         }
 
     def export_gauges(self) -> None:

@@ -100,14 +100,24 @@ class LatencyTracker:
     def _window_rate(self, now: float) -> float:
         """Completions per second over the trailing ``window_s``."""
         cutoff = now - self._window_s
+        # A ring at maxlen has dropped completions at append time; if
+        # none of the retained ones are older than the window, the
+        # dropped ones may have been *inside* it too, so only the span
+        # the retained completions cover was actually observed.
+        saturated = len(self._completions) == self._completions.maxlen
         while self._completions and self._completions[0] < cutoff:
             self._completions.popleft()
+            # Anything dropped at append time was older still — outside
+            # the window — so the full window really was observed.
+            saturated = False
         if not self._completions:
             return 0.0
         # Early in life (or right after a quiet spell) the oldest
         # retained completion bounds the effective window, so a server
         # 2 s old doesn't divide 100 requests by 30 s.
         span = min(self._window_s, max(now - self._started, 1e-9))
+        if saturated:
+            span = min(span, max(now - self._completions[0], 1e-9))
         return len(self._completions) / max(span, 1e-9)
 
     def summary(self) -> dict:

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro import obs
-from repro.obs.exposition import parse, render
+from repro.obs.exposition import merge, parse, render
 
 
 @pytest.fixture()
@@ -91,3 +91,62 @@ class TestRoundTrip:
         back = parse("plain_metric 42\n")
         assert back["plain_metric"]["kind"] == "untyped"
         assert back["plain_metric"]["samples"][frozenset()] == 42.0
+
+
+class TestMerge:
+    """merge(): the multi-process /metrics aggregation primitive."""
+
+    def _render_worker(self, requests, latencies):
+        with obs.scoped_registry() as reg:
+            reg.counter("reqs_total", "Total requests.",
+                        labelnames=("outcome",)).labels(
+                            outcome="ok").inc(requests)
+            reg.gauge("depth", "Queue depth.").set(requests)
+            hist = reg.histogram("lat_seconds", "Latency.",
+                                 buckets=(0.1, 1.0))
+            for v in latencies:
+                hist.observe(v)
+            return render(reg)
+
+    def test_counters_gauges_and_histograms_sum(self):
+        merged = parse(merge([
+            self._render_worker(3, [0.05, 0.5]),
+            self._render_worker(4, [5.0]),
+        ]))
+        assert merged["reqs_total"]["samples"][
+            frozenset({("outcome", "ok")})] == 7
+        assert merged["depth"]["samples"][frozenset()] == 7
+        hist = merged["lat_seconds"]["samples"][frozenset()]
+        assert hist["buckets"] == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+        assert hist["sum"] == pytest.approx(5.55)
+        assert hist["count"] == 3
+
+    def test_disjoint_series_pass_through(self):
+        a = "# TYPE only_a_total counter\nonly_a_total 1\n"
+        b = "# TYPE only_b_total counter\nonly_b_total 2\n"
+        merged = parse(merge([a, b]))
+        assert merged["only_a_total"]["samples"][frozenset()] == 1
+        assert merged["only_b_total"]["samples"][frozenset()] == 2
+
+    def test_metadata_comes_from_first_definer(self):
+        untyped = "m_total 1\n"
+        typed = "# HELP m_total Real help.\n# TYPE m_total counter\nm_total 2\n"
+        text = merge([untyped, typed])
+        assert "# TYPE m_total counter" in text
+        assert "# HELP m_total Real help." in text
+        assert parse(text)["m_total"]["samples"][frozenset()] == 3
+
+    def test_label_sets_merge_by_value(self):
+        a = ('# TYPE r_total counter\n'
+             'r_total{model="a"} 1\nr_total{model="b"} 2\n')
+        b = '# TYPE r_total counter\nr_total{model="a"} 5\n'
+        merged = parse(merge([a, b]))
+        samples = merged["r_total"]["samples"]
+        assert samples[frozenset({("model", "a")})] == 6
+        assert samples[frozenset({("model", "b")})] == 2
+
+    def test_merged_text_round_trips_through_parse(self):
+        text = merge([self._render_worker(1, [0.5]),
+                      self._render_worker(2, [0.05])])
+        again = merge([text])
+        assert parse(again) == parse(text)
