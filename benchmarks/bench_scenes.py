@@ -1,0 +1,167 @@
+"""Composite-scene serving benchmark: scene fan-out vs naive per-window.
+
+One composite scene is many model-sized windows.  The pre-scene status
+quo is a client that slices the scene itself and issues one serve-tier
+request per window, blocking on each — every window pays its own
+dispatch, queue wait and batching latency.  The scene mode sends the
+whole canvas in one request; the service fans it into a coalesced
+window batch on the micro-batcher (all windows share one group key),
+so the per-request overhead is paid once per *scene*.
+
+Two modes per run, same service, same engine pool:
+
+* **per_window_requests** — the naive baseline: ``extract_windows`` on
+  the client, one ``predict_one`` call per window, sequential;
+* **scene_requests** — one ``predict_scene`` call per scene.
+
+Acceptance (both are hard failures, not report footnotes):
+
+* every scene reply's window logits are *bit-identical* to a dedicated
+  single-engine :class:`~repro.engine.tiled.TiledInference` run, and
+  the naive per-window predictions equal the scene reply's
+  ``window_preds`` — batching mode cannot change answers;
+* the whole run compiles exactly one plan through the engine pool
+  (``plans_compiled == 1``), no matter how many scenes pass through.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_scenes.py``) or
+via ``benchmarks/run_all.py --scenes``, which records the result in
+``benchmarks/BENCH_scenes.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import NetworkConfig, PoolKind
+from repro.data.scenes import SceneGenerator
+from repro.data.synthetic_mnist import generate_dataset, to_bipolar
+from repro.engine import Engine, TiledInference, extract_windows
+from repro.nn.lenet import build_lenet5
+from repro.nn.trainer import Trainer
+from repro.serve import InferenceService
+
+SEED = 0
+KINDS = ("APC", "APC", "APC")
+MAX_BATCH = 16
+MAX_WAIT_MS = 5.0
+SCENE_SEED = 7
+
+
+def _trained_model(quick: bool):
+    n_train, epochs = (200, 1) if quick else (600, 2)
+    x_train, y_train, _, _ = generate_dataset(
+        n_train=n_train, n_test=8, seed=123)
+    model = build_lenet5("max", seed=0)
+    Trainer(model, lr=0.06, batch_size=64, seed=0).fit(
+        to_bipolar(x_train), y_train, epochs=epochs)
+    return model
+
+
+def _naive_per_window(service, scene, window_hw):
+    """The baseline client: slice the scene yourself, one request per
+    window, block on each."""
+    windows, boxes = extract_windows(scene.canvas, window_hw, window_hw[0])
+    preds = [service.predict_one(
+        to_bipolar(window.reshape(-1)), timeout=300.0)
+        for window in windows]
+    return boxes, preds
+
+
+def measure_scenes(quick: bool = False) -> dict:
+    """Run the scene-serving benchmark; returns the BENCH payload."""
+    length = 32 if quick else 64
+    n_scenes = 3 if quick else 10
+    model = _trained_model(quick)
+    config = NetworkConfig.from_kinds(PoolKind.MAX, length, KINDS)
+    scenes = SceneGenerator(seed=SCENE_SEED).scenes(
+        "grid", n_scenes, rows=2, cols=2)
+
+    # the dedicated single-engine oracle every served answer must match
+    tiler = TiledInference(
+        Engine(model, config, backend="exact", seed=SEED))
+    oracles = [tiler.infer(scene) for scene in scenes]
+    window_hw = tiler.window_hw
+
+    service = InferenceService(
+        model, backend="exact", length=length, kinds=KINDS, pooling="max",
+        seed=SEED, max_batch=MAX_BATCH, max_wait_ms=MAX_WAIT_MS,
+        workers=1, warm=True)
+    try:
+        # warm allocation paths, untimed (same spec → same pooled engine)
+        service.predict_scene(scenes[0])
+
+        start = time.perf_counter()
+        naive = [_naive_per_window(service, scene, window_hw)
+                 for scene in scenes]
+        naive_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        served = [service.predict_scene(scene, timeout=300.0)
+                  for scene in scenes]
+        scene_s = time.perf_counter() - start
+
+        pool_stats = service.pool.stats()
+    finally:
+        service.close()
+
+    for i, (result, oracle) in enumerate(zip(served, oracles)):
+        if result.boxes != oracle.boxes or not np.array_equal(
+                result.window_logits, oracle.window_logits):
+            raise AssertionError(
+                f"scene {i}: served logits diverged from the dedicated "
+                f"single-engine tiled run — bit-exactness broken")
+        boxes, preds = naive[i]
+        if boxes != oracle.boxes or preds != [int(p) for p
+                                              in oracle.window_preds]:
+            raise AssertionError(
+                f"scene {i}: naive per-window predictions diverged from "
+                f"the scene reply — the two modes must agree")
+    if pool_stats["plans_compiled"] != 1:
+        raise AssertionError(
+            f"{pool_stats['plans_compiled']} plans compiled for one "
+            f"(model, config, bits) spec; the pool must compile once")
+
+    windows = sum(len(oracle.boxes) for oracle in oracles)
+    return {
+        "backend": "exact",
+        "length": length,
+        "kinds": "-".join(KINDS),
+        "scene_kind": "grid",
+        "scenes": n_scenes,
+        "windows_per_scene": windows // n_scenes,
+        "policy": {"max_batch": MAX_BATCH, "max_wait_ms": MAX_WAIT_MS},
+        "per_window_requests": {
+            "elapsed_s": round(naive_s, 4),
+            "scenes_per_s": round(n_scenes / naive_s, 3),
+        },
+        "scene_requests": {
+            "elapsed_s": round(scene_s, 4),
+            "scenes_per_s": round(n_scenes / scene_s, 3),
+        },
+        "speedup_scene_vs_per_window": round(naive_s / scene_s, 2),
+        "bit_identical": True,
+        "pool": {"plans_compiled": pool_stats["plans_compiled"],
+                 "hit_rate": pool_stats["hit_rate"]},
+    }
+
+
+def main(quick: bool = False) -> None:
+    results = measure_scenes(quick=quick)
+    print(f"scene serving ({results['scenes']} grid scenes, "
+          f"{results['windows_per_scene']} windows each, exact "
+          f"L={results['length']}):")
+    print(f"  per-window requests: "
+          f"{results['per_window_requests']['scenes_per_s']} scenes/s")
+    print(f"  scene requests:      "
+          f"{results['scene_requests']['scenes_per_s']} scenes/s "
+          f"({results['speedup_scene_vs_per_window']}x)")
+    print(f"  bit-identical to dedicated tiled run: "
+          f"{results['bit_identical']}; plans compiled: "
+          f"{results['pool']['plans_compiled']}")
+
+
+if __name__ == "__main__":
+    import sys
+    main(quick="--quick" in sys.argv)

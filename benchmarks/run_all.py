@@ -16,12 +16,18 @@ are meaningful):
 * ``--dse`` — ``bench_dse.py`` → ``benchmarks/BENCH_dse.json``
   (parallel design-space exploration vs the legacy sequential loop,
   plus exact-evaluator screening savings; records ``cpu_count`` so the
-  parallel ratio reads in context).
+  parallel ratio reads in context);
+* ``--scenes`` — ``bench_scenes.py`` →
+  ``benchmarks/BENCH_scenes.json`` (composite-scene serving: one
+  scene request fanned into a coalesced window batch vs naive
+  per-window requests, with bit-identity and one-compile-per-run
+  asserted).
 
 With no flags all suites run.  Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--kernels] [--engine]
                                                 [--serve] [--dse]
+                                                [--scenes]
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ DEFAULT_OUTPUT = BENCH_DIR / "BENCH_kernels.json"
 ENGINE_OUTPUT = BENCH_DIR / "BENCH_engine.json"
 SERVE_OUTPUT = BENCH_DIR / "BENCH_serve.json"
 DSE_OUTPUT = BENCH_DIR / "BENCH_dse.json"
+SCENES_OUTPUT = BENCH_DIR / "BENCH_scenes.json"
 
 #: numpy-vs-native benchmark twins (see bench_kernels.py) folded into
 #: the ``native`` speedup column of BENCH_kernels.json.
@@ -196,6 +203,37 @@ def run_dse_benchmarks(output: Path = DSE_OUTPUT,
     return payload
 
 
+def run_scenes_benchmarks(output: Path = SCENES_OUTPUT,
+                          quick: bool = False) -> dict:
+    """Run bench_scenes.py in-process; write and return the payload."""
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        from bench_scenes import measure_scenes
+        results = measure_scenes(quick=quick)
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    payload = {
+        "unit": "scenes per second per mode",
+        "note": "composite grid scenes through the serving tier: "
+                "per_window_requests is the naive client (extract the "
+                "windows yourself, one blocking predict per window), "
+                "scene_requests sends the whole canvas in one request "
+                "which the service fans into a coalesced window batch; "
+                "bit_identical asserts every scene reply equals a "
+                "dedicated single-engine TiledInference run and that "
+                "the whole run compiled exactly one plan",
+        **results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(f"  scene requests vs naive per-window "
+          f"({results['scenes']} scenes, exact L={results['length']}): "
+          f"{results['speedup_scene_vs_per_window']}x")
+    return payload
+
+
 def mirror_artifacts(root: Path | None = None) -> list:
     """Copy every ``benchmarks/BENCH_*.json`` to the repo root.
 
@@ -225,6 +263,11 @@ def main(argv=None) -> None:
                         help="run only the DSE throughput benchmark")
     parser.add_argument("--dse-quick", action="store_true",
                         help="CI-smoke sizing for the DSE benchmark")
+    parser.add_argument("--scenes", action="store_true",
+                        help="run only the composite-scene serving "
+                             "benchmark")
+    parser.add_argument("--scenes-quick", action="store_true",
+                        help="CI-smoke sizing for the scenes benchmark")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the kernel medians JSON")
     parser.add_argument("--engine-output", type=Path, default=ENGINE_OUTPUT,
@@ -233,9 +276,14 @@ def main(argv=None) -> None:
                         help="where to write the serving benchmark JSON")
     parser.add_argument("--dse-output", type=Path, default=DSE_OUTPUT,
                         help="where to write the DSE benchmark JSON")
+    parser.add_argument("--scenes-output", type=Path,
+                        default=SCENES_OUTPUT,
+                        help="where to write the scenes benchmark JSON")
     args = parser.parse_args(argv)
     dse = args.dse or args.dse_quick
-    run_all = not (args.kernels or args.engine or args.serve or dse)
+    scenes = args.scenes or args.scenes_quick
+    run_all = not (args.kernels or args.engine or args.serve or dse
+                   or scenes)
     if args.kernels or run_all:
         run_kernel_benchmarks(args.output)
     if args.engine or run_all:
@@ -244,6 +292,9 @@ def main(argv=None) -> None:
         run_serve_benchmarks(args.serve_output)
     if dse or run_all:
         run_dse_benchmarks(args.dse_output, quick=args.dse_quick)
+    if scenes or run_all:
+        run_scenes_benchmarks(args.scenes_output,
+                              quick=args.scenes_quick)
     mirror_artifacts()
 
 

@@ -16,6 +16,13 @@ starts the micro-batching HTTP inference service:
 
     python -m repro serve --port 8100 --backend exact --length 64
 
+runs composite-scene workloads through tiled inference (``generate``
+emits deterministic scene JSON, ``roundtrip`` holds the serve tier to
+a dedicated local engine run, bit for bit):
+
+    python -m repro scenes infer --kind grid --count 4
+    python -m repro scenes roundtrip --kind translated --train 200
+
 and runs the parallel, resumable design-space exploration (Section 6.3):
 
     python -m repro dse --model lenet5 --workers 4 --screen \
@@ -533,6 +540,174 @@ def _dse(argv) -> int:
     return 0
 
 
+def _scenes_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenes",
+        description="Composite-scene workloads: generate deterministic "
+                    "scenes, run tiled inference over them, or check the "
+                    "serve tier end to end (HTTP scene replies must be "
+                    "bit-identical to a dedicated local engine).",
+    )
+    parser.add_argument("action",
+                        choices=("generate", "infer", "roundtrip"),
+                        help="generate: print/write scene JSON; infer: "
+                             "tiled inference through one engine; "
+                             "roundtrip: serve scenes over HTTP and "
+                             "verify bit-identity against a local run "
+                             "(exit 1 on mismatch)")
+    parser.add_argument("--kind", default="grid",
+                        choices=("grid", "translated", "cluttered"),
+                        help="scene kind (default: grid)")
+    parser.add_argument("--count", type=int, default=2,
+                        help="scenes to generate (default: 2)")
+    parser.add_argument("--rows", type=int, default=2,
+                        help="grid rows (default: 2)")
+    parser.add_argument("--cols", type=int, default=2,
+                        help="grid cols (default: 2)")
+    parser.add_argument("--canvas", default="56x56",
+                        help="translated/cluttered canvas HxW "
+                             "(default: 56x56)")
+    parser.add_argument("--stride", type=int, default=None,
+                        help="window stride in pixels (default: the "
+                             "model tile height — non-overlapping)")
+    parser.add_argument("--scene-seed", type=int, default=0,
+                        help="scene-stream seed (default: 0)")
+    parser.add_argument("--out", default=None,
+                        help="write generated scene JSON to this path "
+                             "(default: stdout)")
+    _add_model_args(parser, default_length=64)
+    return parser
+
+
+def _scene_batch(args):
+    """The deterministic scene list an invocation works on."""
+    from repro.data.scenes import SceneGenerator
+    gen = SceneGenerator(seed=args.scene_seed)
+    if args.kind == "grid":
+        kwargs = {"rows": args.rows, "cols": args.cols}
+    else:
+        try:
+            h, w = (int(v) for v in args.canvas.lower().split("x"))
+        except ValueError:
+            raise SystemExit(f"--canvas must be HxW, got {args.canvas!r}")
+        kwargs = {"canvas_hw": (h, w)}
+    return gen.scenes(args.kind, args.count, **kwargs)
+
+
+def _scenes(argv) -> int:
+    """``python -m repro scenes``: generate / infer / serve round-trip."""
+    import json
+
+    parser = _scenes_parser()
+    args = parser.parse_args(argv)
+    scenes = _scene_batch(args)
+
+    if args.action == "generate":
+        payloads = [s.to_payload() for s in scenes]
+        body = json.dumps(payloads if len(payloads) > 1 else payloads[0])
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(body)
+            print(f"wrote {len(scenes)} {args.kind} scene(s) to "
+                  f"{args.out}")
+        else:
+            print(body)
+        for i, scene in enumerate(scenes):
+            print(f"scene {i}: {scene.shape[0]}x{scene.shape[1]} "
+                  f"labels={[c.label for c in scene.cells]}",
+                  file=sys.stderr)
+        return 0
+
+    import numpy as np
+
+    from repro.core.config import NetworkConfig, resolve_pooling
+    _check_backend(parser, args.backend)
+    from repro.engine import Engine, TiledInference
+
+    kinds = _resolve_kinds_arg(parser, args.kinds, args.model)
+    config = NetworkConfig.from_kinds(resolve_pooling(args.pooling),
+                                      args.length, kinds, name="scenes")
+    model, _, _ = _quick_model(args.train, args.epochs, n_test=16,
+                               pooling=args.pooling,
+                               model_name=args.model)
+    engine = Engine(model, config, backend=args.backend, seed=args.seed,
+                    weight_bits=args.weight_bits)
+    tiler = TiledInference(engine, stride=args.stride)
+
+    if args.action == "infer":
+        correct = cells = 0
+        start = time.perf_counter()
+        for i, scene in enumerate(scenes):
+            result = tiler.infer(scene)
+            hits = int((result.cell_preds == scene.labels).sum())
+            correct += hits
+            cells += len(scene.cells)
+            print(f"scene {i}: {len(result.boxes)} windows, "
+                  f"{hits}/{len(scene.cells)} cells correct, "
+                  f"preds={[int(p) for p in result.cell_preds]}")
+        elapsed = time.perf_counter() - start
+        print(f"cell accuracy: {correct}/{cells} "
+              f"({100.0 * correct / max(cells, 1):.1f}%); "
+              f"{len(scenes) / max(elapsed, 1e-9):.2f} scenes/s")
+        return 0
+
+    # roundtrip: serve the scenes over HTTP and hold the serve tier to
+    # the local tiled run, window for window
+    import threading
+    import urllib.request
+
+    from repro.serve import InferenceService, create_server
+    service = InferenceService(
+        {args.model: model}, backend=args.backend, length=args.length,
+        kinds=kinds, pooling=args.pooling, weight_bits=args.weight_bits,
+        seed=args.seed, warm=False)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    failures = 0
+    try:
+        for i, scene in enumerate(scenes):
+            body = json.dumps({"scene": scene.to_payload(),
+                               "stride": args.stride,
+                               "model": args.model}
+                              if args.stride is not None else
+                              {"scene": scene.to_payload(),
+                               "model": args.model}).encode("utf8")
+            request = urllib.request.Request(
+                base + "/predict", data=body, method="POST",
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=300) as reply:
+                served = json.loads(reply.read())
+            local = tiler.infer(scene)
+            ok = (served["window_boxes"] == [list(b)
+                                             for b in local.boxes]
+                  and served["window_predictions"] == [
+                      int(p) for p in local.window_preds]
+                  and served["cell_predictions"] == [
+                      int(p) for p in local.cell_preds])
+            direct = service.predict_scene(scene, stride=args.stride,
+                                           model=args.model)
+            bitwise = bool(np.array_equal(direct.window_logits,
+                                          local.window_logits))
+            status = "OK" if ok and bitwise else "MISMATCH"
+            failures += 0 if ok and bitwise else 1
+            print(f"scene {i}: {status} "
+                  f"(http preds match={ok}, logits bitwise={bitwise}, "
+                  f"cells={[int(p) for p in local.cell_preds]})")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    if failures:
+        print(f"roundtrip FAILED for {failures}/{len(scenes)} scene(s)",
+              file=sys.stderr)
+        return 1
+    print(f"roundtrip OK: {len(scenes)} scene(s) bit-identical through "
+          "the serve tier")
+    return 0
+
+
 def _stats_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro stats",
@@ -651,7 +826,7 @@ def _maybe_print_kernel_profile() -> None:
 
 
 SUBCOMMANDS = {"infer": _infer, "serve": _serve, "dse": _dse,
-               "stats": _stats}
+               "scenes": _scenes, "stats": _stats}
 
 
 def main(argv=None) -> int:
@@ -698,6 +873,7 @@ def main(argv=None) -> int:
         print("engine inference:      python -m repro infer --help")
         print("inference service:     python -m repro serve --help")
         print("design-space search:   python -m repro dse --help")
+        print("composite scenes:      python -m repro scenes --help")
         print("server telemetry:      python -m repro stats --help")
         print("full suite: pytest benchmarks/ --benchmark-only")
         return 0

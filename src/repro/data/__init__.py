@@ -11,6 +11,7 @@ identical to the paper's.
 """
 
 from repro.data.glyphs import DIGIT_GLYPHS, render_glyph
+from repro.data.scenes import SCENE_KINDS, Scene, SceneCell, SceneGenerator
 from repro.data.synthetic_mnist import SyntheticMNIST, generate_dataset, to_bipolar
 from repro.data.cache import (
     cache_dir,
@@ -26,6 +27,10 @@ __all__ = [
     "SyntheticMNIST",
     "generate_dataset",
     "to_bipolar",
+    "SCENE_KINDS",
+    "Scene",
+    "SceneCell",
+    "SceneGenerator",
     "cache_dir",
     "get_dataset",
     "get_trained_lenet",

@@ -95,26 +95,38 @@ class SyntheticMNIST:
     def __init__(self, seed: int = 0):
         self._rng = spawn_rng(seed, "synthetic-mnist")
 
-    def sample(self, digit: int) -> np.ndarray:
-        """Generate one perturbed 28×28 image of ``digit``."""
-        variant = int(self._rng.integers(len(DIGIT_GLYPHS[digit])))
+    def sample(self, digit: int,
+               rng: np.random.Generator = None) -> np.ndarray:
+        """Generate one perturbed 28×28 image of ``digit``.
+
+        ``rng`` makes the draw a pure function of that generator (the
+        sampler's own stream is untouched); ``None`` keeps the shared
+        per-instance stream.
+        """
+        rng = self._rng if rng is None else rng
+        variant = int(rng.integers(len(DIGIT_GLYPHS[digit])))
         img = render_glyph(digit, variant, IMAGE_SIZE)
-        img = _stroke_width(img, self._rng)
-        img = _random_affine(img, self._rng)
-        img = _elastic(img, self._rng)
-        return _finish(img, self._rng)
+        img = _stroke_width(img, rng)
+        img = _random_affine(img, rng)
+        img = _elastic(img, rng)
+        return _finish(img, rng)
 
     def batch(self, n: int, rng: np.random.Generator = None):
         """Generate ``n`` images with uniformly random labels.
 
-        Returns ``(images (n, 1, 28, 28), labels (n,))``.
+        Returns ``(images (n, 1, 28, 28), labels (n,))``.  With an
+        explicit ``rng``, labels *and* image perturbations all come from
+        it, so the batch reproduces bit-for-bit no matter what other
+        callers drew from this sampler in between (the scene generator
+        relies on this; pre-fix, only the labels were threaded and the
+        images still consumed shared state).
         """
         n = check_positive_int(n, "n")
-        label_rng = rng if rng is not None else self._rng
-        labels = label_rng.integers(0, NUM_CLASSES, size=n)
+        draw = self._rng if rng is None else rng
+        labels = draw.integers(0, NUM_CLASSES, size=n)
         images = np.empty((n, 1, IMAGE_SIZE, IMAGE_SIZE), dtype=np.float64)
         for i, digit in enumerate(labels):
-            images[i, 0] = self.sample(int(digit))
+            images[i, 0] = self.sample(int(digit), rng=draw)
         return images, labels.astype(np.int64)
 
 

@@ -41,6 +41,14 @@ from repro.engine.plan import (
     pool_window_indices,
 )
 from repro.engine.surrogate import FloatBackend, NoiseBackend, SurrogateBackend
+from repro.engine.tiled import (
+    SceneResult,
+    TiledInference,
+    extract_windows,
+    reduce_scene,
+    window_boxes,
+    window_origins,
+)
 
 __all__ = [
     "Engine",
@@ -64,4 +72,10 @@ __all__ = [
     "FEBCalibration",
     "calibrate_feb",
     "measured_stage_sigma",
+    "SceneResult",
+    "TiledInference",
+    "extract_windows",
+    "reduce_scene",
+    "window_boxes",
+    "window_origins",
 ]

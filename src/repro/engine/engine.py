@@ -45,18 +45,26 @@ def as_image_batch(images: np.ndarray, bipolar: bool = False,
     single normalization point for the engine front-end, the exact
     backend and ``repro.serve``; ``shape`` is the target model's
     ``(channels, height, width)`` input geometry, defaulting to the
-    1×28×28 synthetic-MNIST images every zoo model consumes.  A 2-D
-    input is treated as a single image only when its shape *is* the
-    spatial geometry — any other 2-D shape is validated as a batch, so
+    1×28×28 synthetic-MNIST images every zoo model consumes.  A 2-D or
+    3-D input is treated as a single image only when its shape *is* the
+    plan's geometry — ``(h, w)`` for single-channel plans, or the full
+    ``(channels, h, w)`` — any other shape is validated as a batch, so
     a wrongly-sized batch fails instead of being silently reinterpreted.
+    An empty batch normalizes to ``(0, pixels)`` (zero predictions),
+    not a reshape error.
     """
     channels, h, w = (int(s) for s in shape)
     pixels = channels * h * w
     images = np.asarray(images, dtype=np.float64)
-    if images.ndim <= 1 or (channels == 1 and images.shape == (h, w)):
+    if (images.ndim <= 1
+            or (channels == 1 and images.shape == (h, w))
+            or images.shape == (channels, h, w)):
         flat = images.reshape(1, -1)
     else:
-        flat = images.reshape(images.shape[0], -1)
+        # np.prod instead of -1: reshape(0, -1) cannot infer the column
+        # count of an empty batch.
+        flat = images.reshape(
+            images.shape[0], int(np.prod(images.shape[1:], dtype=np.int64)))
     if flat.shape[-1] != pixels:
         raise ValueError(
             f"expected {pixels}-pixel images, got input of shape "

@@ -43,6 +43,7 @@ __all__ = [
     "hidden_layer_count",
     "weight_layer_count",
     "input_geometry",
+    "normalize_input_hw",
     "default_kinds",
     "model_digest",
 ]
@@ -189,6 +190,37 @@ DEFAULT_INPUT_HW = (28, 28)
 :data:`repro.engine.graph.INPUT_HW`."""
 
 
+def normalize_input_hw(input_hw) -> tuple:
+    """Validate an input grid spec into a ``(height, width)`` int pair.
+
+    The single checkpoint where a spatial geometry enters the system
+    (graph lowering, the serving resolver, the tiled-scene layer): a
+    malformed grid fails here with the offending value, instead of as a
+    raw ``IndexError`` or a misleading feature-count mismatch several
+    layers downstream — and fractional sizes are rejected, not silently
+    truncated.
+    """
+    try:
+        h, w = input_hw
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"input_hw must be a (height, width) pair, got "
+            f"{input_hw!r}") from None
+    try:
+        ih, iw = int(h), int(w)
+        exact = (ih == h and iw == w)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"input_hw must hold integers, got {input_hw!r}") from None
+    if not exact:
+        raise ValueError(
+            f"input_hw must hold whole numbers, got {input_hw!r}")
+    if ih < 1 or iw < 1:
+        raise ValueError(
+            f"input_hw dimensions must be >= 1, got {input_hw!r}")
+    return (ih, iw)
+
+
 def input_geometry(model, input_hw: tuple | None = None) -> tuple:
     """A model's input geometry ``(channels, height, width)``.
 
@@ -200,10 +232,11 @@ def input_geometry(model, input_hw: tuple | None = None) -> tuple:
     """
     if input_hw is None:
         input_hw = getattr(model, "input_hw", DEFAULT_INPUT_HW)
+    h, w = normalize_input_hw(input_hw)
     first_conv = next((l for l in model.layers if isinstance(l, Conv2D)),
                       None)
     channels = first_conv.in_channels if first_conv is not None else 1
-    return (channels, int(input_hw[0]), int(input_hw[1]))
+    return (channels, h, w)
 
 
 def hidden_layer_count(model) -> int:
@@ -222,14 +255,17 @@ def default_kinds(model_or_name) -> tuple:
 def model_digest(model) -> str:
     """Stable fingerprint of a model's structure and trained parameters.
 
-    Two models share a digest only if their layer stack *and* every
-    parameter value agree — retraining, re-seeding or swapping
-    architectures all change it.  The serving layer keys compiled plans
-    and pooled engines on this, so distinct models can never share
-    quantized weights or weight streams.
+    Two models share a digest only if their layer stack, their input
+    geometry *and* every parameter value agree — retraining, re-seeding,
+    swapping architectures or re-targeting ``input_hw`` all change it.
+    The serving layer keys compiled plans and pooled engines on this, so
+    distinct models can never share quantized weights or weight streams
+    (pre-fix the geometry was excluded, so two same-parameter models
+    claiming different grids aliased in the pool).
     """
     h = hashlib.sha1()
     h.update(",".join(type(l).__name__ for l in model.layers).encode())
+    h.update(repr(input_geometry(model)).encode())
     for p in model.params:
         h.update(str(p.value.shape).encode())
         h.update(p.value.tobytes())

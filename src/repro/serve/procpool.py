@@ -251,6 +251,16 @@ def _worker_main(worker_id: int, models, service_kwargs: dict,
                 preds = service.predict(images, timeout=timeout,
                                         **overrides)
                 _reply((req_id, True, [int(p) for p in preds]))
+            elif kind == "scene":
+                _, _, scene, stride, deadline, overrides = msg
+                timeout = None
+                if deadline is not None:
+                    timeout = max(deadline - time.monotonic(), 1e-3)
+                result = service.predict_scene(scene, stride=stride,
+                                               timeout=timeout,
+                                               **overrides)
+                # the SceneResult dataclass pickles over the pipe whole
+                _reply((req_id, True, result))
             elif kind == "stats":
                 service.export_gauges()
                 _reply((req_id, True, {
@@ -559,8 +569,10 @@ class ProcServeFacade:
                 key, _, _ = self.resolver.resolve(overrides)
                 batch = self.resolver.as_images(images, model=key[0])
                 model = key[0]
-                preds = self._relay(key, model, batch, start, timeout,
-                                    overrides)
+                preds = np.asarray(
+                    self._relay(key, model, batch, start, timeout,
+                                overrides),
+                    dtype=np.int64)
         except (DeadlineExceeded, TimeoutError):
             self.tracker.record_shed()
             raise
@@ -570,8 +582,48 @@ class ProcServeFacade:
         self.tracker.record(time.monotonic() - start)
         return preds
 
+    def predict_scene(self, scene, stride: int = None,
+                      timeout: float = None, **overrides):
+        """Tiled scene inference, relayed to the spec-affine worker.
+
+        The whole scene travels as one message, so all its windows land
+        in one worker's micro-batcher and coalesce there; the reply is
+        the worker's :class:`repro.engine.tiled.SceneResult`, which with
+        the exact backend is bit-identical at any worker count (each
+        window's streams fork from the per-request snapshot).  The
+        scene payload is validated frontend-side first, so malformed
+        requests 400 without crossing a process boundary.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        with self._lock:
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining; not accepting new requests")
+        start = time.monotonic()
+        try:
+            with obs.span("serve.scene",
+                          model=str(overrides.get(
+                              "model", self.defaults["model"])),
+                          backend=str(overrides.get(
+                              "backend", self.defaults["backend"]))):
+                key, _, _ = self.resolver.resolve(overrides)
+                scene, _, _ = self.resolver.resolve_scene(
+                    scene, model=key[0], stride=stride)
+                result = self._relay(key, key[0], scene, start, timeout,
+                                     overrides, kind="scene",
+                                     extra=(stride,))
+        except (DeadlineExceeded, TimeoutError):
+            self.tracker.record_shed()
+            raise
+        except Exception:
+            self.tracker.record_error()
+            raise
+        self.tracker.record(time.monotonic() - start)
+        return result
+
     def _relay(self, key, model: str, batch, start: float,
-               timeout, overrides) -> np.ndarray:
+               timeout, overrides, kind: str = "predict", extra=()):
         with self._lock:
             inflight = self._inflight_by_model.get(model, 0)
             if inflight >= self.max_inflight_per_model:
@@ -586,7 +638,7 @@ class ProcServeFacade:
         req_id = next(self._ids)
         deadline = None if timeout is None else start + timeout
         index = self._route(key)
-        msg = ("predict", req_id, batch, deadline, overrides)
+        msg = (kind, req_id, batch, *extra, deadline, overrides)
         pending = _Pending(index, msg, model)
         try:
             with self._lock:
@@ -600,7 +652,7 @@ class ProcServeFacade:
                     f"no reply from worker {index} within {wait:.1f}s")
             if pending.error is not None:
                 raise pending.error
-            return np.asarray(pending.result, dtype=np.int64)
+            return pending.result
         finally:
             with self._lock:
                 self._pending.pop(req_id, None)

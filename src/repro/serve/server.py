@@ -4,8 +4,12 @@ Endpoints:
 
 ``POST /predict``
     Body: ``{"image": [...784 floats...]}`` (or 28×28 nested) for one
-    image, or ``{"images": [[...], ...]}`` for many.  Optional spec
-    overrides ride alongside: ``model`` (a registered zoo entry),
+    image, ``{"images": [[...], ...]}`` for many, or
+    ``{"scene": {...}}`` for a composite scene
+    (:meth:`repro.data.scenes.Scene.to_payload` form, with an optional
+    ``stride``) — the scene fans out into a coalesced window batch and
+    replies with per-cell predictions plus the per-window detail.
+    Optional spec overrides ride alongside: ``model`` (a registered zoo entry),
     ``backend``, ``length``, ``kinds`` (``"APC,APC,APC"``), ``pooling``
     (``"max"``/``"avg"``),
     ``weight_bits`` (int or per-layer list), ``seed``, plus
@@ -194,23 +198,71 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _predict(self, request: dict) -> dict:
         service = self.server.service
-        single = "image" in request
-        if single == ("images" in request):
+        modes = [k for k in ("image", "images", "scene") if k in request]
+        if len(modes) != 1:
             raise ValueError(
-                "provide exactly one of 'image' (single) or 'images' "
-                "(batch)")
+                "provide exactly one of 'image' (single), 'images' "
+                "(batch) or 'scene' (composite scene)")
+        if modes == ["scene"]:
+            return self._predict_scene(request)
+        single = modes == ["image"]
         images = request.pop("image") if single else request.pop("images")
         if single:
             # Validate against the *target model's* geometry (the zoo
             # generalized it away from a hardcoded 28×28).
             channels, h, w = service.input_shape(request.get("model"))
             pixels = channels * h * w
-            shape = np.asarray(images, dtype=np.float64).shape
+            try:
+                shape = np.asarray(images, dtype=np.float64).shape
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed image payload: {exc}") from exc
             allowed = ((pixels,),) + (((h, w),) if channels == 1 else ())
             if shape not in allowed:
                 raise ValueError(
                     f"'image' must be a single {h}×{w} image "
                     f"({pixels} pixels); use 'images' for batches")
+        timeout, overrides = self._parse_spec(request)
+        start = time.monotonic()
+        preds = service.predict(images, timeout=timeout, **overrides)
+        reply = {
+            "backend": overrides.get("backend",
+                                     service.defaults["backend"]),
+            "latency_ms": round(1e3 * (time.monotonic() - start), 3),
+        }
+        if single:
+            reply["prediction"] = int(preds[0])
+        else:
+            reply["predictions"] = [int(p) for p in preds]
+        return reply
+
+    def _predict_scene(self, request: dict) -> dict:
+        """The ``scene`` request mode: one composite scene in, per-cell
+        predictions out.  The scene fans out into a coalesced window
+        batch service-side; with the exact backend each window's reply
+        is bit-identical to a dedicated single-window run."""
+        service = self.server.service
+        scene = request.pop("scene")
+        stride = request.pop("stride", None)
+        timeout, overrides = self._parse_spec(request)
+        start = time.monotonic()
+        result = service.predict_scene(scene, stride=stride,
+                                       timeout=timeout, **overrides)
+        return {
+            "backend": overrides.get("backend",
+                                     service.defaults["backend"]),
+            "latency_ms": round(1e3 * (time.monotonic() - start), 3),
+            "kind": result.kind,
+            "cell_predictions": [int(p) for p in result.cell_preds],
+            "cell_windows": [int(i) for i in result.cell_windows],
+            "window_boxes": [list(b) for b in result.boxes],
+            "window_predictions": [int(p) for p in result.window_preds],
+        }
+
+    def _parse_spec(self, request: dict):
+        """Shared tail of every predict mode: ``timeout_ms`` + spec
+        overrides, with unknown fields rejected.  Returns
+        ``(timeout_seconds, overrides)``."""
         timeout_ms = request.pop("timeout_ms", None)
         if timeout_ms is not None:
             try:
@@ -228,20 +280,8 @@ class ServeHandler(BaseHTTPRequestHandler):
         if leftover:
             raise ValueError(
                 f"unknown request fields: {sorted(leftover)}")
-        start = time.monotonic()
-        preds = service.predict(
-            images, timeout=None if timeout_ms is None
-            else timeout_ms / 1e3, **overrides)
-        reply = {
-            "backend": overrides.get("backend",
-                                     service.defaults["backend"]),
-            "latency_ms": round(1e3 * (time.monotonic() - start), 3),
-        }
-        if single:
-            reply["prediction"] = int(preds[0])
-        else:
-            reply["predictions"] = [int(p) for p in preds]
-        return reply
+        return (None if timeout_ms is None else timeout_ms / 1e3,
+                overrides)
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

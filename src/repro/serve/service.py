@@ -48,9 +48,12 @@ from repro.core.config import (
     resolve_kinds,
     resolve_pooling,
 )
+from repro.data.scenes import Scene
+from repro.data.synthetic_mnist import to_bipolar
 from repro.engine import get_backend
 from repro.engine.engine import as_image_batch
 from repro.engine.plan import normalize_weight_bits
+from repro.engine.tiled import SceneResult, extract_windows, reduce_scene
 from repro.nn.zoo import hidden_layer_count, input_geometry
 from repro.serve.batcher import DeadlineExceeded, MicroBatcher
 from repro.serve.pool import EnginePool
@@ -168,9 +171,46 @@ class RequestResolver:
         return self.model_meta(model)[1]
 
     def as_images(self, images, model: str) -> np.ndarray:
-        """Normalize request payload to the target model's pixel batch."""
-        return as_image_batch(images, bipolar=True,
-                              shape=self.model_meta(model)[1])
+        """Normalize request payload to the target model's pixel batch.
+
+        Every malformed payload — wrong geometry, out-of-range values,
+        or non-numeric content numpy raises ``TypeError`` for — surfaces
+        as ``ValueError``, the HTTP layer's 400 class (pre-fix a
+        non-numeric payload escaped as ``TypeError`` → 500).
+        """
+        try:
+            return as_image_batch(images, bipolar=True,
+                                  shape=self.model_meta(model)[1])
+        except TypeError as exc:
+            raise ValueError(
+                f"malformed image payload: {exc}") from exc
+
+    def resolve_scene(self, scene, model: str, stride=None):
+        """Validate a scene request against a hosted model's geometry.
+
+        Returns ``(scene, boxes, flat_windows)`` where ``flat_windows``
+        is the bipolar ``(N, pixels)`` window batch ready for the
+        engine.  Every malformed input — bad payload, multi-channel
+        model, canvas smaller than the model tile, bad stride — raises
+        ``ValueError`` (→ HTTP 400), *before* any engine work.
+        """
+        channels, h, w = self.model_meta(model)[1]
+        if channels != 1:
+            raise ValueError(
+                f"scene requests need a single-channel model; "
+                f"{model!r} consumes {channels}-channel input")
+        if not isinstance(scene, Scene):
+            scene = Scene.from_payload(scene)
+        if stride is None:
+            stride = h
+        try:
+            stride = int(stride)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"stride must be an integer, got {stride!r}") from None
+        windows, boxes = extract_windows(scene.canvas, (h, w), stride)
+        flat = to_bipolar(windows.reshape(len(boxes), -1))
+        return scene, boxes, flat
 
     def describe(self) -> dict:
         """JSON-ready rendering of the defaults (the ``/stats`` block)."""
@@ -261,7 +301,13 @@ class InferenceService:
     # batched execution (called by batcher workers)
     # ------------------------------------------------------------------
     def _run_batch(self, key, payloads):
-        model, backend_name, config, bits, seed = key
+        # A 6-tuple key is a scene-window group: same spec fields plus
+        # the "logits" marker appended by predict_scene, so scene
+        # windows coalesce among themselves and get raw logits back
+        # (the reduction needs margins, not argmaxes) while plain
+        # predict traffic keeps its 5-tuple key and argmax replies.
+        want_logits = len(key) == 6
+        model, backend_name, config, bits, seed = key[:5]
         if faults.active() is not None:
             # Per-payload site first: a spec matching one request's
             # fingerprint fails every batch containing it, so bisection
@@ -279,13 +325,16 @@ class InferenceService:
             # Per-request stream-state forks: thread-safe on a shared
             # engine and bit-identical to single-request calls.
             logits = backend.forward_independent(batch)
-            return list(np.argmax(logits, axis=1))
-        # Stateful float-domain backends mutate their noise RNG per call;
-        # serialize per engine (the pool attaches the lock, so its
-        # lifetime matches the engine's) so concurrent workers never
-        # race it.
-        with engine.serial_lock:
-            return list(engine.predict(batch))
+        else:
+            # Stateful float-domain backends mutate their noise RNG per
+            # call; serialize per engine (the pool attaches the lock, so
+            # its lifetime matches the engine's) so concurrent workers
+            # never race it.
+            with engine.serial_lock:
+                logits = backend.forward(batch)
+        if want_logits:
+            return list(logits)
+        return list(np.argmax(logits, axis=1))
 
     # ------------------------------------------------------------------
     # public API
@@ -363,6 +412,75 @@ class InferenceService:
     def predict_one(self, image, timeout: float = None, **overrides) -> int:
         """Single-image convenience wrapper around :meth:`predict`."""
         return int(self.predict(image, timeout=timeout, **overrides)[0])
+
+    def predict_scene(self, scene, stride: int = None,
+                      timeout: float = None, **overrides) -> SceneResult:
+        """Tiled inference over a composite scene (blocking).
+
+        ``scene`` is a :class:`repro.data.scenes.Scene` or its JSON
+        payload form.  One request fans out into a per-window ticket
+        batch on the micro-batcher — all windows of a scene share one
+        group key (the request spec plus a ``"logits"`` marker), so
+        they coalesce into engine calls together (and with concurrent
+        same-spec scene traffic).  With the exact backend every
+        window's logits are bit-identical to a dedicated single-window
+        run, so scene replies do not depend on batching or worker
+        count.  ``stride`` defaults to the model tile height
+        (non-overlapping windows); returns a
+        :class:`repro.engine.tiled.SceneResult`.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        with self._idle:
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining; not accepting new requests")
+            self._inflight += 1
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        tickets = []
+        try:
+            with obs.span("serve.scene",
+                          model=str(overrides.get(
+                              "model", self.defaults["model"])),
+                          backend=str(overrides.get(
+                              "backend", self.defaults["backend"]))):
+                key, _, _ = self._resolve(overrides)
+                scene, boxes, flat = self.resolver.resolve_scene(
+                    scene, model=key[0], stride=stride)
+                logits_key = key + ("logits",)
+                tickets = [self.batcher.submit(logits_key, window,
+                                               deadline=deadline)
+                           for window in flat]
+                logits = np.stack(
+                    [np.asarray(
+                        t.result(None if deadline is None
+                                 else max(deadline - time.monotonic(),
+                                          0.0)),
+                        dtype=np.float64)
+                     for t in tickets])
+                cell_preds, cell_windows = reduce_scene(
+                    scene.kind, [c.box for c in scene.cells], boxes,
+                    logits)
+                result = SceneResult(kind=scene.kind, boxes=boxes,
+                                     window_logits=logits,
+                                     cell_preds=cell_preds,
+                                     cell_windows=cell_windows)
+        except (DeadlineExceeded, TimeoutError):
+            for ticket in tickets:
+                ticket.cancel()
+            self.tracker.record_shed()
+            raise
+        except Exception:
+            self.tracker.record_error()
+            raise
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+        self.tracker.record(time.monotonic() - start)
+        return result
 
     # ------------------------------------------------------------------
     # drain / shutdown

@@ -1,0 +1,162 @@
+"""Tests for composite-scene generation."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.scenes import SCENE_KINDS, Scene, SceneCell, SceneGenerator
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", SCENE_KINDS)
+    def test_same_seed_same_scene(self, kind):
+        a = SceneGenerator(seed=11).generate(kind, index=2)
+        b = SceneGenerator(seed=11).generate(kind, index=2)
+        np.testing.assert_array_equal(a.canvas, b.canvas)
+        assert a.cells == b.cells
+
+    @pytest.mark.parametrize("kind", SCENE_KINDS)
+    def test_different_seed_differs(self, kind):
+        a = SceneGenerator(seed=0).generate(kind, index=0)
+        b = SceneGenerator(seed=1).generate(kind, index=0)
+        assert not np.array_equal(a.canvas, b.canvas)
+
+    def test_indices_differ(self):
+        gen = SceneGenerator(seed=0)
+        a, b = gen.grid(index=0), gen.grid(index=1)
+        assert not np.array_equal(a.canvas, b.canvas)
+
+    def test_order_independent(self):
+        """Scene i must not depend on which scenes were generated first."""
+        gen_a = SceneGenerator(seed=4)
+        direct = gen_a.translated(index=5)
+        gen_b = SceneGenerator(seed=4)
+        for i in range(5):
+            gen_b.translated(index=i)  # unrelated work first
+            gen_b.grid(index=i)
+        later = gen_b.translated(index=5)
+        np.testing.assert_array_equal(direct.canvas, later.canvas)
+        assert direct.cells == later.cells
+
+    def test_process_independent(self):
+        """The scene stream must be stable across Python processes."""
+        code = (
+            "import json, sys; sys.path.insert(0, 'src')\n"
+            "from repro.data.scenes import SceneGenerator\n"
+            "s = SceneGenerator(seed=9).grid(index=1, rows=2, cols=2)\n"
+            "print(json.dumps(s.to_payload()))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", code],
+                             capture_output=True, text=True, check=True)
+        remote = Scene.from_payload(json.loads(out.stdout))
+        local = SceneGenerator(seed=9).grid(index=1, rows=2, cols=2)
+        np.testing.assert_array_equal(remote.canvas, local.canvas)
+        assert remote.cells == local.cells
+
+
+class TestGridScenes:
+    def test_geometry_and_cells(self):
+        s = SceneGenerator(seed=0).grid(index=0, rows=2, cols=3)
+        assert s.canvas.shape == (56, 84)
+        assert len(s.cells) == 6
+        # row-major cell boxes tile the canvas exactly
+        boxes = [c.box for c in s.cells]
+        assert boxes[0] == (0, 0, 28, 28)
+        assert boxes[-1] == (28, 56, 28, 28)
+        assert len(set(boxes)) == 6
+
+    def test_cells_hold_their_digit(self):
+        s = SceneGenerator(seed=3).grid(index=0, rows=2, cols=2)
+        for cell in s.cells:
+            top, left, h, w = cell.box
+            patch = s.canvas[top:top + h, left:left + w]
+            assert patch.sum() > 5, f"cell {cell} has no ink"
+
+    def test_labels_property(self):
+        s = SceneGenerator(seed=0).grid(index=0, rows=1, cols=4)
+        assert s.labels.shape == (4,)
+        assert s.labels.dtype == np.int64
+
+
+class TestSingleDigitScenes:
+    @pytest.mark.parametrize("kind", ["translated", "cluttered"])
+    def test_digit_inside_box(self, kind):
+        s = SceneGenerator(seed=2).generate(kind, index=0,
+                                            canvas_hw=(60, 72))
+        assert s.canvas.shape == (60, 72)
+        assert len(s.cells) == 1
+        top, left, h, w = s.cells[0].box
+        assert (h, w) == (28, 28)
+        assert 0 <= top <= 60 - 28 and 0 <= left <= 72 - 28
+        assert s.canvas[top:top + h, left:left + w].sum() > 5
+
+    def test_cluttered_has_ink_outside_box(self):
+        found = False
+        for index in range(6):
+            s = SceneGenerator(seed=1).cluttered(index=index,
+                                                 n_distractors=6)
+            mask = np.ones(s.canvas.shape, dtype=bool)
+            top, left, h, w = s.cells[0].box
+            mask[top:top + h, left:left + w] = False
+            if s.canvas[mask].sum() > 1.0:
+                found = True
+                break
+        assert found, "no distractor ink landed in 6 scenes"
+
+    def test_cluttered_box_pixels_match_translated_digit(self):
+        """Distractors never invade the labelled box."""
+        s = SceneGenerator(seed=5).cluttered(index=3)
+        top, left, h, w = s.cells[0].box
+        patch = s.canvas[top:top + h, left:left + w]
+        assert patch.max() <= 1.0 and patch.min() >= 0.0
+
+    def test_canvas_too_small_rejected(self):
+        with pytest.raises(ValueError, match="28"):
+            SceneGenerator(seed=0).translated(canvas_hw=(20, 56))
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize("kind", SCENE_KINDS)
+    def test_round_trip_bit_exact(self, kind):
+        s = SceneGenerator(seed=7).generate(kind, index=1)
+        back = Scene.from_payload(json.loads(json.dumps(s.to_payload())))
+        np.testing.assert_array_equal(back.canvas, s.canvas)
+        assert back.cells == s.cells
+        assert back.kind == s.kind
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"kind": "grid", "canvas": [[0.0]]},                    # no cells
+        {"kind": "nope", "canvas": [[0.0]],
+         "cells": [{"label": 1, "box": [0, 0, 1, 1]}]},
+        {"kind": "grid", "canvas": [0.0, 1.0],                  # 1-D canvas
+         "cells": [{"label": 1, "box": [0, 0, 1, 1]}]},
+        {"kind": "grid", "canvas": [[2.0]],                     # range
+         "cells": [{"label": 1, "box": [0, 0, 1, 1]}]},
+        {"kind": "grid", "canvas": [[0.0]], "cells": []},
+        {"kind": "grid", "canvas": [[0.0]],
+         "cells": [{"label": 11, "box": [0, 0, 1, 1]}]},
+        {"kind": "grid", "canvas": [[0.0]],
+         "cells": [{"label": 1, "box": [0, 0, 2, 1]}]},         # box outside
+        {"kind": "grid", "canvas": [["x"]],
+         "cells": [{"label": 1, "box": [0, 0, 1, 1]}]},
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ValueError):
+            Scene.from_payload(payload)
+
+
+class TestSceneBatch:
+    def test_scenes_helper(self):
+        gen = SceneGenerator(seed=0)
+        many = gen.scenes("translated", 3, start=2)
+        assert len(many) == 3
+        np.testing.assert_array_equal(many[1].canvas,
+                                      gen.translated(index=3).canvas)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SceneGenerator(seed=0).generate("mosaic")

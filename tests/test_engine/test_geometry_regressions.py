@@ -1,0 +1,182 @@
+"""Regression tests for the shape/geometry bugs fixed in the
+composite-scene PR.
+
+Each test reproduces a latent defect that the tiled-scene workload
+exposed — it fails against the pre-fix code and pins the fixed
+behaviour:
+
+* ``as_image_batch`` rejected a single multi-channel NCHW image even
+  when its shape *was* the plan's exact ``(channels, h, w)`` input
+  geometry (the 3-D else-branch reshaped the channel axis into a fake
+  batch axis);
+* ``as_image_batch`` crashed on an empty batch with numpy's internal
+  "cannot reshape array of size 0" instead of returning a ``(0,
+  pixels)`` batch — ``Engine.predict`` already anticipated empty
+  batches downstream but never got there;
+* ``input_geometry`` (and through it ``build_graph`` and the serving
+  resolver) raised a raw ``IndexError`` for a 1-element ``input_hw``,
+  silently truncated fractional grids, and let zero/negative grids
+  through to a misleading dense-feature mismatch several layers later;
+* ``model_digest`` excluded the input geometry, so two models with
+  identical parameters but different claimed ``input_hw`` shared a
+  digest — and therefore could share pooled plans/engines, violating
+  the pool's keying contract;
+* a non-numeric request payload escaped ``RequestResolver.as_images``
+  as a ``TypeError``, which the HTTP layer maps to 500 instead of the
+  400 every other malformed payload gets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkConfig, resolve_pooling
+from repro.engine import Engine, build_graph, compile_plan
+from repro.engine.engine import as_image_batch
+from repro.nn.activations import Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.module import Flatten, Sequential
+from repro.nn.pool import MaxPool2D
+from repro.nn.zoo import build_zoo_model, input_geometry, model_digest
+
+APC2 = NetworkConfig.from_kinds(resolve_pooling("max"), 32, ("APC", "APC"))
+APC1 = NetworkConfig.from_kinds(resolve_pooling("max"), 32, ("APC",))
+
+
+def rect_conv_model(channels: int = 1, input_hw=(12, 20)) -> Sequential:
+    """A small conv stack over a rectangular (and optionally
+    multi-channel) input grid: conv5 -> pool2 -> dense."""
+    h, w = input_hw
+    ch, cw = h - 4, w - 4
+    model = Sequential([
+        Conv2D(channels, 4, 5, seed=0),
+        MaxPool2D(2),
+        Tanh(),
+        Flatten(),
+        Dense(4 * (ch // 2) * (cw // 2), 10, seed=1),
+    ])
+    model.input_hw = input_hw
+    return model
+
+
+class TestSingleImageChannelAxis:
+    """A single NCHW image matching the plan's exact input shape must be
+    accepted — for any channel count, not just channels == 1."""
+
+    def test_multichannel_single_image_accepted(self):
+        flat = as_image_batch(np.zeros((3, 8, 10)), shape=(3, 8, 10))
+        assert flat.shape == (1, 240)
+
+    def test_multichannel_single_matches_flat(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(-1, 1, size=(3, 8, 10))
+        a = as_image_batch(img, shape=(3, 8, 10))
+        b = as_image_batch(img.reshape(-1), shape=(3, 8, 10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_through_engine_predict(self):
+        model = rect_conv_model(channels=2)
+        plan = compile_plan(build_graph(model, APC1))
+        engine = Engine(plan=plan, backend="float")
+        rng = np.random.default_rng(1)
+        img = rng.uniform(-1, 1, size=(2, 12, 20))
+        single = engine.predict(img)
+        flat = engine.predict(img.reshape(-1))
+        np.testing.assert_array_equal(single, flat)
+
+    def test_wrong_sized_batch_still_rejected(self):
+        # The pre-fix behaviour for (c, h, w) arrays was the batch
+        # branch; the fix must not regress genuine batch validation.
+        with pytest.raises(ValueError, match="expected 240-pixel"):
+            as_image_batch(np.zeros((5, 8, 10)), shape=(3, 8, 10))
+
+
+class TestEmptyBatch:
+    """An empty batch is a valid request for zero predictions, not a
+    numpy reshape crash."""
+
+    def test_as_image_batch_empty(self):
+        flat = as_image_batch(np.empty((0, 240)), shape=(3, 8, 10))
+        assert flat.shape == (0, 240)
+
+    def test_engine_predict_empty(self):
+        model = build_zoo_model("mlp")
+        plan = compile_plan(build_graph(model, APC2))
+        engine = Engine(plan=plan, backend="float")
+        preds = engine.predict(np.empty((0, 784)))
+        assert preds.shape == (0,)
+        assert preds.dtype == np.int64
+
+
+class TestInputGeometryValidation:
+    """input_hw must be validated where it enters the system — a clean
+    ValueError with the offending value, not an IndexError three layers
+    later or a silently truncated grid."""
+
+    def test_short_tuple_is_value_error(self):
+        model = build_zoo_model("mlp")
+        with pytest.raises(ValueError, match="input_hw"):
+            build_graph(model, APC2, input_hw=(28,))
+
+    def test_zero_dimension_rejected(self):
+        model = build_zoo_model("mlp")
+        with pytest.raises(ValueError, match="input_hw"):
+            build_graph(model, APC2, input_hw=(0, 28))
+
+    def test_negative_dimension_rejected(self):
+        model = build_zoo_model("mlp")
+        with pytest.raises(ValueError, match="input_hw"):
+            input_geometry(model, (-4, 28))
+
+    def test_fractional_dimension_rejected(self):
+        # 28.5 used to truncate silently to 28.
+        model = build_zoo_model("mlp")
+        with pytest.raises(ValueError, match="input_hw"):
+            input_geometry(model, (28.5, 28))
+
+    def test_model_attribute_validated_too(self):
+        model = build_zoo_model("mlp")
+        model.input_hw = (28,)
+        with pytest.raises(ValueError, match="input_hw"):
+            input_geometry(model)
+
+    def test_valid_rectangular_still_accepted(self):
+        model = rect_conv_model()
+        graph = build_graph(model, APC1)
+        assert graph.input_shape == (1, 12, 20)
+
+
+class TestModelDigestGeometry:
+    """Two models with identical parameters but different claimed input
+    geometry must not share a digest (the pool keys plans on it)."""
+
+    def test_input_hw_changes_digest(self):
+        a = build_zoo_model("mlp")
+        b = build_zoo_model("mlp")
+        b.input_hw = (16, 49)  # same 784 pixels, different geometry
+        assert model_digest(a) != model_digest(b)
+
+    def test_same_geometry_same_digest(self):
+        a = build_zoo_model("mlp")
+        b = build_zoo_model("mlp")
+        assert model_digest(a) == model_digest(b)
+
+    def test_explicit_default_matches_implicit(self):
+        # Setting input_hw to the default must not re-key every plan.
+        a = build_zoo_model("mlp")
+        b = build_zoo_model("mlp")
+        b.input_hw = (28, 28)
+        assert model_digest(a) == model_digest(b)
+
+
+class TestResolverPayload400:
+    """Any malformed payload through the resolver is a ValueError (the
+    HTTP layer's 400 class) — including ones numpy raises TypeError
+    for."""
+
+    def test_non_numeric_payload_is_value_error(self):
+        from repro.serve.service import RequestResolver
+        model = build_zoo_model("mlp")
+        resolver = RequestResolver({"mlp": model}, default_model="mlp")
+        with pytest.raises(ValueError, match="payload"):
+            resolver.as_images({"not": "pixels"}, model="mlp")

@@ -1,0 +1,189 @@
+"""Tests for tiled scene inference.
+
+The two load-bearing claims:
+
+* every window's logits are bit-identical to a dedicated single-window
+  run through a freshly constructed same-seed engine (batching windows
+  is a throughput optimization, never a numerics change);
+* a whole scene run reuses one pooled compiled plan — zero additional
+  compiles after the first window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkConfig, resolve_pooling
+from repro.data.scenes import SceneGenerator
+from repro.data.synthetic_mnist import to_bipolar
+from repro.engine import Engine, build_graph, compile_plan
+from repro.engine.tiled import (
+    TiledInference,
+    extract_windows,
+    reduce_scene,
+    window_boxes,
+    window_origins,
+)
+
+APC3 = NetworkConfig.from_kinds(resolve_pooling("max"), 32,
+                                ("APC", "APC", "APC"))
+
+
+class TestWindowOrigins:
+    def test_exact_cover(self):
+        assert window_origins(56, 28, 28) == (0, 28)
+
+    def test_edge_aligned_when_stride_does_not_divide(self):
+        # 0, 20 then clamp the last window to 28 so the far edge is seen
+        assert window_origins(56, 28, 20) == (0, 20, 28)
+
+    def test_window_equals_span(self):
+        assert window_origins(28, 28, 7) == (0,)
+
+    def test_window_larger_than_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            window_origins(20, 28, 7)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            window_origins(56, 28, 0)
+
+    def test_boxes_row_major(self):
+        boxes = window_boxes((56, 42), (28, 28), 14)
+        assert boxes[0] == (0, 0, 28, 28)
+        assert len(boxes) == 3 * 2
+        # row-major: left varies fastest
+        assert boxes[1] == (0, 14, 28, 28)
+
+    def test_extract_windows_content(self):
+        rng = np.random.default_rng(0)
+        canvas = rng.uniform(0, 1, size=(56, 56))
+        windows, boxes = extract_windows(canvas, (28, 28), 28)
+        assert windows.shape == (4, 28, 28)
+        for win, (t, l, h, w) in zip(windows, boxes):
+            np.testing.assert_array_equal(win, canvas[t:t + h, l:l + w])
+
+
+class TestReduceScene:
+    def test_grid_picks_exact_cell_windows(self):
+        boxes = window_boxes((56, 56), (28, 28), 28)
+        logits = np.zeros((4, 10))
+        for i in range(4):
+            logits[i, i + 3] = 1.0  # window i votes class i+3
+        cells = list(boxes)  # cells coincide with windows
+        preds, used = reduce_scene("grid", cells, boxes, logits)
+        assert list(preds) == [3, 4, 5, 6]
+        assert used == (0, 1, 2, 3)
+
+    def test_margin_reduction_picks_most_confident_window(self):
+        boxes = window_boxes((56, 56), (28, 28), 28)
+        logits = np.full((4, 10), 0.1)
+        logits[1, 7] = 3.0   # decisive window
+        logits[2, 2] = 0.5   # weak margin
+        preds, used = reduce_scene("translated", [(10, 10, 28, 28)],
+                                   boxes, logits)
+        assert list(preds) == [7]
+        assert used == (1,)
+
+    def test_margin_tie_breaks_to_first_window(self):
+        boxes = window_boxes((56, 28), (28, 28), 28)
+        logits = np.zeros((2, 10))
+        logits[0, 4] = logits[1, 9] = 1.0  # identical margins
+        preds, used = reduce_scene("cluttered", [(0, 0, 28, 28)],
+                                   boxes, logits)
+        assert used == (0,)
+        assert list(preds) == [4]
+
+    def test_logit_shape_mismatch_rejected(self):
+        boxes = window_boxes((56, 56), (28, 28), 28)
+        with pytest.raises(ValueError, match="logits"):
+            reduce_scene("grid", [boxes[0]], boxes, np.zeros((3, 10)))
+
+
+class TestBitIdentity:
+    """Tiled exact inference must match dedicated per-window runs
+    bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def plan(self, tiny_trained_lenet):
+        return compile_plan(build_graph(tiny_trained_lenet, APC3))
+
+    def test_exact_windows_match_fresh_engines(self, plan):
+        scene = SceneGenerator(seed=3).translated(index=0,
+                                                  canvas_hw=(42, 42))
+        tiler = TiledInference(Engine(plan=plan, backend="exact", seed=5),
+                               stride=14)
+        boxes, logits = tiler.window_logits(scene.canvas)
+        assert len(boxes) == 4
+        for i, (t, l, h, w) in enumerate(boxes):
+            window = to_bipolar(scene.canvas[t:t + h, l:l + w])
+            fresh = Engine(plan=plan, backend="exact", seed=5)
+            np.testing.assert_array_equal(fresh.forward(window)[0],
+                                          logits[i])
+
+    def test_infer_preds_consistent_with_logits(self, plan):
+        scene = SceneGenerator(seed=1).grid(index=0, rows=1, cols=2)
+        tiler = TiledInference(Engine(plan=plan, backend="exact", seed=0))
+        result = tiler.infer(scene)
+        assert result.cell_preds.shape == (2,)
+        np.testing.assert_array_equal(
+            result.cell_preds,
+            result.window_preds[list(result.cell_windows)])
+
+
+class TestTiledGrid:
+    def test_grid_predictions_match_direct_cell_predict(
+            self, tiny_trained_lenet):
+        """With stride == tile, grid windows ARE the cells — tiled
+        predictions must equal Engine.predict on the cell tiles."""
+        engine = Engine(tiny_trained_lenet, APC3, backend="float")
+        scene = SceneGenerator(seed=0).grid(index=0, rows=2, cols=2)
+        result = TiledInference(engine).infer(scene)
+        tiles = np.stack([
+            to_bipolar(scene.canvas[t:t + h, l:l + w])
+            for t, l, h, w in (c.box for c in scene.cells)])
+        direct = engine.predict(tiles)
+        np.testing.assert_array_equal(result.cell_preds, direct)
+        assert result.accuracy(scene) == pytest.approx(
+            float((direct == scene.labels).mean()))
+
+
+class TestPlanReuse:
+    def test_one_compile_per_scene_run(self, tiny_trained_lenet):
+        """A multi-scene tiled run through the pool compiles exactly one
+        plan and constructs exactly one engine."""
+        from repro.serve.pool import EnginePool
+        pool = EnginePool(tiny_trained_lenet)
+        scenes = SceneGenerator(seed=2).scenes("grid", 3)
+        engines = {id(pool.get(APC3, backend="float"))
+                   for _ in range(len(scenes))}
+        assert len(engines) == 1
+        tiler = TiledInference(pool.get(APC3, backend="float"))
+        for scene in scenes:
+            tiler.infer(scene)
+        stats = pool.stats()
+        assert stats["plans_compiled"] == 1
+        assert stats["engines"] == 1
+        assert stats["hits"] >= 3
+
+
+class TestValidation:
+    def test_multichannel_model_rejected(self):
+        from repro.nn.activations import Tanh
+        from repro.nn.conv import Conv2D
+        from repro.nn.dense import Dense
+        from repro.nn.module import Flatten, Sequential
+        from repro.nn.pool import MaxPool2D
+        model = Sequential([
+            Conv2D(2, 4, 5, seed=0), MaxPool2D(2), Tanh(), Flatten(),
+            Dense(4 * 4 * 8, 10, seed=1)])
+        model.input_hw = (12, 20)
+        apc1 = NetworkConfig.from_kinds(resolve_pooling("max"), 32,
+                                        ("APC",))
+        engine = Engine(model, apc1, backend="float")
+        with pytest.raises(ValueError, match="single-channel"):
+            TiledInference(engine)
+
+    def test_bad_stride_rejected(self, tiny_trained_lenet):
+        engine = Engine(tiny_trained_lenet, APC3, backend="float")
+        with pytest.raises(ValueError, match="stride"):
+            TiledInference(engine, stride=0)
